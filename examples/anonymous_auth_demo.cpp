@@ -1,0 +1,79 @@
+// The common-prefix-linkable anonymous authentication primitive (§V-A) used
+// directly — Setup, CertGen, Auth, Verify, Link — with a linkability matrix
+// over users x prefixes, plus transcript sizes. This is the paper's Fig. 2
+// as runnable code.
+//
+//   $ ./examples/anonymous_auth_demo
+#include <cstdio>
+
+#include "auth/cpl_auth.h"
+
+using namespace zl;
+using namespace zl::auth;
+
+int main() {
+  std::printf("=== common-prefix-linkable anonymous authentication ===\n\n");
+  Rng rng(99);
+
+  std::printf("[*] Setup(1^lambda): establishing the zk-SNARK for L_T ...\n");
+  const AuthParams params = auth_setup(/*merkle_depth=*/8, rng);
+  std::printf("    verifying key: %zu bytes, attestation: %zu bytes (constant)\n\n",
+              params.verifying_key_bytes(), Attestation::kByteSize);
+
+  // CertGen: three users register unique identities.
+  RegistrationAuthority ra(8);
+  const UserKey alice = UserKey::generate(rng);
+  const UserKey bob = UserKey::generate(rng);
+  ra.register_identity("alice", alice.pk);
+  ra.register_identity("bob", bob.pk);
+  const Certificate alice_cert = ra.current_certificate(0);
+  const Certificate bob_cert = ra.current_certificate(1);
+  const Fr root = ra.registry_root();
+  std::printf("[*] CertGen: alice and bob registered; registry root published\n\n");
+
+  // Auth: both users authenticate messages under two different prefixes
+  // ("task-A", "task-B"); alice authenticates twice under task-A.
+  struct Row {
+    const char* who;
+    const char* prefix;
+    const char* body;
+    Attestation att;
+  };
+  const auto make = [&](const UserKey& key, const Certificate& cert, const char* prefix,
+                        const char* body) {
+    return authenticate(params, to_bytes(prefix), to_bytes(body), key, cert, root, rng);
+  };
+  std::vector<Row> rows;
+  std::printf("[*] Auth: generating 5 attestations (each is a Groth16 proof)...\n");
+  rows.push_back({"alice", "task-A", "answer-1", make(alice, alice_cert, "task-A", "answer-1")});
+  rows.push_back({"alice", "task-A", "answer-2", make(alice, alice_cert, "task-A", "answer-2")});
+  rows.push_back({"alice", "task-B", "answer-3", make(alice, alice_cert, "task-B", "answer-3")});
+  rows.push_back({"bob", "task-A", "answer-4", make(bob, bob_cert, "task-A", "answer-4")});
+  rows.push_back({"bob", "task-B", "answer-5", make(bob, bob_cert, "task-B", "answer-5")});
+
+  std::printf("\n[*] Verify: ");
+  for (const Row& r : rows) {
+    if (!verify(params, to_bytes(r.prefix), to_bytes(r.body), root, r.att)) {
+      std::printf("UNEXPECTED verification failure\n");
+      return 1;
+    }
+  }
+  std::printf("all 5 attestations valid\n\n");
+
+  std::printf("[*] Link matrix (1 = same certificate AND same prefix):\n\n      ");
+  for (std::size_t j = 0; j < rows.size(); ++j) std::printf(" #%zu", j + 1);
+  std::printf("\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("  #%zu  ", i + 1);
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      std::printf("  %c", i == j ? '-' : (link(rows[i].att, rows[j].att) ? '1' : '0'));
+    }
+    std::printf("   (%s, %s)\n", rows[i].who, rows[i].prefix);
+  }
+
+  std::printf(
+      "\nOnly #1-#2 link: alice authenticated twice with the common prefix task-A.\n"
+      "Nothing else links — not alice across tasks, not alice vs bob, and the\n"
+      "registration authority could not do better: tags are PRF outputs of sk.\n");
+  return 0;
+}

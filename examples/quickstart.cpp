@@ -1,0 +1,94 @@
+// Quickstart: the smallest complete ZebraLancer run.
+//
+// One requester, three workers, one image-annotation task with a
+// majority-vote reward policy — published, answered, proven and paid out on
+// a simulated Ethereum-like test net, entirely anonymously.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "zebralancer/scenario.h"
+
+using namespace zl;
+using namespace zl::zebralancer;
+
+int main() {
+  std::printf("=== ZebraLancer quickstart ===\n\n");
+
+  // 1. Spin up the test net (2 miners + 2 full nodes) and the offline
+  //    SNARK parameters: the anonymous-authentication circuit and a reward
+  //    circuit for (n = 3, majority-vote over 4 choices).
+  Rng rng(2024);
+  TestNet net({.merkle_depth = 6});
+  std::printf("[*] establishing zk-SNARK public parameters (offline, once)...\n");
+  const SystemParams params =
+      make_system_params(6, {RewardCircuitSpec{3, "majority-vote:4"}}, rng);
+
+  // 2. Everyone registers a unique identity at the registration authority;
+  //    the RA posts its registry root on chain.
+  auth::UserKey requester_key = auth::UserKey::generate(rng);
+  auth::UserKey worker_keys[3] = {auth::UserKey::generate(rng), auth::UserKey::generate(rng),
+                                  auth::UserKey::generate(rng)};
+  auto requester_cert = net.register_participant("alice@example.com", requester_key.pk);
+  auth::Certificate worker_certs[3];
+  const char* worker_ids[3] = {"bob@example.com", "carol@example.com", "dave@example.com"};
+  for (int i = 0; i < 3; ++i) {
+    worker_certs[i] = net.register_participant(worker_ids[i], worker_keys[i].pk);
+  }
+  requester_cert = net.ra().current_certificate(requester_cert.leaf_index);
+  for (int i = 0; i < 3; ++i) {
+    worker_certs[i] = net.ra().current_certificate(worker_certs[i].leaf_index);
+  }
+  std::printf("[*] 4 identities registered; on-chain registry root = %s...\n",
+              to_hex(net.on_chain_registry_root().to_bytes()).substr(0, 16).c_str());
+
+  // 3. The requester anonymously publishes the task with a 3'000'000 wei
+  //    budget deposited in the contract.
+  RequesterClient requester(net, params, requester_key, requester_cert, net.fork_rng("req"));
+  const chain::Address task = requester.publish(
+      {.budget = 3'000'000, .num_answers = 3, .policy_name = "majority-vote:4"},
+      net.on_chain_registry_root());
+  std::printf("[*] task contract deployed at 0x%s (block %llu)\n", task.to_hex().c_str(),
+              static_cast<unsigned long long>(net.height()));
+
+  // 4. Workers anonymously submit encrypted labels. "What animal is in this
+  //    image?" — 0: cat, 1: dog, 2: zebra, 3: other.
+  const std::uint64_t labels[3] = {2, 2, 1};
+  WorkerClient workers[3] = {
+      WorkerClient(net, params, worker_keys[0], worker_certs[0], net.fork_rng("w0")),
+      WorkerClient(net, params, worker_keys[1], worker_certs[1], net.fork_rng("w1")),
+      WorkerClient(net, params, worker_keys[2], worker_certs[2], net.fork_rng("w2"))};
+  std::vector<Bytes> pending;
+  for (int i = 0; i < 3; ++i) {
+    std::printf("[*] %s submits label %llu (encrypted + anonymously attested)\n", worker_ids[i],
+                static_cast<unsigned long long>(labels[i]));
+    pending.push_back(workers[i].submit_answer(task, Fr::from_u64(labels[i])));
+  }
+  for (const Bytes& h : pending) {
+    while (!net.client_node().chain().find_receipt(h).has_value()) net.network().run_for(50);
+  }
+  std::printf("[*] all submissions confirmed; on-chain data is ciphertext only\n");
+
+  // 5. The requester decrypts off-chain, computes rewards under the
+  //    announced policy, and proves the instruction correct with a zk-SNARK
+  //    the contract verifies before paying.
+  const std::vector<std::uint64_t> rewards = requester.instruct_rewards();
+  std::printf("[*] reward instruction proven and accepted by the contract\n\n");
+
+  std::printf("answers (decrypted by requester): ");
+  for (const Fr& a : requester.decrypted_answers()) {
+    std::printf("%s ", a.to_bigint().get_str().c_str());
+  }
+  std::printf("\nmajority label: 2 (zebra)\nrewards: ");
+  for (const std::uint64_t r : rewards) std::printf("%llu ", static_cast<unsigned long long>(r));
+  std::printf("wei\n");
+
+  const auto& state = net.client_node().chain().state();
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %s one-task address balance: %llu wei\n", worker_ids[i],
+                static_cast<unsigned long long>(
+                    state.balance_of(workers[i].reward_address(task))));
+  }
+  std::printf("\n=== done: fair exchange without a trusted third party ===\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "auth/classic_auth.h"
+
+#include <stdexcept>
+
+namespace zl::auth {
+
+ClassicUserKey ClassicUserKey::generate(Rng& rng, int bits) {
+  return ClassicUserKey{RsaKeyPair::generate(rng, bits)};
+}
+
+Bytes ClassicCertificate::to_bytes() const {
+  Bytes out;
+  append_frame(out, ra_signature);
+  return out;
+}
+
+ClassicCertificate ClassicCertificate::from_bytes(const Bytes& bytes) {
+  std::size_t off = 0;
+  ClassicCertificate cert;
+  cert.ra_signature = read_frame(bytes, off);
+  if (off != bytes.size()) {
+    throw std::invalid_argument("ClassicCertificate::from_bytes: trailing data");
+  }
+  return cert;
+}
+
+Bytes ClassicAttestation::to_bytes() const {
+  Bytes out;
+  append_frame(out, public_key);
+  append_frame(out, certificate);
+  append_frame(out, signature);
+  return out;
+}
+
+ClassicAttestation ClassicAttestation::from_bytes(const Bytes& bytes) {
+  std::size_t off = 0;
+  ClassicAttestation att;
+  att.public_key = read_frame(bytes, off);
+  att.certificate = read_frame(bytes, off);
+  att.signature = read_frame(bytes, off);
+  if (off != bytes.size()) {
+    throw std::invalid_argument("ClassicAttestation::from_bytes: trailing data");
+  }
+  return att;
+}
+
+ClassicRegistrationAuthority::ClassicRegistrationAuthority(Rng& rng, int bits)
+    : master_(RsaKeyPair::generate(rng, bits)) {}
+
+ClassicCertificate ClassicRegistrationAuthority::certify(const std::string& identity,
+                                                         const RsaPublicKey& pk) {
+  if (identities_.contains(identity)) {
+    throw std::invalid_argument("ClassicRA: identity already registered");
+  }
+  const std::string key_id = to_hex(pk.to_bytes());
+  if (keys_.contains(key_id)) {
+    throw std::invalid_argument("ClassicRA: public key already certified");
+  }
+  identities_.insert(identity);
+  keys_.insert(key_id);
+  return ClassicCertificate{rsa_sign(master_, pk.to_bytes())};
+}
+
+ClassicAttestation classic_authenticate(const Bytes& prefix, const Bytes& rest,
+                                        const ClassicUserKey& key,
+                                        const ClassicCertificate& cert) {
+  ClassicAttestation att;
+  att.public_key = key.key.pub.to_bytes();
+  att.certificate = cert.ra_signature;
+  att.signature = rsa_sign(key.key, concat({prefix, rest}));
+  return att;
+}
+
+bool classic_verify(const Bytes& prefix, const Bytes& rest, const RsaPublicKey& mpk,
+                    const ClassicAttestation& att) {
+  RsaPublicKey pk;
+  try {
+    pk = RsaPublicKey::from_bytes(att.public_key);
+  } catch (const std::exception&) {  // malformed encodings of any kind
+    return false;
+  }
+  if (pk.n <= 0 || pk.e <= 0) return false;
+  if (!rsa_verify(mpk, att.public_key, att.certificate)) return false;
+  return rsa_verify(pk, concat({prefix, rest}), att.signature);
+}
+
+bool classic_link(const ClassicAttestation& a, const ClassicAttestation& b) {
+  return a.public_key == b.public_key;
+}
+
+}  // namespace zl::auth

@@ -1,0 +1,46 @@
+#include "chain/block.h"
+
+#include "crypto/bigint.h"
+
+namespace zl::chain {
+
+Bytes BlockHeader::to_bytes() const {
+  Bytes out;
+  append_frame(out, parent_hash);
+  append_u64_be(out, number);
+  append_frame(out, tx_root);
+  append_u64_be(out, timestamp);
+  append_u64_be(out, difficulty);
+  append_u64_be(out, nonce);
+  append_frame(out, miner.to_bytes());
+  return out;
+}
+
+Bytes Block::compute_tx_root(const std::vector<Transaction>& txs) {
+  if (txs.empty()) return Bytes(32, 0x00);
+  std::vector<Bytes> layer;
+  layer.reserve(txs.size());
+  for (const Transaction& tx : txs) layer.push_back(tx.hash());
+  while (layer.size() > 1) {
+    std::vector<Bytes> next;
+    for (std::size_t i = 0; i < layer.size(); i += 2) {
+      const Bytes& left = layer[i];
+      const Bytes& right = (i + 1 < layer.size()) ? layer[i + 1] : layer[i];
+      next.push_back(keccak256(concat({left, right})));
+    }
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+bool proof_of_work_valid(const BlockHeader& header) {
+  if (header.difficulty == 0) return false;
+  const BigInt target = (BigInt(1) << 256) / BigInt(static_cast<unsigned long>(header.difficulty));
+  return bigint_from_bytes(header.hash()) < target;
+}
+
+bool Block::well_formed() const {
+  return header.tx_root == compute_tx_root(transactions) && proof_of_work_valid(header);
+}
+
+}  // namespace zl::chain

@@ -1,0 +1,188 @@
+#include "chain/blockchain.h"
+
+#include <stdexcept>
+
+namespace zl::chain {
+
+Block GenesisConfig::build() const {
+  Block genesis;
+  genesis.header.parent_hash = Bytes(32, 0x00);
+  genesis.header.number = 0;
+  genesis.header.tx_root = Block::compute_tx_root({});
+  genesis.header.difficulty = 1;  // genesis is not mined
+  return genesis;
+}
+
+Blockchain::Blockchain(const GenesisConfig& genesis) : genesis_(genesis) {
+  const Block g = genesis.build();
+  head_hash_ = g.hash();
+  blocks_[key(head_hash_)] = Entry{g, 0, false};
+  for (const auto& [addr, amount] : genesis_.allocations) state_.credit(addr, amount);
+}
+
+const Block& Blockchain::head() const { return blocks_.at(key(head_hash_)).block; }
+
+bool Blockchain::add_block(const Block& block) {
+  const Bytes hash = block.hash();
+  if (blocks_.contains(key(hash))) return false;
+  const auto parent_it = blocks_.find(key(block.header.parent_hash));
+  if (parent_it == blocks_.end() || parent_it->second.invalid) return false;
+  if (block.header.number != parent_it->second.block.header.number + 1) return false;
+  if (block.header.difficulty != genesis_.difficulty) return false;
+  if (!block.well_formed()) return false;
+
+  Entry entry;
+  entry.block = block;
+  entry.total_difficulty = parent_it->second.total_difficulty + block.header.difficulty;
+  blocks_[key(hash)] = std::move(entry);
+  choose_best_tip();
+  return true;
+}
+
+void Blockchain::choose_best_tip() {
+  for (;;) {
+    // Highest total difficulty among valid blocks; ties broken by hash for
+    // network-wide determinism.
+    const Entry* best = nullptr;
+    Bytes best_hash;
+    for (const auto& [k, entry] : blocks_) {
+      if (entry.invalid) continue;
+      const Bytes h = entry.block.hash();
+      if (best == nullptr || entry.total_difficulty > best->total_difficulty ||
+          (entry.total_difficulty == best->total_difficulty && to_hex(h) < to_hex(best_hash))) {
+        best = &entry;
+        best_hash = h;
+      }
+    }
+    if (best_hash == head_hash_) return;
+    // Fast path: the new tip extends the current head — apply just the new
+    // block instead of replaying the whole chain.
+    const Entry& best_entry = blocks_.at(key(best_hash));
+    if (best_entry.block.header.parent_hash == head_hash_) {
+      const Block& block = best_entry.block;
+      bool ok = true;
+      for (const Transaction& tx : block.transactions) {
+        try {
+          Receipt r = state_.apply_transaction(tx, block.header.number, block.header.miner);
+          receipts_[key(tx.hash())] = {std::move(r), block.header.number};
+        } catch (const std::invalid_argument&) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        head_hash_ = best_hash;
+        return;
+      }
+      // Partial application dirtied the state: blacklist and rebuild the
+      // previous canonical branch from scratch.
+      blocks_.at(key(best_hash)).invalid = true;
+      adopt_branch(head_hash_);
+      continue;
+    }
+    if (adopt_branch(best_hash)) return;
+    // adopt_branch blacklisted a block; retry with the next-best tip.
+  }
+}
+
+bool Blockchain::adopt_branch(const Bytes& tip_hash) {
+  // Collect the branch from tip back to genesis.
+  std::vector<const Block*> branch;
+  Bytes cursor = tip_hash;
+  while (true) {
+    const Entry& entry = blocks_.at(key(cursor));
+    branch.push_back(&entry.block);
+    if (entry.block.header.number == 0) break;
+    cursor = entry.block.header.parent_hash;
+  }
+
+  // Replay from genesis.
+  ChainState fresh;
+  for (const auto& [addr, amount] : genesis_.allocations) fresh.credit(addr, amount);
+  std::map<Key, std::pair<Receipt, std::uint64_t>> fresh_receipts;
+  for (auto it = branch.rbegin(); it != branch.rend(); ++it) {
+    const Block& block = **it;
+    if (block.header.number == 0) continue;
+    for (const Transaction& tx : block.transactions) {
+      try {
+        Receipt r = fresh.apply_transaction(tx, block.header.number, block.header.miner);
+        fresh_receipts[key(tx.hash())] = {std::move(r), block.header.number};
+      } catch (const std::invalid_argument&) {
+        blocks_.at(key(block.hash())).invalid = true;
+        return false;
+      }
+    }
+  }
+
+  state_ = std::move(fresh);
+  receipts_ = std::move(fresh_receipts);
+  head_hash_ = tip_hash;
+  return true;
+}
+
+std::optional<Receipt> Blockchain::find_receipt(const Bytes& tx_hash) const {
+  const auto it = receipts_.find(key(tx_hash));
+  if (it == receipts_.end()) return std::nullopt;
+  return it->second.first;
+}
+
+std::optional<std::uint64_t> Blockchain::confirmation_block(const Bytes& tx_hash) const {
+  const auto it = receipts_.find(key(tx_hash));
+  if (it == receipts_.end()) return std::nullopt;
+  return it->second.second;
+}
+
+const Block* Blockchain::block_by_hash(const Bytes& block_hash) const {
+  const auto it = blocks_.find(key(block_hash));
+  return it == blocks_.end() ? nullptr : &it->second.block;
+}
+
+std::vector<Bytes> Blockchain::canonical_chain() const {
+  std::vector<Bytes> out;
+  Bytes cursor = head_hash_;
+  while (true) {
+    out.push_back(cursor);
+    const Entry& entry = blocks_.at(key(cursor));
+    if (entry.block.header.number == 0) break;
+    cursor = entry.block.header.parent_hash;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Bytes block_to_bytes(const Block& block) {
+  Bytes out = block.header.to_bytes();
+  Bytes body;
+  append_u32_be(body, static_cast<std::uint32_t>(block.transactions.size()));
+  for (const Transaction& tx : block.transactions) append_frame(body, tx.to_bytes());
+  append_frame(out, body);
+  return out;
+}
+
+Block block_from_bytes(const Bytes& bytes) {
+  Block block;
+  std::size_t off = 0;
+  block.header.parent_hash = read_frame(bytes, off);
+  block.header.number = read_u64_be(bytes, off);
+  off += 8;
+  block.header.tx_root = read_frame(bytes, off);
+  block.header.timestamp = read_u64_be(bytes, off);
+  off += 8;
+  block.header.difficulty = read_u64_be(bytes, off);
+  off += 8;
+  block.header.nonce = read_u64_be(bytes, off);
+  off += 8;
+  block.header.miner = Address::from_bytes(read_frame(bytes, off));
+  const Bytes body = read_frame(bytes, off);
+  if (off != bytes.size()) throw std::invalid_argument("block_from_bytes: trailing data");
+  std::size_t body_off = 0;
+  const std::uint32_t count = read_u32_be(body, body_off);
+  body_off += 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    block.transactions.push_back(Transaction::from_bytes(read_frame(body, body_off)));
+  }
+  if (body_off != body.size()) throw std::invalid_argument("block_from_bytes: trailing body");
+  return block;
+}
+
+}  // namespace zl::chain

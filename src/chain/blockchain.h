@@ -1,0 +1,84 @@
+#pragma once
+// Block store with longest-(heaviest-)chain fork choice and full-replay
+// state derivation: the world state is always the result of replaying the
+// canonical branch from genesis, so every node that sees the same blocks
+// computes the same state — the "correct computation" property of the ideal
+// public ledger model (§III).
+
+#include <map>
+#include <optional>
+
+#include "chain/block.h"
+#include "chain/state.h"
+
+namespace zl::chain {
+
+struct GenesisConfig {
+  std::vector<std::pair<Address, std::uint64_t>> allocations;
+  std::uint64_t difficulty = 256;
+
+  Block build() const;
+};
+
+class Blockchain {
+ public:
+  explicit Blockchain(const GenesisConfig& genesis);
+
+  /// Add a block. Returns true iff the block is new, well-formed and its
+  /// parent is known. Fork choice runs automatically; an invalid body
+  /// (non-applying transaction) blacklists the block.
+  bool add_block(const Block& block);
+
+  bool knows(const Bytes& block_hash) const { return blocks_.contains(key(block_hash)); }
+
+  const Block& head() const;
+  std::uint64_t height() const { return head().header.number; }
+  const Bytes& head_hash() const { return head_hash_; }
+
+  /// State at the canonical head.
+  const ChainState& state() const { return state_; }
+
+  /// Receipt of a transaction on the canonical chain, if any.
+  std::optional<Receipt> find_receipt(const Bytes& tx_hash) const;
+
+  /// Block of a transaction on the canonical chain (confirmation depth =
+  /// height() - block number), if any.
+  std::optional<std::uint64_t> confirmation_block(const Bytes& tx_hash) const;
+
+  /// Hashes of the canonical chain, genesis first.
+  std::vector<Bytes> canonical_chain() const;
+
+  /// Stored block by hash (nullptr if unknown) — what a full node serves to
+  /// light clients requesting bodies/proofs.
+  const Block* block_by_hash(const Bytes& block_hash) const;
+
+  const GenesisConfig& genesis_config() const { return genesis_; }
+  std::uint64_t difficulty() const { return genesis_.difficulty; }
+
+ private:
+  using Key = std::string;  // hex hash as map key
+  static Key key(const Bytes& hash) { return to_hex(hash); }
+
+  struct Entry {
+    Block block;
+    std::uint64_t total_difficulty = 0;
+    bool invalid = false;
+  };
+
+  /// Re-derive state_ by replaying the branch ending at `tip_hash`.
+  /// Returns false (and blacklists the offending block) on invalid bodies.
+  bool adopt_branch(const Bytes& tip_hash);
+  void choose_best_tip();
+
+  GenesisConfig genesis_;
+  std::map<Key, Entry> blocks_;
+  Bytes head_hash_;
+  ChainState state_;
+  std::map<Key, std::pair<Receipt, std::uint64_t>> receipts_;  // tx hash -> (receipt, block no)
+};
+
+/// Consensus encoding of full blocks (for gossip).
+Bytes block_to_bytes(const Block& block);
+Block block_from_bytes(const Bytes& bytes);
+
+}  // namespace zl::chain

@@ -1,0 +1,27 @@
+#include "chain/datastore.h"
+
+namespace zl::chain {
+
+Bytes OffChainStore::put(const Bytes& content) {
+  const Bytes digest = Sha256::hash(content);
+  const auto [it, inserted] = blobs_.emplace(to_hex(digest), content);
+  if (inserted) total_bytes_ += content.size();
+  return digest;
+}
+
+std::optional<Bytes> OffChainStore::get(const Bytes& digest) const {
+  const auto it = blobs_.find(to_hex(digest));
+  if (it == blobs_.end()) return std::nullopt;
+  if (!verify(digest, it->second)) return std::nullopt;  // corrupted replica
+  return it->second;
+}
+
+bool OffChainStore::contains(const Bytes& digest) const {
+  return blobs_.contains(to_hex(digest));
+}
+
+bool OffChainStore::verify(const Bytes& digest, const Bytes& content) {
+  return ct_equal(Sha256::hash(content), digest);
+}
+
+}  // namespace zl::chain

@@ -1,0 +1,41 @@
+#pragma once
+// Content-addressed off-chain storage — the Swarm/IPFS-style substrate the
+// paper points to for data-intensive tasks (§VII open question 2, footnote
+// 13: "when a requester is publishing a data-intensive crowdsourcing task
+// (e.g. image labeling) ... it is not necessary for her to store all the
+// data in the chain").
+//
+// Contracts store only 32-byte SHA-256 digests; the blobs live in this
+// store. Readers verify content against the digest, so the store is
+// trustless: a malicious storage node can withhold data but never forge it.
+
+#include <map>
+#include <optional>
+
+#include "crypto/sha256.h"
+
+namespace zl::chain {
+
+class OffChainStore {
+ public:
+  /// Store a blob; returns its content address (SHA-256 digest).
+  Bytes put(const Bytes& content);
+
+  /// Fetch by digest; std::nullopt if unknown. The returned content always
+  /// hashes back to the digest (verified on the way out).
+  std::optional<Bytes> get(const Bytes& digest) const;
+
+  bool contains(const Bytes& digest) const;
+  std::size_t size() const { return blobs_.size(); }
+  std::size_t total_bytes() const { return total_bytes_; }
+
+  /// Verify a fetched blob against its claimed address (what every honest
+  /// client does after retrieval from an untrusted storage peer).
+  static bool verify(const Bytes& digest, const Bytes& content);
+
+ private:
+  std::map<std::string, Bytes> blobs_;  // hex digest -> content
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace zl::chain

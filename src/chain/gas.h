@@ -1,0 +1,57 @@
+#pragma once
+// Gas model. Costs follow Ethereum's fee schedule where the paper's system
+// touches it: intrinsic transaction cost, calldata bytes, storage, and the
+// SNARK-verification precompile priced per EIP-197's Byzantium pairing
+// check (the release the paper's implementation targets contemporaneously).
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace zl::chain {
+
+struct GasSchedule {
+  static constexpr std::uint64_t kTxBase = 21000;
+  static constexpr std::uint64_t kTxDataByte = 68;
+  static constexpr std::uint64_t kContractCreation = 32000;
+  static constexpr std::uint64_t kStorageWrite = 20000;
+  static constexpr std::uint64_t kStorageRead = 200;
+  static constexpr std::uint64_t kHashPerBlock = 60;
+  static constexpr std::uint64_t kTransfer = 9000;
+  static constexpr std::uint64_t kLinkCheck = 40;  // one tag equality
+  /// RSA-2048 verification ~ one modexp precompile call (EIP-198 ballpark).
+  static constexpr std::uint64_t kRsaVerify = 3000;
+  /// EIP-197 pairing precompile: 80'000 * k + 100'000 for a k-pairing check.
+  static constexpr std::uint64_t kPairingBase = 100000;
+  static constexpr std::uint64_t kPairingPerPoint = 80000;
+
+  static constexpr std::uint64_t snark_verify_cost(std::uint64_t pairings) {
+    return kPairingBase + kPairingPerPoint * pairings;
+  }
+};
+
+class OutOfGas : public std::runtime_error {
+ public:
+  OutOfGas() : std::runtime_error("out of gas") {}
+};
+
+class GasMeter {
+ public:
+  explicit GasMeter(std::uint64_t limit) : remaining_(limit), limit_(limit) {}
+
+  void charge(std::uint64_t amount) {
+    if (amount > remaining_) {
+      remaining_ = 0;
+      throw OutOfGas();
+    }
+    remaining_ -= amount;
+  }
+
+  std::uint64_t used() const { return limit_ - remaining_; }
+  std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  std::uint64_t remaining_;
+  std::uint64_t limit_;
+};
+
+}  // namespace zl::chain

@@ -1,0 +1,143 @@
+#include "chain/light_client.h"
+
+#include <stdexcept>
+
+namespace zl::chain {
+
+Bytes TxInclusionProof::to_bytes() const {
+  Bytes out;
+  append_frame(out, tx_hash);
+  append_u64_be(out, index);
+  append_u32_be(out, static_cast<std::uint32_t>(siblings.size()));
+  for (const Bytes& s : siblings) append_frame(out, s);
+  append_frame(out, block_hash);
+  return out;
+}
+
+TxInclusionProof TxInclusionProof::from_bytes(const Bytes& bytes) {
+  TxInclusionProof proof;
+  std::size_t off = 0;
+  proof.tx_hash = read_frame(bytes, off);
+  proof.index = read_u64_be(bytes, off);
+  off += 8;
+  const std::uint32_t count = read_u32_be(bytes, off);
+  off += 4;
+  for (std::uint32_t i = 0; i < count; ++i) proof.siblings.push_back(read_frame(bytes, off));
+  proof.block_hash = read_frame(bytes, off);
+  if (off != bytes.size()) throw std::invalid_argument("TxInclusionProof: trailing data");
+  return proof;
+}
+
+TxInclusionProof make_tx_inclusion_proof(const Block& block, std::size_t tx_index) {
+  if (tx_index >= block.transactions.size()) {
+    throw std::out_of_range("make_tx_inclusion_proof: index out of range");
+  }
+  TxInclusionProof proof;
+  proof.tx_hash = block.transactions[tx_index].hash();
+  proof.index = tx_index;
+  proof.block_hash = block.hash();
+
+  std::vector<Bytes> layer;
+  for (const Transaction& tx : block.transactions) layer.push_back(tx.hash());
+  std::size_t index = tx_index;
+  while (layer.size() > 1) {
+    const std::size_t sibling = (index % 2 == 0) ? std::min(index + 1, layer.size() - 1) : index - 1;
+    proof.siblings.push_back(layer[sibling]);
+    std::vector<Bytes> next;
+    for (std::size_t i = 0; i < layer.size(); i += 2) {
+      const Bytes& left = layer[i];
+      const Bytes& right = (i + 1 < layer.size()) ? layer[i + 1] : layer[i];
+      next.push_back(keccak256(concat({left, right})));
+    }
+    layer = std::move(next);
+    index /= 2;
+  }
+  return proof;
+}
+
+Bytes tx_root_from_proof(const TxInclusionProof& proof) {
+  Bytes cur = proof.tx_hash;
+  std::size_t index = proof.index;
+  for (const Bytes& sibling : proof.siblings) {
+    cur = (index % 2 == 0) ? keccak256(concat({cur, sibling}))
+                           : keccak256(concat({sibling, cur}));
+    index /= 2;
+  }
+  return cur;
+}
+
+LightClient::LightClient(const Bytes& genesis_hash, std::uint64_t difficulty)
+    : difficulty_(difficulty), genesis_hash_(genesis_hash), head_hash_(genesis_hash) {
+  Entry genesis;
+  genesis.header.number = 0;
+  genesis.total_difficulty = 0;
+  headers_[to_hex(genesis_hash)] = genesis;
+}
+
+std::uint64_t LightClient::height() const { return headers_.at(to_hex(head_hash_)).header.number; }
+
+bool LightClient::add_header(const BlockHeader& header) {
+  const Bytes hash = header.hash();
+  if (headers_.contains(to_hex(hash))) return false;
+  if (header.difficulty != difficulty_ || !proof_of_work_valid(header)) return false;
+
+  const auto parent = headers_.find(to_hex(header.parent_hash));
+  if (parent == headers_.end()) {
+    orphans_[to_hex(header.parent_hash)].push_back(header);
+    return false;
+  }
+  if (header.number != parent->second.header.number + 1) return false;
+
+  Entry entry;
+  entry.header = header;
+  entry.total_difficulty = parent->second.total_difficulty + header.difficulty;
+  headers_[to_hex(hash)] = entry;
+  choose_head();
+
+  // Reconnect waiting children.
+  const auto it = orphans_.find(to_hex(hash));
+  if (it != orphans_.end()) {
+    const std::vector<BlockHeader> children = std::move(it->second);
+    orphans_.erase(it);
+    for (const BlockHeader& child : children) add_header(child);
+  }
+  return true;
+}
+
+void LightClient::choose_head() {
+  const Entry* best = nullptr;
+  Bytes best_hash;
+  for (const auto& [hex, entry] : headers_) {
+    const Bytes h = hex == to_hex(genesis_hash_) ? genesis_hash_ : entry.header.hash();
+    if (best == nullptr || entry.total_difficulty > best->total_difficulty ||
+        (entry.total_difficulty == best->total_difficulty && to_hex(h) < to_hex(best_hash))) {
+      best = &entry;
+      best_hash = h;
+    }
+  }
+  head_hash_ = best_hash;
+}
+
+std::optional<std::uint64_t> LightClient::confirmations(const Bytes& block_hash) const {
+  // Walk the canonical chain from the head down to genesis.
+  Bytes cursor = head_hash_;
+  std::uint64_t depth = 0;
+  while (true) {
+    if (cursor == block_hash) return depth;
+    const auto it = headers_.find(to_hex(cursor));
+    if (it == headers_.end() || it->second.header.number == 0) return std::nullopt;
+    cursor = it->second.header.parent_hash;
+    ++depth;
+  }
+}
+
+bool LightClient::verify_inclusion(const TxInclusionProof& proof,
+                                   std::uint64_t min_confirmations) const {
+  const auto it = headers_.find(to_hex(proof.block_hash));
+  if (it == headers_.end()) return false;
+  const auto depth = confirmations(proof.block_hash);
+  if (!depth.has_value() || *depth + 1 < min_confirmations) return false;
+  return tx_root_from_proof(proof) == it->second.header.tx_root;
+}
+
+}  // namespace zl::chain

@@ -1,0 +1,194 @@
+#include "chain/network.h"
+
+#include <algorithm>
+
+namespace zl::chain {
+
+SimNetwork::SimNetwork(const Config& config) : config_(config), rng_(config.seed) {}
+
+int SimNetwork::add_node(Node* node) {
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void SimNetwork::broadcast(int from, MessageKind kind, const Bytes& payload,
+                           std::uint64_t extra_delay_ms) {
+  if (kind == MessageKind::kTransaction && tx_delay_policy_) {
+    extra_delay_ms += tx_delay_policy_(Transaction::from_bytes(payload));
+  }
+  for (int dst = 0; dst < static_cast<int>(nodes_.size()); ++dst) {
+    if (dst == from) continue;
+    const std::uint64_t latency =
+        config_.base_latency_ms + (config_.jitter_ms ? rng_.uniform(config_.jitter_ms) : 0);
+    queue_.push_back(Event{now_ + latency + extra_delay_ms, seq_++, dst, kind, payload});
+    std::push_heap(queue_.begin(), queue_.end(), std::greater<>());
+  }
+}
+
+void SimNetwork::step_to(std::uint64_t target_time) {
+  while (now_ < target_time) {
+    ++now_;
+    // Deliver everything due at this instant.
+    while (!queue_.empty() && queue_.front().time <= now_) {
+      std::pop_heap(queue_.begin(), queue_.end(), std::greater<>());
+      const Event ev = std::move(queue_.back());
+      queue_.pop_back();
+      nodes_[static_cast<std::size_t>(ev.dst)]->on_message(ev.kind, ev.payload);
+      ++delivered_;
+    }
+    for (Node* node : nodes_) node->tick(now_);
+  }
+}
+
+void SimNetwork::run_for(std::uint64_t ms) { step_to(now_ + ms); }
+
+bool SimNetwork::run_until_height(std::uint64_t height, std::uint64_t deadline_ms) {
+  const std::uint64_t deadline = now_ + deadline_ms;
+  while (now_ < deadline) {
+    step_to(now_ + 1);
+    for (const Node* node : nodes_) {
+      if (node->chain().height() >= height) return true;
+    }
+  }
+  return false;
+}
+
+Node::Node(SimNetwork& network, const GenesisConfig& genesis)
+    : network_(network), chain_(genesis) {
+  id_ = network.add_node(this);
+}
+
+void Node::submit_transaction(const Transaction& tx) { accept_transaction(tx, true); }
+
+void Node::accept_transaction(const Transaction& tx, bool rebroadcast) {
+  const std::string h = to_hex(tx.hash());
+  if (seen_.contains(h)) return;
+  seen_[h] = true;
+  if (!tx.verify_signature()) return;
+  if (!known_tx_hashes_.contains(h)) {
+    known_tx_hashes_[h] = true;
+    known_txs_.push_back(tx);
+  }
+  mempool_.push_back(tx);
+  if (rebroadcast) network_.broadcast(id_, MessageKind::kTransaction, tx.to_bytes());
+}
+
+void Node::refresh_mempool() {
+  mempool_.clear();
+  for (const Transaction& tx : known_txs_) {
+    if (!chain_.find_receipt(tx.hash()).has_value()) mempool_.push_back(tx);
+  }
+}
+
+void Node::accept_block(const Block& block, bool rebroadcast) {
+  const std::string h = to_hex(block.hash());
+  if (seen_.contains(h)) return;
+  seen_[h] = true;
+  // Transactions arriving via blocks count as known too (a reorg may later
+  // evict them and they must return to the mempool).
+  for (const Transaction& tx : block.transactions) {
+    const std::string th = to_hex(tx.hash());
+    if (!known_tx_hashes_.contains(th) && tx.verify_signature()) {
+      known_tx_hashes_[th] = true;
+      known_txs_.push_back(tx);
+    }
+  }
+  // Parent not here yet (gossip reordering): park the block until it is.
+  if (!chain_.knows(block.header.parent_hash)) {
+    orphans_[to_hex(block.header.parent_hash)].push_back(block);
+    return;
+  }
+  if (!chain_.add_block(block)) return;
+  refresh_mempool();
+  if (rebroadcast) network_.broadcast(id_, MessageKind::kBlock, block_to_bytes(block));
+
+  // Connect any orphans waiting on this block (and, transitively, theirs).
+  std::vector<Bytes> connected = {block.hash()};
+  while (!connected.empty()) {
+    const Bytes parent = connected.back();
+    connected.pop_back();
+    const auto it = orphans_.find(to_hex(parent));
+    if (it == orphans_.end()) continue;
+    const std::vector<Block> children = std::move(it->second);
+    orphans_.erase(it);
+    for (const Block& child : children) {
+      if (chain_.add_block(child)) {
+        refresh_mempool();
+        if (rebroadcast) network_.broadcast(id_, MessageKind::kBlock, block_to_bytes(child));
+        connected.push_back(child.hash());
+      }
+    }
+  }
+}
+
+void Node::on_message(MessageKind kind, const Bytes& payload) {
+  try {
+    switch (kind) {
+      case MessageKind::kTransaction:
+        accept_transaction(Transaction::from_bytes(payload), true);
+        break;
+      case MessageKind::kBlock:
+        accept_block(block_from_bytes(payload), true);
+        break;
+    }
+  } catch (const std::exception&) {
+    // Malformed gossip is dropped.
+  }
+}
+
+MinerNode::MinerNode(SimNetwork& network, const GenesisConfig& genesis, const Address& coinbase,
+                     unsigned hashes_per_ms)
+    : Node(network, genesis), coinbase_(coinbase), hashes_per_ms_(hashes_per_ms) {}
+
+void MinerNode::rebuild_template(std::uint64_t now) {
+  template_ = Block{};
+  template_.header.parent_hash = chain_.head_hash();
+  template_.header.number = chain_.height() + 1;
+  template_.header.timestamp = now;
+  template_.header.difficulty = chain_.difficulty();
+  template_.header.miner = coinbase_;
+
+  // Select mempool transactions that can apply on top of the head state:
+  // correct nonce sequencing per sender and a conservative funds bound.
+  const ChainState& state = chain_.state();
+  std::map<std::string, std::uint64_t> next_nonce;   // address hex -> nonce
+  std::map<std::string, std::uint64_t> spend_bound;  // address hex -> committed upper bound
+  for (const Transaction& tx : mempool_) {
+    const std::string sender = tx.from.to_hex();
+    if (!next_nonce.contains(sender)) {
+      next_nonce[sender] = state.nonce_of(tx.from);
+      spend_bound[sender] = 0;
+    }
+    if (tx.nonce != next_nonce[sender]) continue;
+    if (tx.gas_limit < tx.intrinsic_gas()) continue;
+    const std::uint64_t cost = tx.gas_limit + tx.value;
+    if (spend_bound[sender] + cost > state.balance_of(tx.from)) continue;
+    next_nonce[sender] += 1;
+    spend_bound[sender] += cost;
+    template_.transactions.push_back(tx);
+  }
+  template_.header.tx_root = Block::compute_tx_root(template_.transactions);
+  template_parent_ = template_.header.parent_hash;
+  template_txs_ = template_.transactions.size();
+  next_nonce_ = 0;
+}
+
+void MinerNode::tick(std::uint64_t now) {
+  if (!enabled_) return;
+  if (template_parent_ != chain_.head_hash() || template_txs_ != mempool_.size() ||
+      template_parent_.empty()) {
+    rebuild_template(now);
+  }
+  for (unsigned i = 0; i < hashes_per_ms_; ++i) {
+    template_.header.nonce = next_nonce_++;
+    if (proof_of_work_valid(template_.header)) {
+      const Block mined = template_;
+      ++blocks_mined_;
+      accept_block(mined, true);
+      rebuild_template(now);
+      return;
+    }
+  }
+}
+
+}  // namespace zl::chain

@@ -1,0 +1,146 @@
+#pragma once
+// Deterministic event-driven P2P simulator — the stand-in for the paper's
+// physical 4-PC Ethereum test net (DESIGN.md substitution T5).
+//
+// Nodes exchange transactions and blocks through a latency-modelled gossip
+// fabric. A pluggable transaction-delay policy models the network adversary
+// of §III who "can reorder transactions that are broadcasted to the network
+// but not yet written into a block" (used by the free-riding attack tests).
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "chain/blockchain.h"
+
+namespace zl::chain {
+
+class Node;
+
+enum class MessageKind : std::uint8_t { kTransaction = 0, kBlock = 1 };
+
+class SimNetwork {
+ public:
+  struct Config {
+    std::uint64_t base_latency_ms = 20;
+    std::uint64_t jitter_ms = 10;
+    std::uint64_t seed = 1;
+  };
+
+  explicit SimNetwork(const Config& config);
+
+  /// Register a node; the network does not own it.
+  int add_node(Node* node);
+
+  /// Gossip `payload` from `from` to every other node with per-link latency.
+  /// `extra_delay_ms` is added on top (used by the reordering adversary).
+  void broadcast(int from, MessageKind kind, const Bytes& payload,
+                 std::uint64_t extra_delay_ms = 0);
+
+  /// Adversary hook: extra delay applied to each transaction broadcast.
+  void set_tx_delay_policy(std::function<std::uint64_t(const Transaction&)> policy) {
+    tx_delay_policy_ = std::move(policy);
+  }
+
+  /// Advance simulated time, delivering messages and ticking miners.
+  void run_for(std::uint64_t ms);
+
+  /// Run until some node's chain reaches `height` (or the deadline passes).
+  /// Returns true if the height was reached.
+  bool run_until_height(std::uint64_t height, std::uint64_t deadline_ms);
+
+  std::uint64_t now() const { return now_; }
+  std::size_t messages_delivered() const { return delivered_; }
+
+ private:
+  struct Event {
+    std::uint64_t time;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    int dst;
+    MessageKind kind;
+    Bytes payload;
+    bool operator>(const Event& other) const {
+      return std::tie(time, seq) > std::tie(other.time, other.seq);
+    }
+  };
+
+  void step_to(std::uint64_t target_time);
+
+  Config config_;
+  Rng rng_;
+  std::vector<Node*> nodes_;
+  std::vector<Event> queue_;  // heap (std::push_heap with operator>)
+  std::uint64_t now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t delivered_ = 0;
+  std::function<std::uint64_t(const Transaction&)> tx_delay_policy_;
+};
+
+/// A full node: validates and gossips transactions and blocks, maintains
+/// its own replica of the chain.
+class Node {
+ public:
+  Node(SimNetwork& network, const GenesisConfig& genesis);
+  virtual ~Node() = default;
+
+  /// Inject a transaction at this node (a client submitting via its peer).
+  void submit_transaction(const Transaction& tx);
+
+  virtual void on_message(MessageKind kind, const Bytes& payload);
+
+  /// Called by the network at every simulated millisecond.
+  virtual void tick(std::uint64_t /*now*/) {}
+
+  Blockchain& chain() { return chain_; }
+  const Blockchain& chain() const { return chain_; }
+  int id() const { return id_; }
+
+ protected:
+  void accept_transaction(const Transaction& tx, bool rebroadcast);
+  void accept_block(const Block& block, bool rebroadcast);
+
+  /// Rebuild the mempool as: every known transaction not included on the
+  /// canonical chain, in first-seen order. Keeps transactions from orphaned
+  /// blocks alive across reorgs.
+  void refresh_mempool();
+
+  SimNetwork& network_;
+  Blockchain chain_;
+  int id_;
+  std::deque<Transaction> mempool_;
+  std::map<std::string, bool> seen_;                    // tx/block hash (hex) -> seen
+  std::vector<Transaction> known_txs_;                  // first-seen order
+  std::map<std::string, bool> known_tx_hashes_;
+  // Blocks that arrived before their parent, keyed by parent hash (hex);
+  // reconnected as soon as the parent is adopted into the store.
+  std::map<std::string, std::vector<Block>> orphans_;
+};
+
+/// A mining node: assembles candidate blocks from its mempool and grinds
+/// PoW nonces at `hashes_per_ms`.
+class MinerNode : public Node {
+ public:
+  MinerNode(SimNetwork& network, const GenesisConfig& genesis, const Address& coinbase,
+            unsigned hashes_per_ms = 16);
+
+  void tick(std::uint64_t now) override;
+
+  std::size_t blocks_mined() const { return blocks_mined_; }
+
+  /// Pause/resume mining (lets tests and experiments quiesce the network).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+ private:
+  void rebuild_template(std::uint64_t now);
+
+  Address coinbase_;
+  unsigned hashes_per_ms_;
+  bool enabled_ = true;
+  Block template_;
+  Bytes template_parent_;
+  std::size_t template_txs_ = 0;
+  std::uint64_t next_nonce_ = 0;
+  std::size_t blocks_mined_ = 0;
+};
+
+}  // namespace zl::chain

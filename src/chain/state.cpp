@@ -1,0 +1,154 @@
+#include "chain/state.h"
+
+#include <unordered_map>
+
+#include "crypto/keccak.h"
+
+namespace zl::chain {
+
+ContractFactory& ContractFactory::instance() {
+  static ContractFactory factory;
+  return factory;
+}
+
+void ContractFactory::register_type(const std::string& name, Maker maker) {
+  makers_[name] = std::move(maker);
+}
+
+std::unique_ptr<Contract> ContractFactory::create(const std::string& name) const {
+  const auto it = makers_.find(name);
+  if (it == makers_.end()) throw std::invalid_argument("ContractFactory: unknown type " + name);
+  return it->second();
+}
+
+bool ContractFactory::knows(const std::string& name) const { return makers_.contains(name); }
+
+bool CallContext::snark_verify(const snark::VerifyingKey& vk, const std::vector<Fr>& statement,
+                               const snark::Proof& proof) const {
+  charge(GasSchedule::snark_verify_cost(4));
+  static std::unordered_map<std::string, bool> cache;
+  Bytes key_bytes = vk.to_bytes();
+  for (const Fr& s : statement) {
+    const Bytes b = s.to_bytes();
+    key_bytes.insert(key_bytes.end(), b.begin(), b.end());
+  }
+  const Bytes pb = proof.to_bytes();
+  key_bytes.insert(key_bytes.end(), pb.begin(), pb.end());
+  const std::string key = to_hex(keccak256(key_bytes));
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const bool ok = snark::verify(vk, statement, proof);
+  cache.emplace(key, ok);
+  return ok;
+}
+
+void CallContext::call_contract(const Address& callee, const std::string& method,
+                                const Bytes& args) const {
+  charge(GasSchedule::kStorageRead);
+  Contract* target = state->mutable_contract_at(callee);
+  if (target == nullptr) throw ContractRevert("call to non-contract address");
+  CallContext child{callee, self, 0, block_number, gas, state, logs};
+  target->invoke(child, method, args);
+}
+
+bool CallContext::transfer(const Address& to, std::uint64_t amount) const {
+  charge(GasSchedule::kTransfer);
+  return state->move_balance(self, to, amount);
+}
+
+std::uint64_t CallContext::self_balance() const { return state->balance_of(self); }
+
+std::uint64_t ChainState::balance_of(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  return it == accounts_.end() ? 0 : it->second.balance;
+}
+
+std::uint64_t ChainState::nonce_of(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  return it == accounts_.end() ? 0 : it->second.nonce;
+}
+
+const Contract* ChainState::contract_at(const Address& addr) const {
+  const auto it = contracts_.find(addr);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+Contract* ChainState::mutable_contract_at(const Address& addr) {
+  const auto it = contracts_.find(addr);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+bool ChainState::move_balance(const Address& from, const Address& to, std::uint64_t amount) {
+  Account& src = accounts_[from];
+  if (src.balance < amount) return false;
+  src.balance -= amount;
+  accounts_[to].balance += amount;
+  return true;
+}
+
+Receipt ChainState::apply_transaction(const Transaction& tx, std::uint64_t block_number,
+                                      const Address& miner) {
+  if (!tx.verify_signature()) throw std::invalid_argument("tx: bad signature");
+  Account& sender = accounts_[tx.from];
+  if (tx.nonce != sender.nonce) throw std::invalid_argument("tx: bad nonce");
+  // Gas price is fixed at 1 wei/gas in this simulation.
+  if (sender.balance < tx.gas_limit + tx.value) {
+    throw std::invalid_argument("tx: insufficient funds for gas + value");
+  }
+  if (tx.gas_limit < tx.intrinsic_gas()) throw std::invalid_argument("tx: gas below intrinsic");
+
+  sender.nonce += 1;
+  sender.balance -= tx.gas_limit;  // buy gas upfront
+  GasMeter gas(tx.gas_limit);
+
+  Receipt receipt;
+  // On revert we roll back the transaction's direct value transfer.
+  // Contract-internal mutations follow the checks-effects discipline
+  // documented in contract.h, so a reverting call has made none.
+  Address value_recipient;
+  std::uint64_t value_moved = 0;
+  try {
+    gas.charge(tx.intrinsic_gas());
+    if (tx.is_contract_creation()) {
+      const Address contract_addr = Address::for_contract(tx.from, tx.nonce);
+      if (contracts_.contains(contract_addr)) throw ContractRevert("address collision");
+      std::unique_ptr<Contract> contract = ContractFactory::instance().create(tx.method);
+      // Fund the new contract with the attached value, then run its ctor.
+      if (!move_balance(tx.from, contract_addr, tx.value)) throw ContractRevert("value");
+      value_recipient = contract_addr;
+      value_moved = tx.value;
+      CallContext ctx{contract_addr, tx.from, tx.value, block_number, &gas, this, &receipt.logs};
+      contract->on_deploy(ctx, tx.payload);
+      contracts_[contract_addr] = std::move(contract);
+      receipt.created_contract = contract_addr;
+    } else if (const auto it = contracts_.find(tx.to); it != contracts_.end()) {
+      if (!move_balance(tx.from, tx.to, tx.value)) throw ContractRevert("value");
+      value_recipient = tx.to;
+      value_moved = tx.value;
+      CallContext ctx{tx.to, tx.from, tx.value, block_number, &gas, this, &receipt.logs};
+      it->second->invoke(ctx, tx.method, tx.payload);
+    } else {
+      // Plain value transfer.
+      if (!move_balance(tx.from, tx.to, tx.value)) throw ContractRevert("value");
+    }
+    receipt.success = true;
+  } catch (const ContractRevert& e) {
+    receipt.error = e.what();
+  } catch (const OutOfGas&) {
+    receipt.error = "out of gas";
+  } catch (const std::invalid_argument& e) {
+    // Deterministic execution fault inside a contract (e.g. malformed args).
+    receipt.error = std::string("fault: ") + e.what();
+  }
+  if (!receipt.success && value_moved > 0) {
+    move_balance(value_recipient, tx.from, value_moved);
+  }
+
+  receipt.gas_used = gas.used();
+  // Refund unused gas; fee to miner.
+  accounts_[tx.from].balance += gas.remaining();
+  accounts_[miner].balance += receipt.gas_used;
+  return receipt;
+}
+
+}  // namespace zl::chain

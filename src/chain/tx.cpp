@@ -1,0 +1,81 @@
+#include "chain/tx.h"
+
+#include "chain/gas.h"
+
+namespace zl::chain {
+
+Bytes Transaction::signing_bytes() const {
+  Bytes out;
+  append_frame(out, from.to_bytes());
+  append_frame(out, to.to_bytes());
+  append_u64_be(out, value);
+  append_u64_be(out, nonce);
+  append_u64_be(out, gas_limit);
+  append_frame(out, zl::to_bytes(method));
+  append_frame(out, payload);
+  return out;
+}
+
+Bytes Transaction::to_bytes() const {
+  Bytes out = signing_bytes();
+  append_frame(out, pubkey);
+  append_frame(out, signature);
+  return out;
+}
+
+Transaction Transaction::from_bytes(const Bytes& bytes) {
+  Transaction tx;
+  std::size_t off = 0;
+  tx.from = Address::from_bytes(read_frame(bytes, off));
+  tx.to = Address::from_bytes(read_frame(bytes, off));
+  tx.value = read_u64_be(bytes, off);
+  off += 8;
+  tx.nonce = read_u64_be(bytes, off);
+  off += 8;
+  tx.gas_limit = read_u64_be(bytes, off);
+  off += 8;
+  const Bytes method = read_frame(bytes, off);
+  tx.method = std::string(method.begin(), method.end());
+  tx.payload = read_frame(bytes, off);
+  tx.pubkey = read_frame(bytes, off);
+  tx.signature = read_frame(bytes, off);
+  if (off != bytes.size()) throw std::invalid_argument("Transaction::from_bytes: trailing data");
+  return tx;
+}
+
+Bytes Transaction::hash() const { return keccak256(to_bytes()); }
+
+bool Transaction::verify_signature() const {
+  if (pubkey.size() != 65 || signature.size() != 64) return false;
+  try {
+    if (Address::from_bytes(ecdsa_address(pubkey)) != from) return false;
+    return ecdsa_verify(pubkey, signing_bytes(), EcdsaSignature::from_bytes(signature));
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+std::uint64_t Transaction::intrinsic_gas() const {
+  std::uint64_t gas = GasSchedule::kTxBase;
+  gas += GasSchedule::kTxDataByte * (payload.size() + method.size());
+  if (is_contract_creation()) gas += GasSchedule::kContractCreation;
+  return gas;
+}
+
+Transaction Wallet::make_transaction(const Address& to, std::uint64_t value,
+                                     std::uint64_t gas_limit, const std::string& method,
+                                     const Bytes& payload) {
+  Transaction tx;
+  tx.from = address();
+  tx.to = to;
+  tx.value = value;
+  tx.nonce = nonce_++;
+  tx.gas_limit = gas_limit;
+  tx.method = method;
+  tx.payload = payload;
+  tx.pubkey = key_.public_key_bytes();
+  tx.signature = key_.sign(tx.signing_bytes(), rng_).to_bytes();
+  return tx;
+}
+
+}  // namespace zl::chain

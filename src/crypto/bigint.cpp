@@ -1,0 +1,113 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace zl {
+
+BigInt bigint_from_bytes(const Bytes& bytes) {
+  BigInt v = 0;
+  for (const std::uint8_t b : bytes) {
+    v <<= 8;
+    v += b;
+  }
+  return v;
+}
+
+Bytes bigint_to_bytes(const BigInt& v) {
+  if (v < 0) throw std::invalid_argument("bigint_to_bytes: negative value");
+  Bytes out;
+  BigInt t = v;
+  while (t > 0) {
+    out.push_back(static_cast<std::uint8_t>(mpz_class(t & 0xff).get_ui()));
+    t >>= 8;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Bytes bigint_to_bytes(const BigInt& v, std::size_t len) {
+  Bytes minimal = bigint_to_bytes(v);
+  if (minimal.size() > len) throw std::invalid_argument("bigint_to_bytes: value too large");
+  Bytes out(len - minimal.size(), 0x00);
+  out.insert(out.end(), minimal.begin(), minimal.end());
+  return out;
+}
+
+BigInt bigint_from_decimal(const std::string& s) { return BigInt(s, 10); }
+BigInt bigint_from_hex(const std::string& s) { return BigInt(s, 16); }
+
+BigInt mod_pow(const BigInt& v, const BigInt& e, const BigInt& m) {
+  if (m <= 0) throw std::domain_error("mod_pow: modulus must be positive");
+  BigInt out;
+  mpz_powm(out.get_mpz_t(), v.get_mpz_t(), e.get_mpz_t(), m.get_mpz_t());
+  return out;
+}
+
+BigInt mod_inverse(const BigInt& v, const BigInt& m) {
+  BigInt out;
+  if (mpz_invert(out.get_mpz_t(), v.get_mpz_t(), m.get_mpz_t()) == 0) {
+    throw std::domain_error("mod_inverse: not invertible");
+  }
+  return out;
+}
+
+BigInt random_below(Rng& rng, const BigInt& bound) {
+  if (bound <= 0) throw std::invalid_argument("random_below: bound must be positive");
+  const std::size_t bits = mpz_sizeinbase(bound.get_mpz_t(), 2);
+  const std::size_t bytes = (bits + 7) / 8;
+  for (;;) {
+    Bytes buf = rng.bytes(bytes);
+    // Mask excess high bits so the rejection rate stays below 1/2.
+    const unsigned excess = static_cast<unsigned>(8 * bytes - bits);
+    if (excess > 0) buf[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    BigInt v = bigint_from_bytes(buf);
+    if (v < bound) return v;
+  }
+}
+
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds) {
+  if (n < 2) return false;
+  for (const int p : {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // Write n-1 = d * 2^s with d odd.
+  BigInt d = n - 1;
+  unsigned long s = 0;
+  while (mpz_even_p(d.get_mpz_t())) {
+    d >>= 1;
+    ++s;
+  }
+  for (int i = 0; i < rounds; ++i) {
+    const BigInt a = 2 + random_below(rng, n - 4);
+    BigInt x = mod_pow(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (unsigned long r = 1; r < s; ++r) {
+      x = (x * x) % n;
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt random_prime(Rng& rng, int bits) {
+  if (bits < 8) throw std::invalid_argument("random_prime: too few bits");
+  for (;;) {
+    Bytes buf = rng.bytes(static_cast<std::size_t>((bits + 7) / 8));
+    BigInt candidate = bigint_from_bytes(buf);
+    // Clamp to exactly `bits` bits with the two top bits set, and make odd.
+    candidate %= (BigInt(1) << bits);
+    mpz_setbit(candidate.get_mpz_t(), static_cast<mp_bitcnt_t>(bits - 1));
+    mpz_setbit(candidate.get_mpz_t(), static_cast<mp_bitcnt_t>(bits - 2));
+    mpz_setbit(candidate.get_mpz_t(), 0);
+    if (is_probable_prime(candidate, rng, 28)) return candidate;
+  }
+}
+
+}  // namespace zl

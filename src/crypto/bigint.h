@@ -1,0 +1,49 @@
+#pragma once
+// Arbitrary-precision integers for the RSA subsystem.
+//
+// GMP supplies limb arithmetic only (the way libsnark uses it); all
+// number-theoretic algorithms the system needs beyond that — Miller–Rabin
+// primality, RSA prime generation, byte-string codecs — are implemented here.
+
+#include <gmpxx.h>
+
+#include <string>
+
+#include "crypto/bytes.h"
+#include "crypto/rng.h"
+
+namespace zl {
+
+using BigInt = mpz_class;
+
+/// Decode a big-endian byte string as a non-negative integer.
+BigInt bigint_from_bytes(const Bytes& bytes);
+
+/// Encode as big-endian, left-padded with zeros to exactly `len` bytes.
+/// Throws std::invalid_argument if the value does not fit.
+Bytes bigint_to_bytes(const BigInt& v, std::size_t len);
+
+/// Minimal-length big-endian encoding (empty for zero).
+Bytes bigint_to_bytes(const BigInt& v);
+
+BigInt bigint_from_decimal(const std::string& s);
+BigInt bigint_from_hex(const std::string& s);
+
+/// v^e mod m (m > 0).
+BigInt mod_pow(const BigInt& v, const BigInt& e, const BigInt& m);
+
+/// Modular inverse; throws std::domain_error if gcd(v, m) != 1.
+BigInt mod_inverse(const BigInt& v, const BigInt& m);
+
+/// Uniform integer in [0, bound) using rejection sampling over `rng`.
+BigInt random_below(Rng& rng, const BigInt& bound);
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+/// Error probability <= 4^-rounds for odd composites.
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 40);
+
+/// Generate a random prime with exactly `bits` bits (top two bits set so that
+/// products of two such primes have exactly 2*bits bits, as RSA requires).
+BigInt random_prime(Rng& rng, int bits);
+
+}  // namespace zl

@@ -1,0 +1,102 @@
+#include "crypto/bytes.h"
+
+#include <stdexcept>
+
+namespace zl {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: invalid hex character");
+}
+}  // namespace
+
+std::string to_hex(const Bytes& data) { return to_hex(data.data(), data.size()); }
+
+std::string to_hex(const std::uint8_t* data, std::size_t len) {
+  std::string out;
+  out.reserve(2 * len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.size() % 2 != 0) throw std::invalid_argument("from_hex: odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((hex_nibble(hex[i]) << 4) | hex_nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+Bytes concat(std::initializer_list<Bytes> parts) {
+  Bytes out;
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+void append_u32_be(Bytes& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void append_u64_be(Bytes& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+std::uint32_t read_u32_be(const Bytes& in, std::size_t offset) {
+  if (offset + 4 > in.size()) throw std::out_of_range("read_u32_be: truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | in[offset + i];
+  return v;
+}
+
+std::uint64_t read_u64_be(const Bytes& in, std::size_t offset) {
+  if (offset + 8 > in.size()) throw std::out_of_range("read_u64_be: truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | in[offset + i];
+  return v;
+}
+
+void append_frame(Bytes& out, const Bytes& part) {
+  append_u32_be(out, static_cast<std::uint32_t>(part.size()));
+  out.insert(out.end(), part.begin(), part.end());
+}
+
+Bytes read_frame(const Bytes& in, std::size_t& offset) {
+  const std::uint32_t len = read_u32_be(in, offset);
+  offset += 4;
+  if (offset + len > in.size()) throw std::out_of_range("read_frame: truncated");
+  Bytes part(in.begin() + static_cast<std::ptrdiff_t>(offset),
+             in.begin() + static_cast<std::ptrdiff_t>(offset + len));
+  offset += len;
+  return part;
+}
+
+bool ct_equal(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+}  // namespace zl

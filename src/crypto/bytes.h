@@ -1,0 +1,49 @@
+#pragma once
+// Byte-string utilities shared by every layer of the system.
+//
+// All wire formats in this repository (transactions, blocks, ciphertexts,
+// attestations) are defined over `Bytes`, a plain contiguous byte vector.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zl {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Hex-encode `data` (lowercase, no 0x prefix).
+std::string to_hex(const Bytes& data);
+
+/// Hex-encode an arbitrary buffer.
+std::string to_hex(const std::uint8_t* data, std::size_t len);
+
+/// Decode a hex string (with or without 0x prefix). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Interpret a UTF-8/ASCII string as bytes.
+Bytes to_bytes(std::string_view s);
+
+/// Concatenate any number of byte strings.
+Bytes concat(std::initializer_list<Bytes> parts);
+
+/// Append big-endian fixed-width integers (used by canonical serialization).
+void append_u32_be(Bytes& out, std::uint32_t v);
+void append_u64_be(Bytes& out, std::uint64_t v);
+
+/// Read big-endian integers back. Throws std::out_of_range if truncated.
+std::uint32_t read_u32_be(const Bytes& in, std::size_t offset);
+std::uint64_t read_u64_be(const Bytes& in, std::size_t offset);
+
+/// Append a length-prefixed (u32) byte string; the inverse returns the string
+/// and advances `offset`. This is the canonical TLV-free framing used by all
+/// serialized structures in the repo.
+void append_frame(Bytes& out, const Bytes& part);
+Bytes read_frame(const Bytes& in, std::size_t& offset);
+
+/// Constant-time equality (for MAC/tag comparison).
+bool ct_equal(const Bytes& a, const Bytes& b);
+
+}  // namespace zl

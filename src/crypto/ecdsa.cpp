@@ -1,0 +1,99 @@
+#include "crypto/ecdsa.h"
+
+#include <stdexcept>
+
+namespace zl {
+
+namespace {
+
+const BigInt& curve_order() { return SecpPoint::order(); }
+
+SecpPoint point_from_bytes(const Bytes& b) {
+  if (b.size() != 65 || b[0] != 0x04) {
+    throw std::invalid_argument("ecdsa: bad public key encoding");
+  }
+  return SecpPoint::from_affine(
+      SecpFp::from_bytes(Bytes(b.begin() + 1, b.begin() + 33)),
+      SecpFp::from_bytes(Bytes(b.begin() + 33, b.end())));
+}
+
+BigInt hash_to_scalar(const Bytes& message) {
+  return bigint_from_bytes(keccak256(message)) % curve_order();
+}
+
+}  // namespace
+
+Bytes EcdsaSignature::to_bytes() const {
+  return concat({bigint_to_bytes(r, 32), bigint_to_bytes(s, 32)});
+}
+
+EcdsaSignature EcdsaSignature::from_bytes(const Bytes& bytes) {
+  if (bytes.size() != 64) throw std::invalid_argument("EcdsaSignature: need 64 bytes");
+  EcdsaSignature sig;
+  sig.r = bigint_from_bytes(Bytes(bytes.begin(), bytes.begin() + 32));
+  sig.s = bigint_from_bytes(Bytes(bytes.begin() + 32, bytes.end()));
+  return sig;
+}
+
+EcdsaKeyPair EcdsaKeyPair::generate(Rng& rng) {
+  EcdsaKeyPair key;
+  do {
+    key.secret_ = random_below(rng, curve_order());
+  } while (key.secret_ == 0);
+  key.pub_ = SecpPoint::generator() * key.secret_;
+  return key;
+}
+
+Bytes EcdsaKeyPair::public_key_bytes() const {
+  const auto [x, y] = pub_.to_affine();
+  Bytes out = {0x04};
+  const Bytes xb = x.to_bytes(), yb = y.to_bytes();
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+Bytes EcdsaKeyPair::address() const { return ecdsa_address(public_key_bytes()); }
+
+Bytes ecdsa_address(const Bytes& public_key_bytes) {
+  if (public_key_bytes.size() != 65) throw std::invalid_argument("ecdsa_address: bad key");
+  const Bytes digest =
+      keccak256(Bytes(public_key_bytes.begin() + 1, public_key_bytes.end()));
+  return Bytes(digest.begin() + 12, digest.end());
+}
+
+EcdsaSignature EcdsaKeyPair::sign(const Bytes& message, Rng& rng) const {
+  const BigInt n = curve_order();
+  const BigInt z = hash_to_scalar(message);
+  for (;;) {
+    const BigInt k = random_below(rng, n);
+    if (k == 0) continue;
+    const SecpPoint kg = SecpPoint::generator() * k;
+    const BigInt r = kg.to_affine().first.to_bigint() % n;
+    if (r == 0) continue;
+    const BigInt s = (mod_inverse(k, n) * ((z + r * secret_) % n)) % n;
+    if (s == 0) continue;
+    return {r, s};
+  }
+}
+
+bool ecdsa_verify(const Bytes& public_key_bytes, const Bytes& message,
+                  const EcdsaSignature& sig) {
+  const BigInt n = curve_order();
+  if (sig.r <= 0 || sig.r >= n || sig.s <= 0 || sig.s >= n) return false;
+  SecpPoint pub;
+  try {
+    pub = point_from_bytes(public_key_bytes);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  const BigInt z = hash_to_scalar(message);
+  const BigInt w = mod_inverse(sig.s, n);
+  const BigInt u1 = (z * w) % n;
+  const BigInt u2 = (sig.r * w) % n;
+  const SecpPoint point = SecpPoint::generator() * u1 + pub * u2;
+  if (point.is_infinity()) return false;
+  return point.to_affine().first.to_bigint() % n == sig.r;
+}
+
+}  // namespace zl

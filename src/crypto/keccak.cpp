@@ -1,0 +1,93 @@
+#include "crypto/keccak.h"
+
+#include <array>
+#include <cstring>
+
+namespace zl {
+
+namespace {
+
+constexpr int kRounds = 24;
+constexpr std::size_t kRate = 136;  // 1088-bit rate for Keccak-256
+
+constexpr std::array<std::uint64_t, kRounds> kRoundConstants = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL, 0x8000000080008000ULL,
+    0x000000000000808bULL, 0x0000000080000001ULL, 0x8000000080008081ULL, 0x8000000000008009ULL,
+    0x000000000000008aULL, 0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL, 0x8000000000008003ULL,
+    0x8000000000008002ULL, 0x8000000000000080ULL, 0x000000000000800aULL, 0x800000008000000aULL,
+    0x8000000080008081ULL, 0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr std::array<int, 25> kRotations = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+                                            25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
+
+inline std::uint64_t rotl64(std::uint64_t x, int n) {
+  return n == 0 ? x : (x << n) | (x >> (64 - n));
+}
+
+void keccak_f1600(std::array<std::uint64_t, 25>& a) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x) c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    for (int x = 0; x < 5; ++x) {
+      const std::uint64_t d = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[x + 5 * y] ^= d;
+    }
+    // Rho + Pi
+    std::array<std::uint64_t, 25> b;
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = rotl64(a[x + 5 * y], kRotations[x + 5 * y]);
+      }
+    }
+    // Chi
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x + 5 * y] = b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+Bytes keccak256(const Bytes& data) {
+  std::array<std::uint64_t, 25> state{};
+
+  // Absorb.
+  std::size_t offset = 0;
+  while (data.size() - offset >= kRate) {
+    for (std::size_t i = 0; i < kRate / 8; ++i) {
+      std::uint64_t lane;
+      std::memcpy(&lane, data.data() + offset + 8 * i, 8);  // little-endian host
+      state[i] ^= lane;
+    }
+    keccak_f1600(state);
+    offset += kRate;
+  }
+
+  // Pad the final (possibly empty) block: Keccak legacy padding 0x01 ... 0x80.
+  std::array<std::uint8_t, kRate> block{};
+  const std::size_t remaining = data.size() - offset;
+  std::memcpy(block.data(), data.data() + offset, remaining);
+  block[remaining] = 0x01;
+  block[kRate - 1] |= 0x80;
+  for (std::size_t i = 0; i < kRate / 8; ++i) {
+    std::uint64_t lane;
+    std::memcpy(&lane, block.data() + 8 * i, 8);
+    state[i] ^= lane;
+  }
+  keccak_f1600(state);
+
+  // Squeeze 32 bytes.
+  Bytes out(32);
+  std::memcpy(out.data(), state.data(), 32);
+  return out;
+}
+
+Bytes keccak256(std::string_view s) { return keccak256(to_bytes(s)); }
+
+}  // namespace zl

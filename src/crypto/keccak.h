@@ -1,0 +1,17 @@
+#pragma once
+// Keccak-256 (the pre-NIST-padding variant used by Ethereum), from scratch.
+//
+// The blockchain substrate uses Keccak-256 for transaction/block hashes,
+// account addresses (last 20 bytes of Keccak(pubkey)), contract addresses
+// (Keccak(creator || nonce)), and the simplified proof-of-work.
+
+#include "crypto/bytes.h"
+
+namespace zl {
+
+/// Keccak-256 with the legacy 0x01 domain padding (Ethereum's keccak256).
+/// keccak256("") = c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470
+Bytes keccak256(const Bytes& data);
+Bytes keccak256(std::string_view s);
+
+}  // namespace zl

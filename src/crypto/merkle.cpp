@@ -1,0 +1,90 @@
+#include "crypto/merkle.h"
+
+#include <stdexcept>
+
+namespace zl {
+
+const Fr& MerkleTree::default_node(unsigned level) {
+  static const std::vector<Fr> defaults = [] {
+    std::vector<Fr> out = {Fr::zero()};
+    for (unsigned i = 1; i <= 32; ++i) out.push_back(mimc_compress(out.back(), out.back()));
+    return out;
+  }();
+  if (level > 32) throw std::out_of_range("MerkleTree::default_node: level too deep");
+  return defaults[level];
+}
+
+MerkleTree::MerkleTree(unsigned depth) : depth_(depth), levels_(depth + 1) {
+  if (depth == 0 || depth > 32) throw std::invalid_argument("MerkleTree: depth must be in [1,32]");
+}
+
+namespace {
+Fr node_at(const std::vector<std::vector<Fr>>& levels, unsigned level, std::size_t index) {
+  const auto& row = levels[level];
+  return index < row.size() ? row[index] : MerkleTree::default_node(level);
+}
+}  // namespace
+
+std::size_t MerkleTree::append(const Fr& leaf) {
+  if (next_leaf_ >= capacity()) throw std::overflow_error("MerkleTree: full");
+  const std::size_t index = next_leaf_;
+  set_leaf(index, leaf);  // advances next_leaf_ to index + 1
+  return index;
+}
+
+void MerkleTree::set_leaf(std::size_t index, const Fr& leaf) {
+  if (index >= capacity()) throw std::out_of_range("MerkleTree::set_leaf: index out of range");
+  if (levels_[0].size() <= index) levels_[0].resize(index + 1, default_node(0));
+  levels_[0][index] = leaf;
+  if (index >= next_leaf_) next_leaf_ = index + 1;
+  rehash_up(index);
+}
+
+const Fr& MerkleTree::leaf(std::size_t index) const {
+  if (index >= levels_[0].size()) {
+    if (index >= capacity()) throw std::out_of_range("MerkleTree::leaf: index out of range");
+    return default_node(0);
+  }
+  return levels_[0][index];
+}
+
+void MerkleTree::rehash_up(std::size_t index) {
+  for (unsigned level = 0; level < depth_; ++level) {
+    const std::size_t parent = index / 2;
+    const Fr left = node_at(levels_, level, parent * 2);
+    const Fr right = node_at(levels_, level, parent * 2 + 1);
+    if (levels_[level + 1].size() <= parent) {
+      levels_[level + 1].resize(parent + 1, default_node(level + 1));
+    }
+    levels_[level + 1][parent] = mimc_compress(left, right);
+    index = parent;
+  }
+}
+
+Fr MerkleTree::root() const { return node_at(levels_, depth_, 0); }
+
+MerkleTree::Path MerkleTree::path(std::size_t leaf_index) const {
+  if (leaf_index >= capacity()) throw std::out_of_range("MerkleTree::path: index out of range");
+  Path p;
+  p.leaf_index = leaf_index;
+  std::size_t index = leaf_index;
+  for (unsigned level = 0; level < depth_; ++level) {
+    p.siblings.push_back(node_at(levels_, level, index ^ 1));
+    index /= 2;
+  }
+  return p;
+}
+
+bool MerkleTree::verify_path(const Fr& leaf, const Path& path, const Fr& root, unsigned depth) {
+  if (path.siblings.size() != depth) return false;
+  Fr cur = leaf;
+  std::size_t index = path.leaf_index;
+  for (unsigned level = 0; level < depth; ++level) {
+    const Fr& sib = path.siblings[level];
+    cur = (index & 1) ? mimc_compress(sib, cur) : mimc_compress(cur, sib);
+    index /= 2;
+  }
+  return cur == root;
+}
+
+}  // namespace zl

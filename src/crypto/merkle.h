@@ -1,0 +1,55 @@
+#pragma once
+// Fixed-depth Merkle tree over Fr with MiMC compression.
+//
+// This is the registration authority's certificate registry (DESIGN.md
+// substitution T4): leaf i holds the i-th certified public key, the root is
+// published on chain via the RA interface contract, and the anonymous
+// authentication circuit proves membership of the prover's key under that
+// root without revealing which leaf it is.
+
+#include <vector>
+
+#include "crypto/mimc.h"
+
+namespace zl {
+
+class MerkleTree {
+ public:
+  /// A membership proof: the sibling hash at each level, leaf upward.
+  struct Path {
+    std::size_t leaf_index = 0;
+    std::vector<Fr> siblings;
+  };
+
+  explicit MerkleTree(unsigned depth);
+
+  unsigned depth() const { return depth_; }
+  std::size_t capacity() const { return std::size_t(1) << depth_; }
+  std::size_t size() const { return next_leaf_; }
+
+  /// Append a leaf; returns its index. Throws when full.
+  std::size_t append(const Fr& leaf);
+
+  void set_leaf(std::size_t index, const Fr& leaf);
+  const Fr& leaf(std::size_t index) const;
+
+  Fr root() const;
+
+  Path path(std::size_t leaf_index) const;
+
+  /// Stateless verification (native counterpart of the circuit gadget).
+  static bool verify_path(const Fr& leaf, const Path& path, const Fr& root, unsigned depth);
+
+  /// Hash of the all-defaults subtree at a level (level 0 = leaves).
+  static const Fr& default_node(unsigned level);
+
+ private:
+  unsigned depth_;
+  std::size_t next_leaf_ = 0;
+  // levels_[0] = leaves, ..., levels_[depth_] = {root}; sized lazily.
+  std::vector<std::vector<Fr>> levels_;
+
+  void rehash_up(std::size_t index);
+};
+
+}  // namespace zl

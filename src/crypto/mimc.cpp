@@ -1,0 +1,49 @@
+#include "crypto/mimc.h"
+
+#include <string>
+
+#include "crypto/sha256.h"
+
+namespace zl {
+
+const std::vector<Fr>& mimc_round_constants() {
+  static const std::vector<Fr> constants = [] {
+    std::vector<Fr> out;
+    out.reserve(kMimcRounds);
+    out.push_back(Fr::zero());
+    for (int i = 1; i < kMimcRounds; ++i) {
+      out.push_back(fr_from_bytes_sha(to_bytes("zebralancer.mimc7." + std::to_string(i))));
+    }
+    return out;
+  }();
+  return constants;
+}
+
+namespace {
+Fr pow7(const Fr& t) {
+  const Fr t2 = t.squared();
+  const Fr t4 = t2.squared();
+  return t4 * t2 * t;
+}
+}  // namespace
+
+Fr mimc_permute(const Fr& x, const Fr& k) {
+  const std::vector<Fr>& c = mimc_round_constants();
+  Fr cur = x;
+  for (int i = 0; i < kMimcRounds; ++i) {
+    cur = pow7(cur + k + c[static_cast<std::size_t>(i)]);
+  }
+  return cur + k;
+}
+
+Fr mimc_compress(const Fr& a, const Fr& b) { return mimc_permute(a, b) + a + b; }
+
+Fr mimc_hash(const std::vector<Fr>& msgs) {
+  Fr h = Fr::zero();
+  for (const Fr& m : msgs) h = mimc_compress(m, h);
+  return h;
+}
+
+Fr fr_from_bytes_sha(const Bytes& data) { return Fr::from_bytes_mod(Sha256::hash(data)); }
+
+}  // namespace zl

@@ -1,0 +1,39 @@
+#pragma once
+// MiMC7 over BN254's scalar field — the SNARK-friendly hash standing in for
+// SHA-256 *inside* circuits (DESIGN.md substitution T3). The DApp layer
+// still uses SHA-256 to compress arbitrary byte strings down to field
+// elements before they enter MiMC.
+//
+//   permutation:  x_{i+1} = (x_i + k + c_i)^7,  91 rounds,  output x_91 + k
+//   compression:  H2(a, b) = permute(a, b) + a + b      (Miyaguchi-Preneel)
+//   vector hash:  h_0 = 0,  h_{i+1} = H2(m_i, h_i)
+//
+// x -> x^7 is a permutation of Fr because gcd(7, r-1) = 1 (asserted in
+// tests); 91 = ceil(log_7 r) rounds is the MiMC security margin. Round
+// constants are nothing-up-my-sleeve: c_i = SHA256("zebralancer.mimc7." i).
+
+#include <vector>
+
+#include "field/bn254.h"
+
+namespace zl {
+
+inline constexpr int kMimcRounds = 91;
+
+/// The 91 round constants (c_0 is fixed to zero as in the original MiMC).
+const std::vector<Fr>& mimc_round_constants();
+
+/// Keyed MiMC7 permutation.
+Fr mimc_permute(const Fr& x, const Fr& k);
+
+/// 2-to-1 compression.
+Fr mimc_compress(const Fr& a, const Fr& b);
+
+/// Hash a vector of field elements (sponge-free chaining, see header note).
+Fr mimc_hash(const std::vector<Fr>& msgs);
+
+/// DApp-layer bridge: SHA-256 the bytes, then reduce into Fr. This is the
+/// H(.) applied to prefixes/messages before MiMC tags are computed.
+Fr fr_from_bytes_sha(const Bytes& data);
+
+}  // namespace zl

@@ -1,0 +1,90 @@
+#include "crypto/rng.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace zl {
+
+Rng::Rng(const Bytes& seed) {
+  key_ = Bytes(32, 0x00);
+  value_ = Bytes(32, 0x01);
+  reseed(seed);
+}
+
+Rng::Rng(std::uint64_t seed) : Rng([&] {
+  Bytes s;
+  append_u64_be(s, seed);
+  return s;
+}()) {}
+
+Rng Rng::from_os_entropy() {
+  Bytes seed(48);
+  FILE* f = std::fopen("/dev/urandom", "rb");
+  if (f == nullptr || std::fread(seed.data(), 1, seed.size(), f) != seed.size()) {
+    if (f != nullptr) std::fclose(f);
+    throw std::runtime_error("Rng: cannot read /dev/urandom");
+  }
+  std::fclose(f);
+  return Rng(seed);
+}
+
+void Rng::reseed(const Bytes& material) {
+  // HMAC-DRBG update with provided data.
+  Bytes msg = value_;
+  msg.push_back(0x00);
+  msg.insert(msg.end(), material.begin(), material.end());
+  key_ = hmac_sha256(key_, msg);
+  value_ = hmac_sha256(key_, value_);
+  if (!material.empty()) {
+    msg = value_;
+    msg.push_back(0x01);
+    msg.insert(msg.end(), material.begin(), material.end());
+    key_ = hmac_sha256(key_, msg);
+    value_ = hmac_sha256(key_, value_);
+  }
+}
+
+void Rng::fill(std::uint8_t* out, std::size_t len) {
+  std::size_t produced = 0;
+  while (produced < len) {
+    value_ = hmac_sha256(key_, value_);
+    const std::size_t take = std::min<std::size_t>(value_.size(), len - produced);
+    for (std::size_t i = 0; i < take; ++i) out[produced + i] = value_[i];
+    produced += take;
+  }
+  reseed({});
+}
+
+Bytes Rng::bytes(std::size_t len) {
+  Bytes out(len);
+  fill(out.data(), len);
+  return out;
+}
+
+std::uint64_t Rng::next_u64() {
+  std::uint8_t buf[8];
+  fill(buf, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | buf[i];
+  return v;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform: bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~0ULL) / bound);
+  for (;;) {
+    const std::uint64_t v = next_u64();
+    if (v < limit || limit == 0) return v % bound;
+  }
+}
+
+Rng Rng::fork(std::string_view label) {
+  Bytes seed = bytes(32);
+  seed.insert(seed.end(), label.begin(), label.end());
+  return Rng(seed);
+}
+
+}  // namespace zl

@@ -1,0 +1,46 @@
+#pragma once
+// Deterministic random bit generator (HMAC-DRBG style, SHA-256 based).
+//
+// Everything in the repository that needs randomness — key generation,
+// SNARK trapdoors, one-task-only blockchain addresses, network jitter —
+// draws from an explicitly seeded Rng. Determinism given a seed is a hard
+// requirement: the test-net simulation and the experiment harness must be
+// reproducible run-to-run.
+
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace zl {
+
+class Rng {
+ public:
+  /// Seed from a byte string (any length).
+  explicit Rng(const Bytes& seed);
+
+  /// Seed from a 64-bit value (convenience for simulations/tests).
+  explicit Rng(std::uint64_t seed);
+
+  /// Seed from the OS entropy pool (/dev/urandom).
+  static Rng from_os_entropy();
+
+  /// Fill `out` with `len` random bytes.
+  void fill(std::uint8_t* out, std::size_t len);
+  Bytes bytes(std::size_t len);
+
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound). Requires bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Derive an independent child generator (domain-separated by `label`).
+  Rng fork(std::string_view label);
+
+ private:
+  void reseed(const Bytes& material);
+
+  Bytes key_;    // HMAC key K
+  Bytes value_;  // chaining value V
+};
+
+}  // namespace zl

@@ -1,0 +1,150 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace zl {
+
+namespace {
+constexpr std::size_t kHashLen = 32;
+
+// DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
+const Bytes& sha256_digest_info_prefix() {
+  static const Bytes prefix =
+      from_hex("3031300d060960864801650304020105000420");
+  return prefix;
+}
+
+void xor_into(Bytes& target, const Bytes& mask) {
+  for (std::size_t i = 0; i < target.size(); ++i) target[i] ^= mask[i];
+}
+}  // namespace
+
+std::size_t RsaPublicKey::modulus_bytes() const {
+  return (mpz_sizeinbase(n.get_mpz_t(), 2) + 7) / 8;
+}
+
+Bytes RsaPublicKey::to_bytes() const {
+  Bytes out;
+  append_frame(out, bigint_to_bytes(n));
+  append_frame(out, bigint_to_bytes(e));
+  return out;
+}
+
+RsaPublicKey RsaPublicKey::from_bytes(const Bytes& bytes) {
+  std::size_t off = 0;
+  RsaPublicKey pub;
+  pub.n = bigint_from_bytes(read_frame(bytes, off));
+  pub.e = bigint_from_bytes(read_frame(bytes, off));
+  if (off != bytes.size()) throw std::invalid_argument("RsaPublicKey::from_bytes: trailing data");
+  return pub;
+}
+
+RsaKeyPair RsaKeyPair::generate(Rng& rng, int bits) {
+  if (bits < 512 || bits % 2 != 0) throw std::invalid_argument("RsaKeyPair: bad modulus size");
+  const BigInt e = 65537;
+  for (;;) {
+    const BigInt p = random_prime(rng, bits / 2);
+    const BigInt q = random_prime(rng, bits / 2);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    const BigInt phi = (p - 1) * (q - 1);
+    BigInt g;
+    mpz_gcd(g.get_mpz_t(), e.get_mpz_t(), phi.get_mpz_t());
+    if (g != 1) continue;
+    RsaKeyPair key;
+    key.pub.n = n;
+    key.pub.e = e;
+    key.d = mod_inverse(e, phi);
+    return key;
+  }
+}
+
+Bytes rsa_oaep_encrypt(const RsaPublicKey& pub, const Bytes& message, Rng& rng) {
+  const std::size_t k = pub.modulus_bytes();
+  if (k < 2 * kHashLen + 2 || message.size() > k - 2 * kHashLen - 2) {
+    throw std::invalid_argument("rsa_oaep_encrypt: message too long");
+  }
+  // DB = lHash || PS || 0x01 || M
+  Bytes db = Sha256::hash(Bytes{});  // empty label
+  db.resize(k - kHashLen - 1 - message.size() - 1, 0x00);
+  db.push_back(0x01);
+  db.insert(db.end(), message.begin(), message.end());
+
+  Bytes seed = rng.bytes(kHashLen);
+  xor_into(db, mgf1_sha256(seed, db.size()));
+  xor_into(seed, mgf1_sha256(db, kHashLen));
+
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.insert(em.end(), seed.begin(), seed.end());
+  em.insert(em.end(), db.begin(), db.end());
+
+  const BigInt m = bigint_from_bytes(em);
+  return bigint_to_bytes(mod_pow(m, pub.e, pub.n), k);
+}
+
+Bytes rsa_oaep_decrypt(const RsaKeyPair& key, const Bytes& ciphertext) {
+  const std::size_t k = key.pub.modulus_bytes();
+  if (ciphertext.size() != k) throw std::invalid_argument("rsa_oaep_decrypt: bad length");
+  const BigInt c = bigint_from_bytes(ciphertext);
+  if (c >= key.pub.n) throw std::invalid_argument("rsa_oaep_decrypt: ciphertext out of range");
+  const Bytes em = bigint_to_bytes(mod_pow(c, key.d, key.pub.n), k);
+  if (em[0] != 0x00) throw std::invalid_argument("rsa_oaep_decrypt: padding error");
+
+  Bytes seed(em.begin() + 1, em.begin() + 1 + kHashLen);
+  Bytes db(em.begin() + 1 + kHashLen, em.end());
+  xor_into(seed, mgf1_sha256(db, kHashLen));
+  xor_into(db, mgf1_sha256(seed, db.size()));
+
+  const Bytes lhash = Sha256::hash(Bytes{});
+  if (!ct_equal(Bytes(db.begin(), db.begin() + kHashLen), lhash)) {
+    throw std::invalid_argument("rsa_oaep_decrypt: padding error");
+  }
+  std::size_t i = kHashLen;
+  while (i < db.size() && db[i] == 0x00) ++i;
+  if (i == db.size() || db[i] != 0x01) {
+    throw std::invalid_argument("rsa_oaep_decrypt: padding error");
+  }
+  return Bytes(db.begin() + static_cast<std::ptrdiff_t>(i) + 1, db.end());
+}
+
+Bytes rsa_sign(const RsaKeyPair& key, const Bytes& message) {
+  const std::size_t k = key.pub.modulus_bytes();
+  const Bytes digest = Sha256::hash(message);
+  Bytes t = sha256_digest_info_prefix();
+  t.insert(t.end(), digest.begin(), digest.end());
+  if (k < t.size() + 11) throw std::invalid_argument("rsa_sign: modulus too small");
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.resize(k - t.size() - 1, 0xff);
+  em.push_back(0x00);
+  em.insert(em.end(), t.begin(), t.end());
+  return bigint_to_bytes(mod_pow(bigint_from_bytes(em), key.d, key.pub.n), k);
+}
+
+bool rsa_verify(const RsaPublicKey& pub, const Bytes& message, const Bytes& signature) {
+  const std::size_t k = pub.modulus_bytes();
+  if (signature.size() != k) return false;
+  const BigInt s = bigint_from_bytes(signature);
+  if (s >= pub.n) return false;
+  const Bytes em = bigint_to_bytes(mod_pow(s, pub.e, pub.n), k);
+
+  const Bytes digest = Sha256::hash(message);
+  Bytes t = sha256_digest_info_prefix();
+  t.insert(t.end(), digest.begin(), digest.end());
+  Bytes expected;
+  expected.reserve(k);
+  expected.push_back(0x00);
+  expected.push_back(0x01);
+  expected.resize(k - t.size() - 1, 0xff);
+  expected.push_back(0x00);
+  expected.insert(expected.end(), t.begin(), t.end());
+  return ct_equal(em, expected);
+}
+
+}  // namespace zl

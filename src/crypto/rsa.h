@@ -1,0 +1,43 @@
+#pragma once
+// RSA-2048 from scratch: OAEP encryption (the paper's DApp-layer encryption
+// instantiation, §VI: "RSA-OAEP-2048") and PKCS#1 v1.5 signatures (the
+// paper's "DApp-layer digital signature ... RSA signature", used by the
+// classical registration-authority certificates and the non-anonymous mode).
+
+#include "crypto/bigint.h"
+
+namespace zl {
+
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+
+  std::size_t modulus_bytes() const;
+  Bytes to_bytes() const;
+  static RsaPublicKey from_bytes(const Bytes& bytes);
+
+  friend bool operator==(const RsaPublicKey& a, const RsaPublicKey& b) {
+    return a.n == b.n && a.e == b.e;
+  }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  BigInt d;
+
+  /// Generate a fresh keypair with a `bits`-bit modulus (e = 65537).
+  static RsaKeyPair generate(Rng& rng, int bits = 2048);
+};
+
+/// RSAES-OAEP with SHA-256 (empty label). Message capacity is
+/// modulus_bytes - 2*32 - 2 (190 bytes at 2048 bits).
+Bytes rsa_oaep_encrypt(const RsaPublicKey& pub, const Bytes& message, Rng& rng);
+
+/// Throws std::invalid_argument on any padding failure.
+Bytes rsa_oaep_decrypt(const RsaKeyPair& key, const Bytes& ciphertext);
+
+/// RSASSA-PKCS1-v1_5 with SHA-256.
+Bytes rsa_sign(const RsaKeyPair& key, const Bytes& message);
+bool rsa_verify(const RsaPublicKey& pub, const Bytes& message, const Bytes& signature);
+
+}  // namespace zl

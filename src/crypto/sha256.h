@@ -1,0 +1,55 @@
+#pragma once
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// ZebraLancer instantiates its DApp-layer hash function with SHA-256 (§VI):
+// it compresses task prefixes/messages before they enter the anonymous
+// authentication scheme, derives MiMC round constants, and backs the DRBG.
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace zl {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+
+  Sha256();
+
+  /// Absorb more input (streaming interface).
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+
+  /// Finalize and return the 32-byte digest. The object must not be reused
+  /// after finalize() without reset().
+  std::array<std::uint8_t, kDigestSize> finalize();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Bytes hash(const Bytes& data);
+  static Bytes hash(std::string_view s) { return hash(to_bytes(s)); }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// The 64 round constants and the initial hash state (FIPS 180-4), exposed
+/// for the in-circuit SHA-256 gadget.
+const std::array<std::uint32_t, 64>& sha256_round_constants();
+const std::array<std::uint32_t, 8>& sha256_initial_state();
+
+/// HMAC-SHA256 (used by the DRBG and by MGF1-adjacent derivations).
+Bytes hmac_sha256(const Bytes& key, const Bytes& message);
+
+/// MGF1 mask generation function with SHA-256 (RFC 8017), used by RSA-OAEP.
+Bytes mgf1_sha256(const Bytes& seed, std::size_t out_len);
+
+}  // namespace zl

@@ -1,0 +1,50 @@
+#pragma once
+// The two pairing source groups of BN254 (alt_bn128).
+//
+// G1: y^2 = x^3 + 3 over Fq, generator (1, 2), order r.
+// G2: y^2 = x^3 + 3/xi over Fq2 (D-type sextic twist), standard generator
+//     (the one fixed by EIP-197 / libff), order r (prime subgroup of the
+//     twist, which has order r * cofactor).
+
+#include "field/fp2.h"
+#include "ec/weierstrass.h"
+
+namespace zl {
+
+struct Bn254G1Params {
+  static constexpr const char* kName = "bn254.G1";
+  using Field = Fq;
+  static Field b() { return Fq::from_u64(3); }
+  static Field gen_x() { return Fq::from_u64(1); }
+  static Field gen_y() { return Fq::from_u64(2); }
+  static const BigInt& order() { return Fr::modulus_bigint(); }
+};
+
+struct Bn254G2Params {
+  static constexpr const char* kName = "bn254.G2";
+  using Field = Fq2;
+  static Field b() { return Fq2::from_u64(3, 0) * Fq2::xi().inverse(); }
+  static Field gen_x() {
+    return Fq2(Fq::from_decimal("10857046999023057135944570762232829481370756359578518086990519993"
+                                "285655852781"),
+               Fq::from_decimal("11559732032986387107991004021392285783925812861821192530917403151"
+                                "452391805634"));
+  }
+  static Field gen_y() {
+    return Fq2(Fq::from_decimal("84956539231234314176049732474892724384181905872636001487702806493"
+                                "06958101930"),
+               Fq::from_decimal("40823678758634336813322034031454355683168513275934012081057410762"
+                                "14120093531"));
+  }
+  static const BigInt& order() { return Fr::modulus_bigint(); }
+};
+
+using G1 = WeierstrassPoint<Bn254G1Params>;
+using G2 = WeierstrassPoint<Bn254G2Params>;
+
+/// Scalar multiplication by a field element of Fr (the natural scalar type
+/// throughout the SNARK).
+inline G1 operator*(const G1& p, const Fr& s) { return p * s.to_bigint(); }
+inline G2 operator*(const G2& p, const Fr& s) { return p * s.to_bigint(); }
+
+}  // namespace zl

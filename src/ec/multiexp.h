@@ -1,0 +1,71 @@
+#pragma once
+// Pippenger (bucket-method) multi-scalar multiplication.
+//
+// The Groth16 prover and setup are dominated by multiexps of size equal to
+// the number of circuit variables/constraints, so this is the performance-
+// critical primitive of the whole proving pipeline.
+
+#include <cmath>
+#include <vector>
+
+#include "ec/bn254_groups.h"
+
+namespace zl {
+
+/// Computes sum_i scalars[i] * points[i]. Scalars are Fr elements.
+/// Window size is chosen from the input size; falls back to plain
+/// double-and-add for tiny inputs.
+template <typename Point>
+Point multiexp(const std::vector<Point>& points, const std::vector<Fr>& scalars) {
+  if (points.size() != scalars.size()) {
+    throw std::invalid_argument("multiexp: size mismatch");
+  }
+  const std::size_t n = points.size();
+  if (n == 0) return Point::infinity();
+  if (n < 8) {
+    Point acc = Point::infinity();
+    for (std::size_t i = 0; i < n; ++i) acc += points[i] * scalars[i].to_bigint();
+    return acc;
+  }
+
+  // Window size ~ log2(n) is the classic Pippenger choice.
+  const unsigned c = n < 32 ? 3 : static_cast<unsigned>(std::log2(static_cast<double>(n))) - 1;
+  constexpr unsigned kScalarBits = 256;
+  const unsigned windows = (kScalarBits + c - 1) / c;
+
+  // Canonical little-endian bit access via byte encodings.
+  std::vector<Bytes> scalar_bytes;
+  scalar_bytes.reserve(n);
+  for (const Fr& s : scalars) scalar_bytes.push_back(s.to_bytes());  // big-endian 32B
+  const auto window_value = [&](std::size_t i, unsigned w) -> std::uint32_t {
+    std::uint32_t v = 0;
+    for (unsigned bit = 0; bit < c; ++bit) {
+      const unsigned pos = w * c + bit;
+      if (pos >= kScalarBits) break;
+      const unsigned byte_index = 31 - pos / 8;  // big-endian layout
+      if ((scalar_bytes[i][byte_index] >> (pos % 8)) & 1) v |= 1u << bit;
+    }
+    return v;
+  };
+
+  Point result = Point::infinity();
+  for (unsigned w = windows; w-- > 0;) {
+    for (unsigned bit = 0; bit < c; ++bit) result = result.dbl();
+    std::vector<Point> buckets(static_cast<std::size_t>(1) << c, Point::infinity());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t v = window_value(i, w);
+      if (v != 0) buckets[v] += points[i];
+    }
+    // Sum b_1 + 2 b_2 + ... via running suffix sums.
+    Point running = Point::infinity();
+    Point window_sum = Point::infinity();
+    for (std::size_t b = buckets.size(); b-- > 1;) {
+      running += buckets[b];
+      window_sum += running;
+    }
+    result += window_sum;
+  }
+  return result;
+}
+
+}  // namespace zl

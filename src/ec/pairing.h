@@ -1,0 +1,39 @@
+#pragma once
+// The ate pairing on BN254.
+//
+// e : G2 x G1 -> mu_r in Fq12,  e(Q, P) = f_{t-1, Q}(P) ^ ((q^12 - 1) / r)
+//
+// Implementation strategy (correctness over micro-optimization): G2 points
+// are untwisted into E(Fq12) via psi(x, y) = (x w^2, y w^3) (w^6 = xi) and
+// the Miller loop runs with textbook affine line functions in Fq12. The
+// Miller-loop length is t - 1 = 6x^2 (the classic ate pairing), which needs
+// no Frobenius correction lines. The final exponentiation splits into the
+// easy part (q^6 - 1)(q^2 + 1) done with conjugation/Frobenius and the hard
+// part (q^4 - q^2 + 1)/r done by plain exponentiation.
+//
+// Verified by bilinearity/non-degeneracy property tests in tests/test_ec.cpp.
+
+#include <vector>
+
+#include "ec/bn254_groups.h"
+#include "field/fp12.h"
+
+namespace zl {
+
+/// Miller loop only (no final exponentiation). Both inputs must be
+/// non-infinity points of the respective prime-order subgroups.
+Fq12 miller_loop(const G2& q, const G1& p);
+
+/// (q^12-1)/r-th power, mapping Miller values into mu_r.
+Fq12 final_exponentiation(const Fq12& f);
+
+/// Full pairing. By convention pairing(Q, P) with Q in G2, P in G1; returns
+/// Fq12::one() if either input is the point at infinity (the degenerate
+/// bilinear extension).
+Fq12 pairing(const G2& q, const G1& p);
+
+/// Product of pairings: prod_i e(Q_i, P_i), sharing one final
+/// exponentiation. This is what the Groth16 verifier calls.
+Fq12 pairing_product(const std::vector<std::pair<G2, G1>>& pairs);
+
+}  // namespace zl

@@ -1,0 +1,44 @@
+#pragma once
+// secp256k1 — the curve underlying the blockchain substrate's transaction
+// signatures (exactly as in Ethereum, which the paper deploys on).
+
+#include "ec/weierstrass.h"
+#include "field/fp.h"
+
+namespace zl {
+
+struct Secp256k1FpParams {
+  static constexpr const char* kName = "secp256k1.Fp";
+  static constexpr Limbs kModulus = {0xfffffffefffffc2fULL, 0xffffffffffffffffULL,
+                                     0xffffffffffffffffULL, 0xffffffffffffffffULL};
+};
+
+struct Secp256k1FnParams {
+  static constexpr const char* kName = "secp256k1.Fn";
+  static constexpr Limbs kModulus = {0xbfd25e8cd0364141ULL, 0xbaaedce6af48a03bULL,
+                                     0xfffffffffffffffeULL, 0xffffffffffffffffULL};
+};
+
+/// Coordinate field.
+using SecpFp = Fp<Secp256k1FpParams>;
+/// Scalar (group order) field.
+using SecpFn = Fp<Secp256k1FnParams>;
+
+struct Secp256k1Params {
+  static constexpr const char* kName = "secp256k1";
+  using Field = SecpFp;
+  static Field b() { return SecpFp::from_u64(7); }
+  static Field gen_x() {
+    return SecpFp::from_bigint(bigint_from_hex(
+        "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"));
+  }
+  static Field gen_y() {
+    return SecpFp::from_bigint(bigint_from_hex(
+        "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"));
+  }
+  static const BigInt& order() { return SecpFn::modulus_bigint(); }
+};
+
+using SecpPoint = WeierstrassPoint<Secp256k1Params>;
+
+}  // namespace zl

@@ -1,0 +1,95 @@
+#pragma once
+// Canonical byte encodings for curve points (uncompressed affine + infinity
+// flag). These define the on-chain wire sizes reported in the Table I
+// reproduction.
+
+#include "ec/bn254_groups.h"
+
+namespace zl {
+
+inline Bytes fq2_to_bytes(const Fq2& v) { return concat({v.c0.to_bytes(), v.c1.to_bytes()}); }
+
+inline Fq2 fq2_from_bytes(const Bytes& b) {
+  if (b.size() != 64) throw std::invalid_argument("fq2_from_bytes: need 64 bytes");
+  return Fq2(Fq::from_bytes(Bytes(b.begin(), b.begin() + 32)),
+             Fq::from_bytes(Bytes(b.begin() + 32, b.end())));
+}
+
+/// 1 flag byte + 64 bytes (x, y). Infinity encodes as flag 0 + zeros.
+inline Bytes g1_to_bytes(const G1& p) {
+  Bytes out;
+  if (p.is_infinity()) {
+    out.push_back(0);
+    out.resize(65, 0);
+    return out;
+  }
+  out.push_back(1);
+  const auto [x, y] = p.to_affine();
+  const Bytes xb = x.to_bytes(), yb = y.to_bytes();
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+inline G1 g1_from_bytes(const Bytes& b) {
+  if (b.size() != 65) throw std::invalid_argument("g1_from_bytes: need 65 bytes");
+  if (b[0] == 0) return G1::infinity();
+  return G1::from_affine(Fq::from_bytes(Bytes(b.begin() + 1, b.begin() + 33)),
+                         Fq::from_bytes(Bytes(b.begin() + 33, b.end())));
+}
+
+/// 1 flag byte + 128 bytes (x, y in Fq2).
+inline Bytes g2_to_bytes(const G2& p) {
+  Bytes out;
+  if (p.is_infinity()) {
+    out.push_back(0);
+    out.resize(129, 0);
+    return out;
+  }
+  out.push_back(1);
+  const auto [x, y] = p.to_affine();
+  const Bytes xb = fq2_to_bytes(x), yb = fq2_to_bytes(y);
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+inline G2 g2_from_bytes(const Bytes& b) {
+  if (b.size() != 129) throw std::invalid_argument("g2_from_bytes: need 129 bytes");
+  if (b[0] == 0) return G2::infinity();
+  return G2::from_affine(fq2_from_bytes(Bytes(b.begin() + 1, b.begin() + 65)),
+                         fq2_from_bytes(Bytes(b.begin() + 65, b.end())));
+}
+
+/// Fixed-base scalar-multiplication table (8-bit windows). Used by the
+/// trusted setup, which performs tens of thousands of multiplications of the
+/// same generator.
+template <typename Point>
+class FixedBaseTable {
+ public:
+  explicit FixedBaseTable(const Point& base) {
+    Point window_base = base;
+    for (unsigned w = 0; w < kWindows; ++w) {
+      table_[w][0] = Point::infinity();
+      for (unsigned i = 1; i < kWindowSize; ++i) table_[w][i] = table_[w][i - 1] + window_base;
+      window_base = table_[w][kWindowSize - 1] + window_base;  // base * 2^(8(w+1))
+    }
+  }
+
+  Point mul(const Fr& scalar) const {
+    const Bytes be = scalar.to_bytes();  // 32 bytes big-endian
+    Point acc = Point::infinity();
+    for (unsigned w = 0; w < kWindows; ++w) {
+      const std::uint8_t digit = be[31 - w];  // little-endian window order
+      acc += table_[w][digit];
+    }
+    return acc;
+  }
+
+ private:
+  static constexpr unsigned kWindows = 32;
+  static constexpr unsigned kWindowSize = 256;
+  std::array<std::array<Point, kWindowSize>, kWindows> table_;
+};
+
+}  // namespace zl

@@ -1,0 +1,335 @@
+#pragma once
+// Fixed-width (256-bit, 4x64 limb) prime-field arithmetic in Montgomery form.
+//
+// This is the workhorse of the SNARK stack: BN254's base field Fq and scalar
+// field Fr, and secp256k1's coordinate/order fields for the blockchain's
+// ECDSA, are all instantiations of the `Fp<Params>` template below. All
+// Montgomery constants (R mod p, R^2 mod p, -p^-1 mod 2^64) are derived from
+// the modulus at compile time, so adding a new field is a 6-line Params
+// struct.
+//
+// Representation invariant: limbs_ always holds aR mod p (Montgomery form),
+// fully reduced into [0, p).
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/bigint.h"
+#include "crypto/bytes.h"
+#include "crypto/rng.h"
+
+namespace zl {
+
+using Limbs = std::array<std::uint64_t, 4>;
+
+namespace detail {
+
+constexpr bool limbs_geq(const Limbs& a, const Limbs& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return true;
+}
+
+/// a - b (mod 2^256), also reporting whether a borrow occurred.
+constexpr Limbs limbs_sub(const Limbs& a, const Limbs& b, bool& borrow_out) {
+  Limbs r{};
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 d =
+        static_cast<unsigned __int128>(a[i]) - b[i] - static_cast<std::uint64_t>(borrow);
+    r[i] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) ? 1 : 0;
+  }
+  borrow_out = borrow != 0;
+  return r;
+}
+
+/// a + b (mod 2^256) with carry-out.
+constexpr Limbs limbs_add(const Limbs& a, const Limbs& b, bool& carry_out) {
+  Limbs r{};
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 s = static_cast<unsigned __int128>(a[i]) + b[i] + carry;
+    r[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  carry_out = carry != 0;
+  return r;
+}
+
+/// 2x mod p, assuming x < p < 2^256.
+constexpr Limbs limbs_double_mod(const Limbs& x, const Limbs& p) {
+  bool carry = false;
+  Limbs r = limbs_add(x, x, carry);
+  if (carry || limbs_geq(r, p)) {
+    bool borrow = false;
+    r = limbs_sub(r, p, borrow);
+  }
+  return r;
+}
+
+/// R^2 mod p where R = 2^256: double 1 exactly 512 times.
+constexpr Limbs compute_r2(const Limbs& p) {
+  Limbs x{1, 0, 0, 0};
+  for (int i = 0; i < 512; ++i) x = limbs_double_mod(x, p);
+  return x;
+}
+
+/// R mod p.
+constexpr Limbs compute_r(const Limbs& p) {
+  Limbs x{1, 0, 0, 0};
+  for (int i = 0; i < 256; ++i) x = limbs_double_mod(x, p);
+  return x;
+}
+
+/// -p^-1 mod 2^64 via Newton iteration (p must be odd).
+constexpr std::uint64_t compute_inv64(std::uint64_t p0) {
+  std::uint64_t x = 1;
+  for (int i = 0; i < 6; ++i) x *= 2 - p0 * x;  // x = p0^-1 mod 2^64
+  return ~x + 1;                                // -x
+}
+
+}  // namespace detail
+
+/// A prime field element in Montgomery form. `Params` must provide
+/// `static constexpr Limbs kModulus` (little-endian limbs, odd, < 2^256)
+/// and `static constexpr const char* kName`.
+template <typename Params>
+class Fp {
+ public:
+  static constexpr Limbs kModulus = Params::kModulus;
+  static constexpr Limbs kR = detail::compute_r(Params::kModulus);
+  static constexpr Limbs kR2 = detail::compute_r2(Params::kModulus);
+  static constexpr std::uint64_t kInv64 = detail::compute_inv64(Params::kModulus[0]);
+
+  constexpr Fp() : limbs_{0, 0, 0, 0} {}
+
+  static constexpr Fp zero() { return Fp(); }
+  static constexpr Fp one() { return from_montgomery_raw(kR); }
+
+  static Fp from_u64(std::uint64_t v) {
+    Fp out;
+    out.limbs_ = {v, 0, 0, 0};
+    return out.mont_mul(from_montgomery_raw(kR2));
+  }
+
+  /// Parse a decimal string, reduced mod p.
+  static Fp from_decimal(const std::string& s) { return from_bigint(bigint_from_decimal(s)); }
+
+  static Fp from_bigint(const BigInt& v) {
+    BigInt reduced = v % modulus_bigint();
+    if (reduced < 0) reduced += modulus_bigint();
+    Fp out;
+    const Bytes bytes = bigint_to_bytes(reduced, 32);
+    for (int i = 0; i < 4; ++i) {
+      std::uint64_t limb = 0;
+      for (int j = 0; j < 8; ++j) limb = (limb << 8) | bytes[static_cast<std::size_t>((3 - i) * 8 + j)];
+      out.limbs_[i] = limb;
+    }
+    return out.mont_mul(from_montgomery_raw(kR2));
+  }
+
+  /// Interpret a byte string as a big-endian integer, reduced mod p.
+  static Fp from_bytes_mod(const Bytes& bytes) { return from_bigint(bigint_from_bytes(bytes)); }
+
+  /// Uniformly random field element.
+  static Fp random(Rng& rng) {
+    // 64 extra bits of rejection-free sampling keeps bias < 2^-64; we use
+    // full rejection for exact uniformity instead (cheap at this size).
+    for (;;) {
+      Bytes buf = rng.bytes(32);
+      Limbs candidate{};
+      for (int i = 0; i < 4; ++i) {
+        std::uint64_t limb = 0;
+        for (int j = 0; j < 8; ++j) limb = (limb << 8) | buf[static_cast<std::size_t>((3 - i) * 8 + j)];
+        candidate[i] = limb;
+      }
+      if (!detail::limbs_geq(candidate, kModulus)) {
+        Fp out;
+        out.limbs_ = candidate;
+        return out.mont_mul(from_montgomery_raw(kR2));
+      }
+    }
+  }
+
+  static const BigInt& modulus_bigint() {
+    static const BigInt m = [] {
+      BigInt v = 0;
+      for (int i = 3; i >= 0; --i) {
+        v <<= 64;
+        v += BigInt(static_cast<unsigned long>(kModulus[i] >> 32)) << 32 |
+             BigInt(static_cast<unsigned long>(kModulus[i] & 0xffffffffULL));
+      }
+      return v;
+    }();
+    return m;
+  }
+
+  BigInt to_bigint() const {
+    const Limbs canonical = to_canonical();
+    BigInt v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v <<= 64;
+      v += BigInt(static_cast<unsigned long>(canonical[i] >> 32)) << 32 |
+           BigInt(static_cast<unsigned long>(canonical[i] & 0xffffffffULL));
+    }
+    return v;
+  }
+
+  /// Canonical big-endian 32-byte encoding.
+  Bytes to_bytes() const {
+    const Limbs canonical = to_canonical();
+    Bytes out(32);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 8; ++j) {
+        out[static_cast<std::size_t>((3 - i) * 8 + j)] =
+            static_cast<std::uint8_t>(canonical[i] >> (56 - 8 * j));
+      }
+    }
+    return out;
+  }
+
+  /// Parse a canonical 32-byte encoding; throws if not reduced.
+  static Fp from_bytes(const Bytes& bytes) {
+    if (bytes.size() != 32) throw std::invalid_argument("Fp::from_bytes: need 32 bytes");
+    Limbs candidate{};
+    for (int i = 0; i < 4; ++i) {
+      std::uint64_t limb = 0;
+      for (int j = 0; j < 8; ++j) limb = (limb << 8) | bytes[static_cast<std::size_t>((3 - i) * 8 + j)];
+      candidate[i] = limb;
+    }
+    if (detail::limbs_geq(candidate, kModulus)) {
+      throw std::invalid_argument("Fp::from_bytes: non-canonical encoding");
+    }
+    Fp out;
+    out.limbs_ = candidate;
+    return out.mont_mul(from_montgomery_raw(kR2));
+  }
+
+  bool is_zero() const { return limbs_ == Limbs{0, 0, 0, 0}; }
+
+  friend bool operator==(const Fp& a, const Fp& b) { return a.limbs_ == b.limbs_; }
+  friend bool operator!=(const Fp& a, const Fp& b) { return !(a == b); }
+
+  Fp operator+(const Fp& rhs) const {
+    bool carry = false;
+    Limbs r = detail::limbs_add(limbs_, rhs.limbs_, carry);
+    if (carry || detail::limbs_geq(r, kModulus)) {
+      bool borrow = false;
+      r = detail::limbs_sub(r, kModulus, borrow);
+    }
+    Fp out;
+    out.limbs_ = r;
+    return out;
+  }
+
+  Fp operator-(const Fp& rhs) const {
+    bool borrow = false;
+    Limbs r = detail::limbs_sub(limbs_, rhs.limbs_, borrow);
+    if (borrow) {
+      bool carry = false;
+      r = detail::limbs_add(r, kModulus, carry);
+    }
+    Fp out;
+    out.limbs_ = r;
+    return out;
+  }
+
+  Fp operator-() const { return zero() - *this; }
+
+  Fp operator*(const Fp& rhs) const { return mont_mul(rhs); }
+
+  Fp& operator+=(const Fp& rhs) { return *this = *this + rhs; }
+  Fp& operator-=(const Fp& rhs) { return *this = *this - rhs; }
+  Fp& operator*=(const Fp& rhs) { return *this = *this * rhs; }
+
+  Fp squared() const { return mont_mul(*this); }
+
+  Fp dbl() const { return *this + *this; }
+
+  /// Exponentiation by an arbitrary non-negative big integer.
+  Fp pow(const BigInt& e) const {
+    if (e < 0) throw std::invalid_argument("Fp::pow: negative exponent");
+    Fp base = *this;
+    Fp acc = one();
+    const std::size_t bits = mpz_sizeinbase(e.get_mpz_t(), 2);
+    if (e == 0) return acc;
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (mpz_tstbit(e.get_mpz_t(), i)) acc *= base;
+      base = base.squared();
+    }
+    return acc;
+  }
+
+  /// Multiplicative inverse via Fermat (p prime). Throws on zero.
+  Fp inverse() const {
+    if (is_zero()) throw std::domain_error("Fp::inverse: zero");
+    return pow(modulus_bigint() - 2);
+  }
+
+  /// Raw Montgomery limbs (for hashing/serialization-free comparisons).
+  const Limbs& montgomery_limbs() const { return limbs_; }
+
+ private:
+  static constexpr Fp from_montgomery_raw(const Limbs& limbs) {
+    Fp out;
+    out.limbs_ = limbs;
+    return out;
+  }
+
+  /// CIOS Montgomery multiplication: returns (this * rhs * R^-1) mod p.
+  Fp mont_mul(const Fp& rhs) const {
+    const Limbs& a = limbs_;
+    const Limbs& b = rhs.limbs_;
+    std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+      // t += a[i] * b
+      unsigned __int128 carry = 0;
+      for (int j = 0; j < 4; ++j) {
+        const unsigned __int128 cur =
+            static_cast<unsigned __int128>(a[i]) * b[j] + t[j] + static_cast<std::uint64_t>(carry);
+        t[j] = static_cast<std::uint64_t>(cur);
+        carry = cur >> 64;
+      }
+      unsigned __int128 cur = static_cast<unsigned __int128>(t[4]) + static_cast<std::uint64_t>(carry);
+      t[4] = static_cast<std::uint64_t>(cur);
+      t[5] = static_cast<std::uint64_t>(cur >> 64);
+
+      // m = t[0] * (-p^-1) mod 2^64; t = (t + m*p) / 2^64
+      const std::uint64_t m = t[0] * kInv64;
+      cur = static_cast<unsigned __int128>(m) * kModulus[0] + t[0];
+      carry = cur >> 64;
+      for (int j = 1; j < 4; ++j) {
+        cur = static_cast<unsigned __int128>(m) * kModulus[j] + t[j] + static_cast<std::uint64_t>(carry);
+        t[j - 1] = static_cast<std::uint64_t>(cur);
+        carry = cur >> 64;
+      }
+      cur = static_cast<unsigned __int128>(t[4]) + static_cast<std::uint64_t>(carry);
+      t[3] = static_cast<std::uint64_t>(cur);
+      t[4] = t[5] + static_cast<std::uint64_t>(cur >> 64);
+    }
+
+    Limbs r{t[0], t[1], t[2], t[3]};
+    if (t[4] != 0 || detail::limbs_geq(r, kModulus)) {
+      bool borrow = false;
+      r = detail::limbs_sub(r, kModulus, borrow);
+    }
+    Fp out;
+    out.limbs_ = r;
+    return out;
+  }
+
+  Limbs to_canonical() const {
+    // Multiply by 1 (non-Montgomery) to strip the R factor.
+    Fp unit;
+    unit.limbs_ = {1, 0, 0, 0};
+    return mont_mul(unit).limbs_;
+  }
+
+  Limbs limbs_;
+};
+
+}  // namespace zl

@@ -1,0 +1,90 @@
+#pragma once
+// Quadratic extension Fq2 = Fq[u] / (u^2 + 1) for BN254.
+//
+// The non-residue for the next extension step is xi = 9 + u (alt_bn128's
+// choice); `mul_by_xi` is the dedicated fast path for multiplying by it.
+
+#include "field/bn254.h"
+
+namespace zl {
+
+class Fq2 {
+ public:
+  Fq c0, c1;  // c0 + c1*u
+
+  constexpr Fq2() = default;
+  Fq2(const Fq& a, const Fq& b) : c0(a), c1(b) {}
+
+  static Fq2 zero() { return Fq2(Fq::zero(), Fq::zero()); }
+  static Fq2 one() { return Fq2(Fq::one(), Fq::zero()); }
+  static Fq2 from_u64(std::uint64_t a, std::uint64_t b) {
+    return Fq2(Fq::from_u64(a), Fq::from_u64(b));
+  }
+  static Fq2 random(Rng& rng) { return Fq2(Fq::random(rng), Fq::random(rng)); }
+
+  /// The sextic non-residue xi = 9 + u used to define Fq6.
+  static Fq2 xi() { return from_u64(9, 1); }
+
+  bool is_zero() const { return c0.is_zero() && c1.is_zero(); }
+
+  friend bool operator==(const Fq2& a, const Fq2& b) { return a.c0 == b.c0 && a.c1 == b.c1; }
+  friend bool operator!=(const Fq2& a, const Fq2& b) { return !(a == b); }
+
+  Fq2 operator+(const Fq2& r) const { return Fq2(c0 + r.c0, c1 + r.c1); }
+  Fq2 operator-(const Fq2& r) const { return Fq2(c0 - r.c0, c1 - r.c1); }
+  Fq2 operator-() const { return Fq2(-c0, -c1); }
+
+  Fq2 operator*(const Fq2& r) const {
+    // Karatsuba: 3 base-field multiplications.
+    const Fq v0 = c0 * r.c0;
+    const Fq v1 = c1 * r.c1;
+    return Fq2(v0 - v1, (c0 + c1) * (r.c0 + r.c1) - v0 - v1);
+  }
+
+  Fq2& operator+=(const Fq2& r) { return *this = *this + r; }
+  Fq2& operator-=(const Fq2& r) { return *this = *this - r; }
+  Fq2& operator*=(const Fq2& r) { return *this = *this * r; }
+
+  Fq2 squared() const {
+    // (a+bu)^2 = (a+b)(a-b) + 2ab u
+    const Fq ab = c0 * c1;
+    return Fq2((c0 + c1) * (c0 - c1), ab + ab);
+  }
+
+  Fq2 scalar_mul(const Fq& s) const { return Fq2(c0 * s, c1 * s); }
+
+  Fq2 dbl() const { return *this + *this; }
+
+  Fq2 mul_by_xi() const {
+    // (9 + u)(c0 + c1 u) = (9c0 - c1) + (9c1 + c0) u
+    const Fq nine_c0 = (c0.dbl().dbl().dbl()) + c0;
+    const Fq nine_c1 = (c1.dbl().dbl().dbl()) + c1;
+    return Fq2(nine_c0 - c1, nine_c1 + c0);
+  }
+
+  Fq2 conjugate() const { return Fq2(c0, -c1); }
+
+  /// Frobenius x -> x^q. Since q = 3 mod 4, u^q = -u: conjugation.
+  Fq2 frobenius() const { return conjugate(); }
+
+  Fq2 inverse() const {
+    // 1/(a+bu) = (a-bu)/(a^2+b^2)
+    const Fq norm = c0.squared() + c1.squared();
+    const Fq inv = norm.inverse();
+    return Fq2(c0 * inv, -(c1 * inv));
+  }
+
+  Fq2 pow(const BigInt& e) const {
+    Fq2 base = *this;
+    Fq2 acc = one();
+    if (e == 0) return acc;
+    const std::size_t bits = mpz_sizeinbase(e.get_mpz_t(), 2);
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (mpz_tstbit(e.get_mpz_t(), i)) acc *= base;
+      base = base.squared();
+    }
+    return acc;
+  }
+};
+
+}  // namespace zl

@@ -1,0 +1,119 @@
+#include "snark/domain.h"
+
+#include <stdexcept>
+
+namespace zl::snark {
+
+void batch_invert(std::vector<Fr>& values) {
+  if (values.empty()) return;
+  std::vector<Fr> prefix(values.size());
+  Fr acc = Fr::one();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_zero()) throw std::domain_error("batch_invert: zero element");
+    prefix[i] = acc;
+    acc *= values[i];
+  }
+  Fr inv = acc.inverse();
+  for (std::size_t i = values.size(); i-- > 0;) {
+    const Fr original = values[i];
+    values[i] = inv * prefix[i];
+    inv *= original;
+  }
+}
+
+EvaluationDomain::EvaluationDomain(std::size_t min_size) {
+  if (min_size == 0) throw std::invalid_argument("EvaluationDomain: empty domain");
+  size_ = 1;
+  log_size_ = 0;
+  while (size_ < min_size) {
+    size_ <<= 1;
+    ++log_size_;
+  }
+  if (log_size_ > kFrTwoAdicity) throw std::invalid_argument("EvaluationDomain: too large");
+  const BigInt exp = (Fr::modulus_bigint() - 1) / BigInt(static_cast<unsigned long>(size_));
+  omega_ = Fr::from_u64(kFrMultiplicativeGenerator).pow(exp);
+  omega_inv_ = omega_.inverse();
+  size_inv_ = Fr::from_u64(static_cast<std::uint64_t>(size_)).inverse();
+  coset_gen_ = Fr::from_u64(kFrMultiplicativeGenerator);
+  coset_gen_inv_ = coset_gen_.inverse();
+}
+
+void EvaluationDomain::fft_internal(std::vector<Fr>& a, const Fr& root) const {
+  if (a.size() != size_) throw std::invalid_argument("fft: size mismatch");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < size_; ++i) {
+    std::size_t bit = size_ >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= size_; len <<= 1) {
+    const Fr wlen = root.pow(BigInt(static_cast<unsigned long>(size_ / len)));
+    for (std::size_t i = 0; i < size_; i += len) {
+      Fr w = Fr::one();
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Fr u = a[i + k];
+        const Fr v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void EvaluationDomain::fft(std::vector<Fr>& a) const { fft_internal(a, omega_); }
+
+void EvaluationDomain::ifft(std::vector<Fr>& a) const {
+  fft_internal(a, omega_inv_);
+  for (Fr& x : a) x *= size_inv_;
+}
+
+void EvaluationDomain::coset_fft(std::vector<Fr>& a) const {
+  Fr g = Fr::one();
+  for (Fr& x : a) {
+    x *= g;
+    g *= coset_gen_;
+  }
+  fft(a);
+}
+
+void EvaluationDomain::coset_ifft(std::vector<Fr>& a) const {
+  ifft(a);
+  Fr g = Fr::one();
+  for (Fr& x : a) {
+    x *= g;
+    g *= coset_gen_inv_;
+  }
+}
+
+Fr EvaluationDomain::vanishing_poly_at(const Fr& x) const {
+  return x.pow(BigInt(static_cast<unsigned long>(size_))) - Fr::one();
+}
+
+Fr EvaluationDomain::vanishing_poly_on_coset() const {
+  return vanishing_poly_at(coset_gen_);
+}
+
+std::vector<Fr> EvaluationDomain::lagrange_coeffs_at(const Fr& tau) const {
+  const Fr z = vanishing_poly_at(tau);
+  if (z.is_zero()) throw std::domain_error("lagrange_coeffs_at: tau lies in the domain");
+  // L_j(tau) = (Z(tau) / size) * omega^j / (tau - omega^j)
+  std::vector<Fr> denoms(size_);
+  Fr w = Fr::one();
+  for (std::size_t j = 0; j < size_; ++j) {
+    denoms[j] = tau - w;
+    w *= omega_;
+  }
+  batch_invert(denoms);
+  std::vector<Fr> out(size_);
+  const Fr scale = z * size_inv_;
+  w = Fr::one();
+  for (std::size_t j = 0; j < size_; ++j) {
+    out[j] = scale * w * denoms[j];
+    w *= omega_;
+  }
+  return out;
+}
+
+}  // namespace zl::snark

@@ -1,0 +1,57 @@
+#pragma once
+// Radix-2 FFT evaluation domains over Fr (2-adicity 28 suffices for every
+// circuit in this system). Used by the Groth16 prover to compute the QAP
+// quotient polynomial H, and by the setup to evaluate Lagrange bases.
+
+#include <vector>
+
+#include "field/bn254.h"
+
+namespace zl::snark {
+
+/// Batch inversion (Montgomery's trick): replaces each non-zero element by
+/// its inverse using a single field inversion. Zero entries throw.
+void batch_invert(std::vector<Fr>& values);
+
+class EvaluationDomain {
+ public:
+  /// Creates the multiplicative subgroup of size next_pow2(min_size).
+  explicit EvaluationDomain(std::size_t min_size);
+
+  std::size_t size() const { return size_; }
+  const Fr& omega() const { return omega_; }
+
+  /// In-place FFT: coefficients -> evaluations at {omega^j}.
+  void fft(std::vector<Fr>& a) const;
+
+  /// In-place inverse FFT: evaluations -> coefficients.
+  void ifft(std::vector<Fr>& a) const;
+
+  /// FFT over the coset g*H where g is the Fr multiplicative generator.
+  void coset_fft(std::vector<Fr>& a) const;
+  void coset_ifft(std::vector<Fr>& a) const;
+
+  /// Z(x) = x^size - 1 evaluated at `x`.
+  Fr vanishing_poly_at(const Fr& x) const;
+
+  /// Z evaluated anywhere on the coset g*H (constant: g^size - 1).
+  Fr vanishing_poly_on_coset() const;
+
+  /// All Lagrange basis polynomials evaluated at `tau`:
+  /// L_j(tau) = Z(tau) * omega^j / (size * (tau - omega^j)).
+  /// `tau` must not lie in the domain.
+  std::vector<Fr> lagrange_coeffs_at(const Fr& tau) const;
+
+ private:
+  void fft_internal(std::vector<Fr>& a, const Fr& root) const;
+
+  std::size_t size_;
+  unsigned log_size_;
+  Fr omega_;
+  Fr omega_inv_;
+  Fr size_inv_;
+  Fr coset_gen_;
+  Fr coset_gen_inv_;
+};
+
+}  // namespace zl::snark

@@ -1,0 +1,96 @@
+#pragma once
+// Circuit builder: the gadget-facing API over raw R1CS.
+//
+// A `Wire` is a linear combination plus its concrete value; linear
+// operations (add, scale, constants) cost no constraints, while `mul`
+// allocates a new variable and one rank-1 constraint. Circuits are built
+// deterministically (no value-dependent structure), so the same builder
+// code serves both the trusted setup (structure only, dummy values) and
+// the prover (real witness).
+
+#include <stdexcept>
+
+#include "snark/r1cs.h"
+
+namespace zl::snark {
+
+class CircuitBuilder;
+
+/// A value-carrying linear combination over the circuit's variables.
+struct Wire {
+  LinearCombination lc;
+  Fr value;
+
+  Wire() : lc(LinearCombination::zero()), value(Fr::zero()) {}
+  Wire(LinearCombination l, Fr v) : lc(std::move(l)), value(v) {}
+
+  static Wire constant(const Fr& c) { return Wire(LinearCombination::constant(c), c); }
+  static Wire one() { return constant(Fr::one()); }
+  static Wire zero() { return Wire(); }
+
+  Wire operator+(const Wire& rhs) const { return Wire(lc + rhs.lc, value + rhs.value); }
+  Wire operator-(const Wire& rhs) const { return Wire(lc - rhs.lc, value - rhs.value); }
+  Wire operator*(const Fr& s) const { return Wire(lc * s, value * s); }
+  Wire operator-() const { return *this * (-Fr::one()); }
+  Wire operator+(const Fr& c) const { return *this + constant(c); }
+  Wire operator-(const Fr& c) const { return *this - constant(c); }
+};
+
+class CircuitBuilder {
+ public:
+  /// Allocate a public input wire. All inputs must be allocated before any
+  /// witness variable (R1CS convention: inputs occupy indices 1..n).
+  Wire input(const Fr& value) {
+    if (witnesses_allocated_) {
+      throw std::logic_error("CircuitBuilder: inputs must be allocated before witnesses");
+    }
+    const VarIndex idx = cs_.allocate_variable();
+    ++cs_.num_inputs;
+    assignment_.push_back(value);
+    return Wire(LinearCombination::variable(idx), value);
+  }
+
+  /// Allocate a private witness wire holding `value`.
+  Wire witness(const Fr& value) {
+    witnesses_allocated_ = true;
+    const VarIndex idx = cs_.allocate_variable();
+    assignment_.push_back(value);
+    return Wire(LinearCombination::variable(idx), value);
+  }
+
+  /// Enforce a * b = c.
+  void enforce(const Wire& a, const Wire& b, const Wire& c) {
+    cs_.add_constraint(a.lc, b.lc, c.lc);
+  }
+
+  /// Enforce a == b (as (a-b) * 1 = 0).
+  void enforce_equal(const Wire& a, const Wire& b) {
+    enforce(a - b, Wire::one(), Wire::zero());
+  }
+
+  /// Allocate and constrain the product a * b.
+  Wire mul(const Wire& a, const Wire& b) {
+    Wire out = witness(a.value * b.value);
+    enforce(a, b, out);
+    return out;
+  }
+
+  /// Allocate and constrain the multiplicative inverse (witness must be
+  /// nonzero when proving; structure is value-independent).
+  Wire inverse(const Wire& a) {
+    Wire out = witness(a.value.is_zero() ? Fr::zero() : a.value.inverse());
+    enforce(a, out, Wire::one());
+    return out;
+  }
+
+  const ConstraintSystem& constraint_system() const { return cs_; }
+  const std::vector<Fr>& assignment() const { return assignment_; }
+  std::size_t num_constraints() const { return cs_.constraints.size(); }
+
+ private:
+  ConstraintSystem cs_;
+  std::vector<Fr> assignment_ = {Fr::one()};
+  bool witnesses_allocated_ = false;
+};
+
+}  // namespace zl::snark

@@ -1,0 +1,108 @@
+#include "snark/gadgets/gadgets.h"
+
+namespace zl::snark {
+
+void enforce_boolean(CircuitBuilder& b, const Wire& w) {
+  b.enforce(w, w - Fr::one(), Wire::zero());
+}
+
+Wire boolean_witness(CircuitBuilder& b, bool value) {
+  const Wire w = b.witness(value ? Fr::one() : Fr::zero());
+  enforce_boolean(b, w);
+  return w;
+}
+
+std::vector<Wire> bit_decompose(CircuitBuilder& b, const Wire& w, unsigned nbits) {
+  if (nbits == 0 || nbits >= 254) throw std::invalid_argument("bit_decompose: bad width");
+  const BigInt v = w.value.to_bigint();
+  std::vector<Wire> bits;
+  bits.reserve(nbits);
+  for (unsigned i = 0; i < nbits; ++i) {
+    bits.push_back(boolean_witness(b, mpz_tstbit(v.get_mpz_t(), i) != 0));
+  }
+  b.enforce_equal(bits_to_wire(bits), w);
+  return bits;
+}
+
+Wire bits_to_wire(const std::vector<Wire>& bits) {
+  Wire acc = Wire::zero();
+  Fr pow = Fr::one();
+  for (const Wire& bit : bits) {
+    acc = acc + bit * pow;
+    pow = pow + pow;
+  }
+  return acc;
+}
+
+Wire select(CircuitBuilder& b, const Wire& bit, const Wire& t, const Wire& f) {
+  // f + bit * (t - f)
+  return f + b.mul(bit, t - f);
+}
+
+Wire is_zero(CircuitBuilder& b, const Wire& w) {
+  // Witness inv = w^-1 (or 0); out = 1 - w*inv; enforce w*out == 0.
+  const Wire inv = b.witness(w.value.is_zero() ? Fr::zero() : w.value.inverse());
+  const Wire out = b.witness(w.value.is_zero() ? Fr::one() : Fr::zero());
+  b.enforce(w, inv, Wire::one() - out);
+  b.enforce(w, out, Wire::zero());
+  return out;
+}
+
+Wire is_equal(CircuitBuilder& b, const Wire& a, const Wire& b_wire) {
+  return is_zero(b, a - b_wire);
+}
+
+Wire less_or_equal(CircuitBuilder& b, const Wire& a, const Wire& b_wire, unsigned nbits) {
+  // For a, b < 2^n: bit n of (b - a + 2^n) is 1 iff a <= b.
+  const Fr two_n = Fr::from_bigint(BigInt(1) << nbits);
+  const Wire shifted = b_wire - a + two_n;
+  const std::vector<Wire> bits = bit_decompose(b, shifted, nbits + 1);
+  return bits[nbits];
+}
+
+Wire less_than(CircuitBuilder& b, const Wire& a, const Wire& b_wire, unsigned nbits) {
+  // a < b  <=>  a <= b - 1  <=>  NOT (b <= a)
+  return bool_not(less_or_equal(b, b_wire, a, nbits));
+}
+
+Wire bool_and(CircuitBuilder& b, const Wire& x, const Wire& y) { return b.mul(x, y); }
+
+Wire bool_or(CircuitBuilder& b, const Wire& x, const Wire& y) {
+  return x + y - b.mul(x, y);
+}
+
+Wire bool_not(const Wire& x) { return Wire::one() - x; }
+
+Wire bits_less_than_constant(CircuitBuilder& b, const std::vector<Wire>& bits, const BigInt& c) {
+  // MSB-first scan. Invariants per step: `lt` is 1 iff some examined prefix
+  // already decided value < c; `eq` is 1 iff the examined prefix equals c's.
+  Wire lt = Wire::zero();
+  Wire eq = Wire::one();
+  for (std::size_t i = bits.size(); i-- > 0;) {
+    const bool c_bit = mpz_tstbit(c.get_mpz_t(), i) != 0;
+    if (c_bit) {
+      // value bit 0 while c bit 1 decides "less" (if still equal so far).
+      lt = lt + b.mul(eq, bool_not(bits[i]));
+      eq = b.mul(eq, bits[i]);
+    } else {
+      // value bit 1 while c bit 0 decides "greater": equality prefix dies.
+      eq = b.mul(eq, bool_not(bits[i]));
+    }
+  }
+  return lt;
+}
+
+std::vector<Wire> field_bits_canonical(CircuitBuilder& b, const Wire& w) {
+  constexpr unsigned kBits = 254;
+  const BigInt v = w.value.to_bigint();
+  std::vector<Wire> bits;
+  bits.reserve(kBits);
+  for (unsigned i = 0; i < kBits; ++i) {
+    bits.push_back(boolean_witness(b, mpz_tstbit(v.get_mpz_t(), i) != 0));
+  }
+  b.enforce_equal(bits_to_wire(bits), w);
+  b.enforce_equal(bits_less_than_constant(b, bits, Fr::modulus_bigint()), Wire::one());
+  return bits;
+}
+
+}  // namespace zl::snark

@@ -1,0 +1,56 @@
+#pragma once
+// Core arithmetic gadgets: booleanity, bit decomposition, equality/zero
+// tests, muxes and bounded comparisons. Everything the application circuits
+// (authentication, reward policies) are assembled from.
+
+#include <vector>
+
+#include "snark/gadgets/builder.h"
+
+namespace zl::snark {
+
+/// Constrain w to {0, 1}.
+void enforce_boolean(CircuitBuilder& b, const Wire& w);
+
+/// Allocate a boolean witness with the given value.
+Wire boolean_witness(CircuitBuilder& b, bool value);
+
+/// Decompose `w` into `nbits` little-endian boolean wires and enforce
+/// sum b_i 2^i == w. Provable only when w.value < 2^nbits (and nbits < 254,
+/// so the decomposition is unique).
+std::vector<Wire> bit_decompose(CircuitBuilder& b, const Wire& w, unsigned nbits);
+
+/// Recompose bits into a wire (linear, no constraints).
+Wire bits_to_wire(const std::vector<Wire>& bits);
+
+/// bit ? t : f   (one constraint).
+Wire select(CircuitBuilder& b, const Wire& bit, const Wire& t, const Wire& f);
+
+/// 1 if w == 0 else 0   (two constraints).
+Wire is_zero(CircuitBuilder& b, const Wire& w);
+
+/// 1 if a == b else 0.
+Wire is_equal(CircuitBuilder& b, const Wire& a, const Wire& b_wire);
+
+/// 1 if a <= b else 0, for values known to be < 2^nbits.
+Wire less_or_equal(CircuitBuilder& b, const Wire& a, const Wire& b_wire, unsigned nbits);
+
+/// 1 if a < b else 0, for values known to be < 2^nbits.
+Wire less_than(CircuitBuilder& b, const Wire& a, const Wire& b_wire, unsigned nbits);
+
+/// Logical AND / OR / NOT of boolean wires.
+Wire bool_and(CircuitBuilder& b, const Wire& x, const Wire& y);
+Wire bool_or(CircuitBuilder& b, const Wire& x, const Wire& y);
+Wire bool_not(const Wire& x);
+
+/// 1 if the (little-endian boolean) bit string is strictly less than the
+/// non-negative constant `c`, else 0. MSB-first scan; linear in bit count.
+Wire bits_less_than_constant(CircuitBuilder& b, const std::vector<Wire>& bits, const BigInt& c);
+
+/// Canonical full-width decomposition of a field element: 254 little-endian
+/// boolean wires whose integer value is enforced to equal `w` AND to be
+/// < r (the field modulus), making the decomposition unique — a malicious
+/// prover cannot present the aliased value x + r instead of x.
+std::vector<Wire> field_bits_canonical(CircuitBuilder& b, const Wire& w);
+
+}  // namespace zl::snark

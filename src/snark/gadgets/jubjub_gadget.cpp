@@ -1,0 +1,70 @@
+#include "snark/gadgets/jubjub_gadget.h"
+
+namespace zl::snark {
+
+PointWires allocate_point(CircuitBuilder& b, const JubjubPoint& p) {
+  return {b.witness(p.x), b.witness(p.y)};
+}
+
+void enforce_on_curve(CircuitBuilder& b, const PointWires& p) {
+  const Wire x2 = b.mul(p.x, p.x);
+  const Wire y2 = b.mul(p.y, p.y);
+  const Wire x2y2 = b.mul(x2, y2);
+  // a x^2 + y^2 - 1 - d x^2 y^2 == 0
+  b.enforce_equal(x2 * JubjubPoint::param_a() + y2,
+                  Wire::one() + x2y2 * JubjubPoint::param_d());
+}
+
+PointWires point_add(CircuitBuilder& b, const PointWires& p, const PointWires& q) {
+  const Wire x1y2 = b.mul(p.x, q.y);
+  const Wire y1x2 = b.mul(p.y, q.x);
+  const Wire y1y2 = b.mul(p.y, q.y);
+  const Wire x1x2 = b.mul(p.x, q.x);
+  const Wire prod = b.mul(x1x2, y1y2);  // x1 x2 y1 y2
+  const Fr d = JubjubPoint::param_d();
+  const Fr a = JubjubPoint::param_a();
+
+  // x3 (1 + d prod) = x1y2 + y1x2 ; y3 (1 - d prod) = y1y2 - a x1x2
+  const Fr denom_x_val = Fr::one() + d * prod.value;
+  const Fr denom_y_val = Fr::one() - d * prod.value;
+  const Fr x3_val = (x1y2.value + y1x2.value) * denom_x_val.inverse();
+  const Fr y3_val = (y1y2.value - a * x1x2.value) * denom_y_val.inverse();
+  const Wire x3 = b.witness(x3_val);
+  const Wire y3 = b.witness(y3_val);
+  b.enforce(x3, Wire::one() + prod * d, x1y2 + y1x2);
+  b.enforce(y3, Wire::one() - prod * d, y1y2 - x1x2 * a);
+  return {x3, y3};
+}
+
+PointWires point_select_or_identity(CircuitBuilder& b, const Wire& bit, const PointWires& p) {
+  // (bit*x, 1 + bit*(y-1))
+  const Wire sx = b.mul(bit, p.x);
+  const Wire sy = Wire::one() + b.mul(bit, p.y - Fr::one());
+  return {sx, sy};
+}
+
+PointWires scalar_mul(CircuitBuilder& b, const std::vector<Wire>& bits, const PointWires& base) {
+  PointWires acc = {Wire::zero(), Wire::one()};  // identity
+  PointWires doubled = base;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const PointWires addend = point_select_or_identity(b, bits[i], doubled);
+    acc = point_add(b, acc, addend);
+    if (i + 1 < bits.size()) doubled = point_add(b, doubled, doubled);
+  }
+  return acc;
+}
+
+PointWires fixed_base_scalar_mul(CircuitBuilder& b, const std::vector<Wire>& bits,
+                                 const JubjubPoint& base) {
+  PointWires acc = {Wire::zero(), Wire::one()};
+  JubjubPoint power = base;  // base * 2^i, a native constant per bit
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const PointWires constant_point = {Wire::constant(power.x), Wire::constant(power.y)};
+    const PointWires addend = point_select_or_identity(b, bits[i], constant_point);
+    acc = point_add(b, acc, addend);
+    power = power.dbl();
+  }
+  return acc;
+}
+
+}  // namespace zl::snark

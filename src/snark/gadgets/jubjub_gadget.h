@@ -1,0 +1,37 @@
+#pragma once
+// In-circuit Baby Jubjub arithmetic: on-curve checks, complete twisted
+// Edwards addition, and scalar multiplication by a witness scalar given as
+// boolean wires. Used by the reward circuit to verify epk = esk*G and to
+// recompute the per-answer Diffie–Hellman secrets inside the SNARK.
+
+#include "ec/babyjubjub.h"
+#include "snark/gadgets/gadgets.h"
+
+namespace zl::snark {
+
+struct PointWires {
+  Wire x, y;
+};
+
+/// Allocate a witness point (no curve check).
+PointWires allocate_point(CircuitBuilder& b, const JubjubPoint& p);
+
+/// Enforce a x^2 + y^2 = 1 + d x^2 y^2.
+void enforce_on_curve(CircuitBuilder& b, const PointWires& p);
+
+/// Complete twisted Edwards addition (7 constraints).
+PointWires point_add(CircuitBuilder& b, const PointWires& p, const PointWires& q);
+
+/// bit ? p : identity(0,1)   (2 constraints).
+PointWires point_select_or_identity(CircuitBuilder& b, const Wire& bit, const PointWires& p);
+
+/// sum_i bits[i] 2^i * base, with `base` a circuit point (variable base).
+/// Bits are little-endian booleans. Cost ~16 constraints per bit.
+PointWires scalar_mul(CircuitBuilder& b, const std::vector<Wire>& bits, const PointWires& base);
+
+/// Same but for a fixed, publicly known base point (saves the base-doubling
+/// constraints: precomputed multiples are circuit constants).
+PointWires fixed_base_scalar_mul(CircuitBuilder& b, const std::vector<Wire>& bits,
+                                 const JubjubPoint& base);
+
+}  // namespace zl::snark

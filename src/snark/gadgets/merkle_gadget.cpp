@@ -1,0 +1,32 @@
+#include "snark/gadgets/merkle_gadget.h"
+
+namespace zl::snark {
+
+MerklePathWires allocate_merkle_path(CircuitBuilder& b, const MerkleTree::Path& path,
+                                     unsigned depth) {
+  if (path.siblings.size() != depth) {
+    throw std::invalid_argument("allocate_merkle_path: depth mismatch");
+  }
+  MerklePathWires wires;
+  for (unsigned i = 0; i < depth; ++i) {
+    wires.siblings.push_back(b.witness(path.siblings[i]));
+    wires.index_bits.push_back(boolean_witness(b, ((path.leaf_index >> i) & 1) != 0));
+  }
+  return wires;
+}
+
+Wire merkle_root_gadget(CircuitBuilder& b, const Wire& leaf, const MerklePathWires& path) {
+  Wire cur = leaf;
+  for (std::size_t i = 0; i < path.siblings.size(); ++i) {
+    const Wire& sib = path.siblings[i];
+    const Wire& bit = path.index_bits[i];
+    // bit == 0: (cur, sib); bit == 1: (sib, cur). One shared mux product.
+    const Wire diff = b.mul(bit, sib - cur);
+    const Wire left = cur + diff;
+    const Wire right = sib - diff;
+    cur = mimc_compress_gadget(b, left, right);
+  }
+  return cur;
+}
+
+}  // namespace zl::snark

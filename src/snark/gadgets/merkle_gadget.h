@@ -1,0 +1,25 @@
+#pragma once
+// In-circuit Merkle membership proof (MiMC compression), the circuit
+// counterpart of crypto/merkle.h. This is `CertVrfy` in the anonymous
+// authentication language L_T of the paper's §V-A under substitution T4.
+
+#include "crypto/merkle.h"
+#include "snark/gadgets/mimc_gadget.h"
+
+namespace zl::snark {
+
+/// Witness wires of one membership path.
+struct MerklePathWires {
+  std::vector<Wire> siblings;    // depth sibling hashes
+  std::vector<Wire> index_bits;  // depth boolean wires, LSB first
+};
+
+/// Allocate witness wires for a concrete native path.
+MerklePathWires allocate_merkle_path(CircuitBuilder& b, const MerkleTree::Path& path,
+                                     unsigned depth);
+
+/// Compute the root implied by (leaf, path); the caller constrains it equal
+/// to the public root wire.
+Wire merkle_root_gadget(CircuitBuilder& b, const Wire& leaf, const MerklePathWires& path);
+
+}  // namespace zl::snark

@@ -1,0 +1,33 @@
+#include "snark/gadgets/mimc_gadget.h"
+
+namespace zl::snark {
+
+namespace {
+Wire pow7_gadget(CircuitBuilder& b, const Wire& t) {
+  const Wire t2 = b.mul(t, t);
+  const Wire t4 = b.mul(t2, t2);
+  const Wire t6 = b.mul(t4, t2);
+  return b.mul(t6, t);
+}
+}  // namespace
+
+Wire mimc_permute_gadget(CircuitBuilder& b, const Wire& x, const Wire& k) {
+  const std::vector<Fr>& c = mimc_round_constants();
+  Wire cur = x;
+  for (int i = 0; i < kMimcRounds; ++i) {
+    cur = pow7_gadget(b, cur + k + Wire::constant(c[static_cast<std::size_t>(i)]));
+  }
+  return cur + k;
+}
+
+Wire mimc_compress_gadget(CircuitBuilder& b, const Wire& a, const Wire& k) {
+  return mimc_permute_gadget(b, a, k) + a + k;
+}
+
+Wire mimc_hash_gadget(CircuitBuilder& b, const std::vector<Wire>& msgs) {
+  Wire h = Wire::zero();
+  for (const Wire& m : msgs) h = mimc_compress_gadget(b, m, h);
+  return h;
+}
+
+}  // namespace zl::snark

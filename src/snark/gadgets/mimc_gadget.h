@@ -1,0 +1,20 @@
+#pragma once
+// In-circuit MiMC7 — must agree bit-for-bit with the native implementation
+// in crypto/mimc.h (tested for agreement on random inputs).
+
+#include "crypto/mimc.h"
+#include "snark/gadgets/gadgets.h"
+
+namespace zl::snark {
+
+/// Keyed permutation: 91 rounds of (x + k + c_i)^7, plus final key add.
+/// Costs 4 constraints per round (x^7 via x2, x4, x6, x7).
+Wire mimc_permute_gadget(CircuitBuilder& b, const Wire& x, const Wire& k);
+
+/// 2-to-1 compression H2(a, b) = permute(a, b) + a + b.
+Wire mimc_compress_gadget(CircuitBuilder& b, const Wire& a, const Wire& k);
+
+/// Vector hash matching zl::mimc_hash.
+Wire mimc_hash_gadget(CircuitBuilder& b, const std::vector<Wire>& msgs);
+
+}  // namespace zl::snark

@@ -1,0 +1,170 @@
+#include "snark/gadgets/sha256_gadget.h"
+
+#include <stdexcept>
+
+namespace zl::snark {
+
+WordWires word_constant(std::uint32_t v) {
+  WordWires out;
+  for (unsigned i = 0; i < 32; ++i) {
+    out[i] = ((v >> i) & 1) ? Wire::one() : Wire::zero();
+  }
+  return out;
+}
+
+WordWires word_witness(CircuitBuilder& b, std::uint32_t v) {
+  WordWires out;
+  for (unsigned i = 0; i < 32; ++i) out[i] = boolean_witness(b, ((v >> i) & 1) != 0);
+  return out;
+}
+
+Wire word_to_wire(const WordWires& w) {
+  Wire acc = Wire::zero();
+  Fr pow = Fr::one();
+  for (unsigned i = 0; i < 32; ++i) {
+    acc = acc + w[i] * pow;
+    pow = pow + pow;
+  }
+  return acc;
+}
+
+std::uint32_t word_value(const WordWires& w) {
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < 32; ++i) {
+    if (w[i].value == Fr::one()) v |= (1u << i);
+  }
+  return v;
+}
+
+WordWires word_xor(CircuitBuilder& b, const WordWires& x, const WordWires& y) {
+  WordWires out;
+  for (unsigned i = 0; i < 32; ++i) {
+    // a xor b = a + b - 2ab; stays boolean by construction.
+    out[i] = x[i] + y[i] - b.mul(x[i], y[i]) * Fr::from_u64(2);
+  }
+  return out;
+}
+
+WordWires word_rotr(const WordWires& w, unsigned n) {
+  WordWires out;
+  for (unsigned i = 0; i < 32; ++i) out[i] = w[(i + n) % 32];
+  return out;
+}
+
+WordWires word_shr(const WordWires& w, unsigned n) {
+  WordWires out;
+  for (unsigned i = 0; i < 32; ++i) out[i] = (i + n < 32) ? w[i + n] : Wire::zero();
+  return out;
+}
+
+WordWires word_ch(CircuitBuilder& b, const WordWires& e, const WordWires& f, const WordWires& g) {
+  WordWires out;
+  for (unsigned i = 0; i < 32; ++i) {
+    // e ? f : g  =  g + e (f - g)
+    out[i] = g[i] + b.mul(e[i], f[i] - g[i]);
+  }
+  return out;
+}
+
+WordWires word_maj(CircuitBuilder& b, const WordWires& x, const WordWires& y,
+                   const WordWires& z) {
+  WordWires out;
+  for (unsigned i = 0; i < 32; ++i) {
+    // maj = xy + xz + yz - 2xyz = t + z (x + y - 2t) with t = xy.
+    const Wire t = b.mul(x[i], y[i]);
+    out[i] = t + b.mul(z[i], x[i] + y[i] - t * Fr::from_u64(2));
+  }
+  return out;
+}
+
+WordWires word_add(CircuitBuilder& b, const std::vector<WordWires>& terms) {
+  if (terms.empty() || terms.size() > 8) throw std::invalid_argument("word_add: 1..8 terms");
+  // Total value fits in 32 + ceil(log2 k) bits.
+  unsigned extra = 0;
+  while ((1u << extra) < terms.size()) ++extra;
+
+  Wire total = Wire::zero();
+  std::uint64_t total_value = 0;
+  for (const WordWires& t : terms) {
+    total = total + word_to_wire(t);
+    total_value += word_value(t);
+  }
+  WordWires out;
+  Wire recomposed = Wire::zero();
+  Fr pow = Fr::one();
+  for (unsigned i = 0; i < 32; ++i) {
+    out[i] = boolean_witness(b, ((total_value >> i) & 1) != 0);
+    recomposed = recomposed + out[i] * pow;
+    pow = pow + pow;
+  }
+  for (unsigned i = 0; i < extra; ++i) {
+    const Wire carry = boolean_witness(b, ((total_value >> (32 + i)) & 1) != 0);
+    recomposed = recomposed + carry * pow;
+    pow = pow + pow;
+  }
+  b.enforce_equal(recomposed, total);
+  return out;
+}
+
+std::array<WordWires, 8> sha256_compress_gadget(CircuitBuilder& b,
+                                                const std::array<WordWires, 8>& state,
+                                                const std::array<WordWires, 16>& block) {
+  const auto& k_const = sha256_round_constants();
+
+  // Message schedule.
+  std::vector<WordWires> w(block.begin(), block.end());
+  w.reserve(64);
+  for (unsigned i = 16; i < 64; ++i) {
+    const WordWires s0 = word_xor(
+        b, word_xor(b, word_rotr(w[i - 15], 7), word_rotr(w[i - 15], 18)), word_shr(w[i - 15], 3));
+    const WordWires s1 = word_xor(
+        b, word_xor(b, word_rotr(w[i - 2], 17), word_rotr(w[i - 2], 19)), word_shr(w[i - 2], 10));
+    w.push_back(word_add(b, {w[i - 16], s0, w[i - 7], s1}));
+  }
+
+  WordWires a = state[0], bb = state[1], c = state[2], d = state[3];
+  WordWires e = state[4], f = state[5], g = state[6], h = state[7];
+  for (unsigned i = 0; i < 64; ++i) {
+    const WordWires s1 =
+        word_xor(b, word_xor(b, word_rotr(e, 6), word_rotr(e, 11)), word_rotr(e, 25));
+    const WordWires ch = word_ch(b, e, f, g);
+    const WordWires t1 = word_add(b, {h, s1, ch, word_constant(k_const[i]), w[i]});
+    const WordWires s0 =
+        word_xor(b, word_xor(b, word_rotr(a, 2), word_rotr(a, 13)), word_rotr(a, 22));
+    const WordWires maj = word_maj(b, a, bb, c);
+    const WordWires t2 = word_add(b, {s0, maj});
+    h = g;
+    g = f;
+    f = e;
+    e = word_add(b, {d, t1});
+    d = c;
+    c = bb;
+    bb = a;
+    a = word_add(b, {t1, t2});
+  }
+
+  return {word_add(b, {state[0], a}), word_add(b, {state[1], bb}), word_add(b, {state[2], c}),
+          word_add(b, {state[3], d}), word_add(b, {state[4], e}), word_add(b, {state[5], f}),
+          word_add(b, {state[6], g}), word_add(b, {state[7], h})};
+}
+
+std::array<WordWires, 8> sha256_digest_gadget(CircuitBuilder& b,
+                                              const std::vector<WordWires>& message_words) {
+  if (message_words.size() > 13) {
+    throw std::invalid_argument("sha256_digest_gadget: message must fit one padded block");
+  }
+  std::array<WordWires, 16> block;
+  std::size_t i = 0;
+  for (; i < message_words.size(); ++i) block[i] = message_words[i];
+  block[i++] = word_constant(0x80000000u);  // padding: 1 bit then zeros
+  for (; i < 14; ++i) block[i] = word_constant(0);
+  const std::uint64_t bit_len = 32ull * message_words.size();
+  block[14] = word_constant(static_cast<std::uint32_t>(bit_len >> 32));
+  block[15] = word_constant(static_cast<std::uint32_t>(bit_len));
+
+  std::array<WordWires, 8> state;
+  for (unsigned j = 0; j < 8; ++j) state[j] = word_constant(sha256_initial_state()[j]);
+  return sha256_compress_gadget(b, state, block);
+}
+
+}  // namespace zl::snark

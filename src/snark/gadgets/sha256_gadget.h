@@ -1,0 +1,62 @@
+#pragma once
+// In-circuit SHA-256 (FIPS 180-4 compression function) — the hash the
+// paper's libsnark implementation actually uses inside its circuits.
+//
+// The production circuits in this repository use MiMC7 (DESIGN.md T3) for
+// proving speed; this gadget exists for paper fidelity: tests check it
+// against the native implementation bit-for-bit, and bench_sha256_circuit
+// measures the proving cost the paper's 62-78 s Fig. 4 numbers come from
+// (~27k constraints per compression vs MiMC's 364).
+//
+// Words are arrays of 32 boolean wires, LSB first. Linear operations
+// (rotations, shifts, recomposition) are free; XOR costs 1 constraint/bit,
+// Ch 1, Maj 2, and modular addition of k words costs 32 + ceil(log2 k)
+// boolean witnesses plus one linear identity.
+
+#include <array>
+
+#include "crypto/sha256.h"
+#include "snark/gadgets/gadgets.h"
+
+namespace zl::snark {
+
+using WordWires = std::array<Wire, 32>;
+
+/// A constant word (no constraints, no witnesses).
+WordWires word_constant(std::uint32_t v);
+
+/// Allocate a witness word: 32 boolean-constrained wires.
+WordWires word_witness(CircuitBuilder& b, std::uint32_t v);
+
+/// Linear recomposition sum b_i 2^i.
+Wire word_to_wire(const WordWires& w);
+
+/// Concrete value held by the wires (witness readback).
+std::uint32_t word_value(const WordWires& w);
+
+WordWires word_xor(CircuitBuilder& b, const WordWires& x, const WordWires& y);
+WordWires word_rotr(const WordWires& w, unsigned n);
+WordWires word_shr(const WordWires& w, unsigned n);
+
+/// SHA-256 choose: Ch(e, f, g) = (e AND f) XOR (NOT e AND g), one
+/// constraint per bit via g + e*(f - g).
+WordWires word_ch(CircuitBuilder& b, const WordWires& e, const WordWires& f, const WordWires& g);
+
+/// SHA-256 majority: Maj(a, b, c), two constraints per bit.
+WordWires word_maj(CircuitBuilder& b, const WordWires& x, const WordWires& y,
+                   const WordWires& z);
+
+/// Sum of up to 8 words modulo 2^32.
+WordWires word_add(CircuitBuilder& b, const std::vector<WordWires>& terms);
+
+/// One compression: state' = Compress(state, block).
+std::array<WordWires, 8> sha256_compress_gadget(CircuitBuilder& b,
+                                                const std::array<WordWires, 8>& state,
+                                                const std::array<WordWires, 16>& block);
+
+/// Digest of a word-aligned message of at most 13 words (padding fits one
+/// block), starting from the standard IV. Matches zl::Sha256 exactly.
+std::array<WordWires, 8> sha256_digest_gadget(CircuitBuilder& b,
+                                              const std::vector<WordWires>& message_words);
+
+}  // namespace zl::snark

@@ -1,0 +1,78 @@
+#pragma once
+// Groth16 zk-SNARK over BN254 — the proving system standing in for libsnark
+// in the paper's stack. Constant-size proofs (2 G1 + 1 G2), pairing-based
+// verification, QAP reduction with the libsnark-style input-consistency rows.
+//
+// The three algorithms match the paper's abstraction in §III:
+//   setup(C)          -> public parameters PP (proving + verifying key)
+//   Prover(x, w, PP)  -> constant-size proof
+//   Verifier(x, pi, PP) -> accept/reject via a 4-pairing product check
+
+#include <optional>
+
+#include "ec/pairing.h"
+#include "snark/domain.h"
+#include "snark/r1cs.h"
+
+namespace zl::snark {
+
+struct Proof {
+  G1 a;
+  G2 b;
+  G1 c;
+
+  Bytes to_bytes() const;
+  static Proof from_bytes(const Bytes& bytes);
+  /// Serialized size: 2 G1 + 1 G2, uncompressed (constant, independent of
+  /// the circuit — the property Table I's "Proof" column demonstrates).
+  static constexpr std::size_t kByteSize = 65 + 129 + 65;
+};
+
+struct VerifyingKey {
+  G1 alpha_g1;
+  G2 beta_g2;
+  G2 gamma_g2;
+  G2 delta_g2;
+  /// IC query: one point per public input, plus one for the constant.
+  std::vector<G1> ic;
+  /// Precomputed e(alpha, beta) — verification needs only 3 Miller loops.
+  /// Derived (not serialized); recomputed lazily after deserialization.
+  mutable std::optional<Fq12> alpha_beta;
+
+  const Fq12& alpha_beta_gt() const;
+
+  Bytes to_bytes() const;
+  static VerifyingKey from_bytes(const Bytes& bytes);
+  std::size_t byte_size() const { return 65 + 3 * 129 + 4 + ic.size() * 65; }
+};
+
+struct ProvingKey {
+  G1 alpha_g1, beta_g1, delta_g1;
+  G2 beta_g2, delta_g2;
+  std::vector<G1> a_query;     // [A_i(tau)]_1, one per variable
+  std::vector<G1> b_g1_query;  // [B_i(tau)]_1
+  std::vector<G2> b_g2_query;  // [B_i(tau)]_2
+  std::vector<G1> l_query;     // [(beta A_i + alpha B_i + C_i)/delta]_1, witnesses only
+  std::vector<G1> h_query;     // [tau^i Z(tau)/delta]_1
+  std::size_t domain_size = 0;
+  std::size_t num_inputs = 0;
+};
+
+struct Keypair {
+  ProvingKey pk;
+  VerifyingKey vk;
+};
+
+/// Trusted setup for a fixed constraint system. The trapdoor
+/// (tau, alpha, beta, gamma, delta) is sampled from `rng` and discarded.
+Keypair setup(const ConstraintSystem& cs, Rng& rng);
+
+/// Produce a proof for `assignment` (full vector, assignment[0] == 1).
+/// Throws std::invalid_argument if the assignment does not satisfy `cs`.
+Proof prove(const ProvingKey& pk, const ConstraintSystem& cs, const std::vector<Fr>& assignment,
+            Rng& rng);
+
+/// Verify a proof against the public inputs (statement) only.
+bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof);
+
+}  // namespace zl::snark

@@ -1,0 +1,22 @@
+#include "snark/r1cs.h"
+
+namespace zl::snark {
+
+bool ConstraintSystem::is_satisfied(const std::vector<Fr>& assignment) const {
+  return first_unsatisfied(assignment) < 0;
+}
+
+std::ptrdiff_t ConstraintSystem::first_unsatisfied(const std::vector<Fr>& assignment) const {
+  if (assignment.size() != num_variables || assignment.empty() || assignment[0] != Fr::one()) {
+    return 0;
+  }
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    const Constraint& c = constraints[i];
+    if (c.a.evaluate(assignment) * c.b.evaluate(assignment) != c.c.evaluate(assignment)) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace zl::snark

@@ -1,0 +1,101 @@
+#pragma once
+// Rank-1 constraint systems over BN254's scalar field.
+//
+// A constraint is <A, z> * <B, z> = <C, z> where z is the assignment vector
+// with z[0] == 1 by convention. Variables [1 .. num_inputs] are the public
+// inputs (the SNARK statement ~x); the rest are private witnesses (~w).
+
+#include <cstdint>
+#include <vector>
+
+#include "field/bn254.h"
+
+namespace zl::snark {
+
+/// Index into the assignment vector. Index 0 is the constant ONE.
+using VarIndex = std::size_t;
+
+/// Sparse linear combination sum_i coeff_i * z[index_i].
+class LinearCombination {
+ public:
+  struct Term {
+    VarIndex index;
+    Fr coeff;
+  };
+
+  LinearCombination() = default;
+  /// The combination `coeff * z[index]`.
+  LinearCombination(VarIndex index, const Fr& coeff) { add_term(index, coeff); }
+
+  static LinearCombination constant(const Fr& c) { return LinearCombination(0, c); }
+  static LinearCombination variable(VarIndex index) { return LinearCombination(index, Fr::one()); }
+  static LinearCombination zero() { return LinearCombination(); }
+
+  void add_term(VarIndex index, const Fr& coeff) {
+    if (coeff.is_zero()) return;
+    for (Term& t : terms_) {
+      if (t.index == index) {
+        t.coeff += coeff;
+        return;
+      }
+    }
+    terms_.push_back({index, coeff});
+  }
+
+  LinearCombination operator+(const LinearCombination& rhs) const {
+    LinearCombination out = *this;
+    for (const Term& t : rhs.terms_) out.add_term(t.index, t.coeff);
+    return out;
+  }
+
+  LinearCombination operator-(const LinearCombination& rhs) const {
+    LinearCombination out = *this;
+    for (const Term& t : rhs.terms_) out.add_term(t.index, -t.coeff);
+    return out;
+  }
+
+  LinearCombination operator*(const Fr& s) const {
+    LinearCombination out;
+    for (const Term& t : terms_) out.add_term(t.index, t.coeff * s);
+    return out;
+  }
+
+  Fr evaluate(const std::vector<Fr>& assignment) const {
+    Fr acc = Fr::zero();
+    for (const Term& t : terms_) acc += t.coeff * assignment.at(t.index);
+    return acc;
+  }
+
+  const std::vector<Term>& terms() const { return terms_; }
+
+ private:
+  std::vector<Term> terms_;
+};
+
+struct Constraint {
+  LinearCombination a, b, c;
+};
+
+class ConstraintSystem {
+ public:
+  /// Number of public input variables (indices 1..num_inputs).
+  std::size_t num_inputs = 0;
+  /// Total number of variables including ONE (index 0) and all witnesses.
+  std::size_t num_variables = 1;
+  std::vector<Constraint> constraints;
+
+  VarIndex allocate_variable() { return num_variables++; }
+
+  void add_constraint(const LinearCombination& a, const LinearCombination& b,
+                      const LinearCombination& c) {
+    constraints.push_back({a, b, c});
+  }
+
+  /// Check every constraint against a full assignment (z[0] must be 1).
+  bool is_satisfied(const std::vector<Fr>& assignment) const;
+
+  /// Index of the first constraint that fails, or -1 (for debugging circuits).
+  std::ptrdiff_t first_unsatisfied(const std::vector<Fr>& assignment) const;
+};
+
+}  // namespace zl::snark

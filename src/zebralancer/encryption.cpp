@@ -1,0 +1,51 @@
+#include "zebralancer/encryption.h"
+
+namespace zl::zebralancer {
+
+TaskEncKeyPair TaskEncKeyPair::generate(Rng& rng) {
+  TaskEncKeyPair key;
+  // Exactly kEskBits bits: top bit forced so the bit-width is fixed.
+  key.esk = random_below(rng, BigInt(1) << (kEskBits - 1));
+  mpz_setbit(key.esk.get_mpz_t(), kEskBits - 1);
+  key.epk = JubjubPoint::generator() * key.esk;
+  return key;
+}
+
+namespace {
+Fr pad_from_shared(const JubjubPoint& shared) { return mimc_compress(shared.x, Fr::zero()); }
+}  // namespace
+
+AnswerCiphertext encrypt_answer(const JubjubPoint& epk, const Fr& answer, Rng& rng) {
+  const BigInt r = 1 + random_below(rng, JubjubPoint::subgroup_order() - 1);
+  AnswerCiphertext ct;
+  ct.ephemeral = JubjubPoint::generator() * r;
+  ct.payload = answer + pad_from_shared(epk * r);
+  return ct;
+}
+
+Fr decrypt_answer(const BigInt& esk, const AnswerCiphertext& ct) {
+  return ct.payload - pad_from_shared(ct.ephemeral * esk);
+}
+
+AnswerCiphertext placeholder_ciphertext(const Fr& sentinel) {
+  AnswerCiphertext ct;
+  ct.ephemeral = JubjubPoint::identity();
+  ct.payload = sentinel + pad_from_shared(JubjubPoint::identity());
+  return ct;
+}
+
+Bytes AnswerCiphertext::to_bytes() const {
+  return concat({ephemeral.to_bytes(), payload.to_bytes()});
+}
+
+AnswerCiphertext AnswerCiphertext::from_bytes(const Bytes& bytes) {
+  if (bytes.size() != kByteSize) {
+    throw std::invalid_argument("AnswerCiphertext::from_bytes: bad size");
+  }
+  AnswerCiphertext ct;
+  ct.ephemeral = JubjubPoint::from_bytes(Bytes(bytes.begin(), bytes.begin() + 64));
+  ct.payload = Fr::from_bytes(Bytes(bytes.begin() + 64, bytes.end()));
+  return ct;
+}
+
+}  // namespace zl::zebralancer

@@ -1,0 +1,52 @@
+#pragma once
+// Task answer encryption (DESIGN.md substitution T2).
+//
+// The reward proof must establish `A_j = Dec(esk, C_j)` *inside* the SNARK
+// (paper §V-B), so the task keypair lives on Baby Jubjub where decryption
+// is circuit-friendly:
+//
+//   keygen:   esk uniform in [2^127, 2^128),  epk = esk * G
+//   encrypt:  r fresh, R = r * G, pad = MiMC(x(r * epk), 0), c = A + pad
+//   decrypt:  pad = MiMC(x(esk * R), 0),      A = c - pad
+//
+// 128-bit scalars give the full curve security level for DH while keeping
+// the in-circuit scalar multiplication at 128 iterations.
+
+#include "ec/babyjubjub.h"
+#include "crypto/mimc.h"
+
+namespace zl::zebralancer {
+
+inline constexpr unsigned kEskBits = 128;
+
+struct TaskEncKeyPair {
+  BigInt esk;       // secret scalar, exactly kEskBits bits
+  JubjubPoint epk;  // esk * G
+
+  static TaskEncKeyPair generate(Rng& rng);
+};
+
+/// One encrypted answer: the ephemeral point and the padded field element.
+struct AnswerCiphertext {
+  JubjubPoint ephemeral;  // R = r * G
+  Fr payload;             // A + MiMC(x(shared), 0)
+
+  Bytes to_bytes() const;
+  static AnswerCiphertext from_bytes(const Bytes& bytes);
+  static constexpr std::size_t kByteSize = 64 + 32;
+
+  friend bool operator==(const AnswerCiphertext& a, const AnswerCiphertext& b) {
+    return a.ephemeral == b.ephemeral && a.payload == b.payload;
+  }
+};
+
+AnswerCiphertext encrypt_answer(const JubjubPoint& epk, const Fr& answer, Rng& rng);
+Fr decrypt_answer(const BigInt& esk, const AnswerCiphertext& ct);
+
+/// The deterministic "missing answer" ciphertext: ephemeral = identity, so
+/// every decryption key yields pad = MiMC(0, 0) and payload - pad equals the
+/// sentinel. The task contract pads unfilled slots with this when the
+/// answering deadline passes (paper: remaining answers are set to ⊥).
+AnswerCiphertext placeholder_ciphertext(const Fr& sentinel);
+
+}  // namespace zl::zebralancer

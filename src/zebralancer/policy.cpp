@@ -1,0 +1,313 @@
+#include "zebralancer/policy.h"
+
+#include <stdexcept>
+
+namespace zl::zebralancer {
+
+using snark::CircuitBuilder;
+using snark::Wire;
+
+namespace {
+
+/// Bit width that safely covers tallies and choice indices for n <= 255.
+constexpr unsigned kCountBits = 9;
+
+/// Native tally of answers per choice (sentinel excluded).
+std::vector<unsigned> tally_native(const std::vector<Fr>& answers, unsigned num_choices) {
+  std::vector<unsigned> tally(num_choices, 0);
+  for (const Fr& a : answers) {
+    for (unsigned c = 0; c < num_choices; ++c) {
+      if (a == Fr::from_u64(c)) ++tally[c];
+    }
+  }
+  return tally;
+}
+
+/// Circuit tally: counts[c] = #   { i : answers[i] == c }.
+std::vector<Wire> tally_gadget(CircuitBuilder& b, const std::vector<Wire>& answers,
+                               unsigned num_choices) {
+  std::vector<Wire> tally(num_choices, Wire::zero());
+  for (const Wire& a : answers) {
+    for (unsigned c = 0; c < num_choices; ++c) {
+      tally[c] = tally[c] + is_equal(b, a, Wire::constant(Fr::from_u64(c)));
+    }
+  }
+  return tally;
+}
+
+}  // namespace
+
+std::unique_ptr<IncentivePolicy> IncentivePolicy::by_name(const std::string& name) {
+  // Formats: "majority-vote:<k>", "threshold:<k>:<t>", "uniform:<k>".
+  const auto split = [&name] {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= name.size(); ++i) {
+      if (i == name.size() || name[i] == ':') {
+        parts.push_back(name.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    return parts;
+  }();
+  if (split.size() == 2 && split[0] == "majority-vote") {
+    return std::make_unique<MajorityVotePolicy>(static_cast<unsigned>(std::stoul(split[1])));
+  }
+  if (split.size() == 3 && split[0] == "threshold") {
+    return std::make_unique<ThresholdAgreementPolicy>(
+        static_cast<unsigned>(std::stoul(split[1])), static_cast<unsigned>(std::stoul(split[2])));
+  }
+  if (split.size() == 2 && split[0] == "uniform") {
+    return std::make_unique<UniformPolicy>(static_cast<unsigned>(std::stoul(split[1])));
+  }
+  if (split.size() == 2 && split[0] == "auction") {
+    return std::make_unique<SealedBidAuctionPolicy>(static_cast<unsigned>(std::stoul(split[1])));
+  }
+  throw std::invalid_argument("IncentivePolicy::by_name: unknown policy " + name);
+}
+
+MajorityVotePolicy::MajorityVotePolicy(unsigned num_choices) : num_choices_(num_choices) {
+  if (num_choices < 2 || num_choices > 16) {
+    throw std::invalid_argument("MajorityVotePolicy: choices must be in [2,16]");
+  }
+}
+
+std::string MajorityVotePolicy::name() const {
+  return "majority-vote:" + std::to_string(num_choices_);
+}
+
+std::vector<std::uint64_t> MajorityVotePolicy::rewards(const std::vector<Fr>& answers,
+                                                       std::uint64_t share) const {
+  const std::vector<unsigned> tally = tally_native(answers, num_choices_);
+  unsigned best = 0;
+  for (unsigned c = 1; c < num_choices_; ++c) {
+    if (tally[c] > tally[best]) best = c;  // ties -> lowest index
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(answers.size());
+  for (const Fr& a : answers) out.push_back(a == Fr::from_u64(best) ? share : 0);
+  return out;
+}
+
+std::vector<Wire> MajorityVotePolicy::rewards_gadget(CircuitBuilder& b,
+                                                     const std::vector<Wire>& answers,
+                                                     const Wire& share) const {
+  const std::vector<Wire> tally = tally_gadget(b, answers, num_choices_);
+  Wire best_count = tally[0];
+  Wire best_idx = Wire::zero();
+  for (unsigned c = 1; c < num_choices_; ++c) {
+    // Strictly greater keeps ties at the lowest index, matching the native
+    // evaluation.
+    const Wire gt = less_than(b, best_count, tally[c], kCountBits);
+    best_count = select(b, gt, tally[c], best_count);
+    best_idx = select(b, gt, Wire::constant(Fr::from_u64(c)), best_idx);
+  }
+  std::vector<Wire> out;
+  out.reserve(answers.size());
+  for (const Wire& a : answers) {
+    const Wire correct = is_equal(b, a, best_idx);
+    out.push_back(b.mul(correct, share));
+  }
+  return out;
+}
+
+ThresholdAgreementPolicy::ThresholdAgreementPolicy(unsigned num_choices, unsigned threshold)
+    : num_choices_(num_choices), threshold_(threshold) {
+  if (num_choices < 2 || num_choices > 16 || threshold == 0) {
+    throw std::invalid_argument("ThresholdAgreementPolicy: bad parameters");
+  }
+}
+
+std::string ThresholdAgreementPolicy::name() const {
+  return "threshold:" + std::to_string(num_choices_) + ":" + std::to_string(threshold_);
+}
+
+std::vector<std::uint64_t> ThresholdAgreementPolicy::rewards(const std::vector<Fr>& answers,
+                                                             std::uint64_t share) const {
+  const std::vector<unsigned> tally = tally_native(answers, num_choices_);
+  std::vector<std::uint64_t> out;
+  out.reserve(answers.size());
+  for (const Fr& a : answers) {
+    std::uint64_t reward = 0;
+    for (unsigned c = 0; c < num_choices_; ++c) {
+      if (a == Fr::from_u64(c) && tally[c] >= threshold_) reward = share;
+    }
+    out.push_back(reward);
+  }
+  return out;
+}
+
+std::vector<Wire> ThresholdAgreementPolicy::rewards_gadget(CircuitBuilder& b,
+                                                           const std::vector<Wire>& answers,
+                                                           const Wire& share) const {
+  const std::vector<Wire> tally = tally_gadget(b, answers, num_choices_);
+  std::vector<Wire> qualifying(num_choices_);  // tally[c] >= threshold?
+  for (unsigned c = 0; c < num_choices_; ++c) {
+    qualifying[c] =
+        less_or_equal(b, Wire::constant(Fr::from_u64(threshold_)), tally[c], kCountBits);
+  }
+  std::vector<Wire> out;
+  out.reserve(answers.size());
+  for (const Wire& a : answers) {
+    Wire paid = Wire::zero();
+    for (unsigned c = 0; c < num_choices_; ++c) {
+      const Wire matches = is_equal(b, a, Wire::constant(Fr::from_u64(c)));
+      paid = paid + b.mul(matches, qualifying[c]);
+    }
+    out.push_back(b.mul(paid, share));
+  }
+  return out;
+}
+
+SealedBidAuctionPolicy::SealedBidAuctionPolicy(unsigned num_winners)
+    : num_winners_(num_winners) {
+  if (num_winners == 0 || num_winners > 64) {
+    throw std::invalid_argument("SealedBidAuctionPolicy: winners must be in [1,64]");
+  }
+}
+
+std::string SealedBidAuctionPolicy::name() const {
+  return "auction:" + std::to_string(num_winners_);
+}
+
+std::vector<std::uint64_t> SealedBidAuctionPolicy::rewards(const std::vector<Fr>& answers,
+                                                           std::uint64_t share) const {
+  const std::size_t n = answers.size();
+  const std::uint64_t limit = 1ull << kBidBits;
+  // Valid bid <=> integer in [1, 2^16).
+  std::vector<bool> valid(n);
+  std::vector<std::uint64_t> bid(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BigInt v = answers[i].to_bigint();
+    if (v >= 1 && v < limit) {
+      valid[i] = true;
+      bid[i] = v.get_ui();
+    }
+  }
+  // Strict total order on valid bids: amount, ties to the earlier index.
+  const auto before = [&](std::size_t j, std::size_t i) {
+    return valid[j] && (bid[j] < bid[i] || (bid[j] == bid[i] && j < i));
+  };
+  std::vector<std::size_t> rank(n, 0);
+  std::size_t valid_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!valid[i]) continue;
+    ++valid_count;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && before(j, i)) ++rank[i];
+    }
+  }
+  // Clearing price: the (k+1)-th lowest valid bid, else the full share.
+  std::uint64_t price = share;
+  if (valid_count > num_winners_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (valid[i] && rank[i] == num_winners_) price = bid[i];
+    }
+  }
+  price = std::min(price, share);
+
+  std::vector<std::uint64_t> out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (valid[i] && rank[i] < num_winners_) out[i] = price;
+  }
+  return out;
+}
+
+std::vector<Wire> SealedBidAuctionPolicy::rewards_gadget(CircuitBuilder& b,
+                                                         const std::vector<Wire>& answers,
+                                                         const Wire& share) const {
+  using snark::bits_to_wire;
+  using snark::bool_and;
+  using snark::bool_not;
+  using snark::field_bits_canonical;
+  using snark::is_equal;
+  using snark::is_zero;
+  using snark::less_or_equal;
+  using snark::less_than;
+  using snark::select;
+
+  const std::size_t n = answers.size();
+  std::vector<Wire> valid(n), bid(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Canonical decomposition: the bid value and its 16-bit range flag are
+    // both sound against adversarial answers and a cheating prover.
+    const std::vector<Wire> bits = field_bits_canonical(b, answers[i]);
+    Wire high = Wire::zero();
+    for (std::size_t j = kBidBits; j < bits.size(); ++j) high = high + bits[j];
+    const Wire fits = is_zero(b, high);
+    const Wire nonzero = bool_not(is_zero(b, answers[i]));
+    valid[i] = bool_and(b, fits, nonzero);
+    bid[i] = bits_to_wire(std::vector<Wire>(bits.begin(), bits.begin() + kBidBits));
+  }
+
+  // rank_i = #{ valid j : bid_j < bid_i, ties to lower index }.
+  std::vector<Wire> rank(n, Wire::zero());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const Wire lt = less_than(b, bid[j], bid[i], kBidBits);
+      Wire before = lt;
+      if (j < i) before = bool_or(b, lt, is_equal(b, bid[j], bid[i]));
+      rank[i] = rank[i] + bool_and(b, valid[j], before);
+    }
+  }
+
+  Wire valid_count = Wire::zero();
+  for (const Wire& v : valid) valid_count = valid_count + v;
+  const Wire k_wire = Wire::constant(Fr::from_u64(num_winners_));
+  const Wire has_kth =
+      less_or_equal(b, Wire::constant(Fr::from_u64(num_winners_ + 1)), valid_count, kCountBits);
+
+  // The unique valid bidder with rank == k holds the clearing price.
+  Wire kth_bid = Wire::zero();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Wire at_k = bool_and(b, valid[i], is_equal(b, rank[i], k_wire));
+    kth_bid = kth_bid + b.mul(at_k, bid[i]);
+  }
+  Wire price = select(b, has_kth, kth_bid, share);
+  // Cap at the per-slot share so the instruction respects the budget.
+  // Bids are 16-bit and shares 63-bit at most, so 64 bits bounds both.
+  const Wire price_fits = less_or_equal(b, price, share, 63);
+  price = select(b, price_fits, price, share);
+
+  std::vector<Wire> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Wire wins = bool_and(b, valid[i], less_than(b, rank[i], k_wire, kCountBits));
+    out.push_back(b.mul(wins, price));
+  }
+  return out;
+}
+
+std::string UniformPolicy::name() const { return "uniform:" + std::to_string(num_choices_); }
+
+std::vector<std::uint64_t> UniformPolicy::rewards(const std::vector<Fr>& answers,
+                                                  std::uint64_t share) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(answers.size());
+  for (const Fr& a : answers) {
+    bool valid = false;
+    for (unsigned c = 0; c < num_choices_; ++c) {
+      if (a == Fr::from_u64(c)) valid = true;
+    }
+    out.push_back(valid ? share : 0);
+  }
+  return out;
+}
+
+std::vector<Wire> UniformPolicy::rewards_gadget(CircuitBuilder& b,
+                                                const std::vector<Wire>& answers,
+                                                const Wire& share) const {
+  std::vector<Wire> out;
+  out.reserve(answers.size());
+  for (const Wire& a : answers) {
+    Wire valid = Wire::zero();
+    for (unsigned c = 0; c < num_choices_; ++c) {
+      valid = valid + is_equal(b, a, Wire::constant(Fr::from_u64(c)));
+    }
+    out.push_back(b.mul(valid, share));
+  }
+  return out;
+}
+
+}  // namespace zl::zebralancer

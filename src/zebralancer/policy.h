@@ -1,0 +1,130 @@
+#pragma once
+// Incentive policies R(A_j; A_1..A_n, tau) — quality-aware reward functions
+// in the paper's §IV model. Each policy has a native evaluation (used by the
+// requester off-chain) and an R1CS gadget (used inside the reward proof);
+// the two are tested to agree exactly.
+//
+// Answers are small categorical values: a valid answer is in
+// {0, .., num_choices-1}; `num_choices` itself is the ⊥ sentinel for
+// missing/withheld answers (paper: unanswered slots become ⊥ and the policy
+// accounts for them — every policy here pays 0 for ⊥).
+
+#include <memory>
+#include <string>
+
+#include "snark/gadgets/gadgets.h"
+
+namespace zl::zebralancer {
+
+class IncentivePolicy {
+ public:
+  virtual ~IncentivePolicy() = default;
+
+  virtual std::string name() const = 0;
+  virtual unsigned num_choices() const = 0;
+
+  /// The ⊥ sentinel value.
+  Fr bottom() const { return Fr::from_u64(num_choices()); }
+
+  /// Native rewards, in wei. `share` is the per-winner amount the contract
+  /// derives from the budget (tau / n).
+  virtual std::vector<std::uint64_t> rewards(const std::vector<Fr>& answers,
+                                             std::uint64_t share) const = 0;
+
+  /// Circuit rewards. Must mirror `rewards` exactly: the returned wires are
+  /// constrained against the public reward statement by the reward circuit.
+  virtual std::vector<snark::Wire> rewards_gadget(snark::CircuitBuilder& b,
+                                                  const std::vector<snark::Wire>& answers,
+                                                  const snark::Wire& share) const = 0;
+
+  /// Registry for contract-side lookup by name ("majority-vote:4", ...).
+  static std::unique_ptr<IncentivePolicy> by_name(const std::string& name);
+};
+
+/// The paper's §VI experiment: image annotation as a multiple-choice
+/// problem, majority voting estimates the truth, a correct answer earns
+/// tau/n, anything else earns 0. Ties resolve to the lowest choice index.
+class MajorityVotePolicy : public IncentivePolicy {
+ public:
+  explicit MajorityVotePolicy(unsigned num_choices);
+
+  std::string name() const override;
+  unsigned num_choices() const override { return num_choices_; }
+  std::vector<std::uint64_t> rewards(const std::vector<Fr>& answers,
+                                     std::uint64_t share) const override;
+  std::vector<snark::Wire> rewards_gadget(snark::CircuitBuilder& b,
+                                          const std::vector<snark::Wire>& answers,
+                                          const snark::Wire& share) const override;
+
+ private:
+  unsigned num_choices_;
+};
+
+/// Pay tau/n to any answer shared by at least `threshold` workers —
+/// a simple peer-consistency quality proxy (c.f. quality-aware incentives
+/// [9]-[11] the paper's model covers).
+class ThresholdAgreementPolicy : public IncentivePolicy {
+ public:
+  ThresholdAgreementPolicy(unsigned num_choices, unsigned threshold);
+
+  std::string name() const override;
+  unsigned num_choices() const override { return num_choices_; }
+  std::vector<std::uint64_t> rewards(const std::vector<Fr>& answers,
+                                     std::uint64_t share) const override;
+  std::vector<snark::Wire> rewards_gadget(snark::CircuitBuilder& b,
+                                          const std::vector<snark::Wire>& answers,
+                                          const snark::Wire& share) const override;
+
+ private:
+  unsigned num_choices_;
+  unsigned threshold_;
+};
+
+/// Auction-based incentives (paper §IV: the model "captures the essence of
+/// many auction-based incentive mechanisms [7, 8]", the answers playing the
+/// role of bids). A sealed-bid uniform-price reverse auction: answers are
+/// bids in [1, 2^16); the `num_winners` lowest bidders win and are all paid
+/// the (num_winners+1)-th lowest bid (the classic truthful clearing price),
+/// capped at tau/n so the instruction can never exceed the budget. Ties
+/// break toward the earlier submission. Out-of-range or missing bids are
+/// invalid and earn nothing — the circuit establishes the range soundly via
+/// canonical field decomposition, so neither a garbage bid nor a cheating
+/// prover can corrupt the outcome.
+class SealedBidAuctionPolicy : public IncentivePolicy {
+ public:
+  static constexpr unsigned kBidBits = 16;
+
+  explicit SealedBidAuctionPolicy(unsigned num_winners);
+
+  std::string name() const override;
+  /// Auctions have no categorical choices; ⊥ encodes as 0 ("no bid").
+  unsigned num_choices() const override { return 0; }
+  std::vector<std::uint64_t> rewards(const std::vector<Fr>& answers,
+                                     std::uint64_t share) const override;
+  std::vector<snark::Wire> rewards_gadget(snark::CircuitBuilder& b,
+                                          const std::vector<snark::Wire>& answers,
+                                          const snark::Wire& share) const override;
+
+ private:
+  unsigned num_winners_;
+};
+
+/// Pay tau/n for mere (valid) participation. The weakest policy in the
+/// class; also what the contract's timeout fallback implements.
+class UniformPolicy : public IncentivePolicy {
+ public:
+  explicit UniformPolicy(unsigned num_choices) : num_choices_(num_choices) {}
+
+  std::string name() const override;
+  unsigned num_choices() const override { return num_choices_; }
+  std::vector<std::uint64_t> rewards(const std::vector<Fr>& answers,
+                                     std::uint64_t share) const override;
+  std::vector<snark::Wire> rewards_gadget(snark::CircuitBuilder& b,
+                                          const std::vector<snark::Wire>& answers,
+                                          const snark::Wire& share) const override;
+
+ private:
+  unsigned num_choices_;
+};
+
+}  // namespace zl::zebralancer

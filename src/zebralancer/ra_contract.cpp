@@ -1,0 +1,30 @@
+#include "zebralancer/ra_contract.h"
+
+namespace zl::zebralancer {
+
+using chain::CallContext;
+using chain::ContractRevert;
+using chain::GasSchedule;
+
+void RaRegistryContract::register_type() {
+  if (!chain::ContractFactory::instance().knows(kContractType)) {
+    chain::ContractFactory::instance().register_type(
+        kContractType, [] { return std::make_unique<RaRegistryContract>(); });
+  }
+}
+
+void RaRegistryContract::on_deploy(CallContext& ctx, const Bytes& ctor_args) {
+  ctx.charge(GasSchedule::kStorageWrite);
+  owner_ = ctx.sender;
+  root_ = Fr::from_bytes(ctor_args);
+}
+
+void RaRegistryContract::invoke(CallContext& ctx, const std::string& method, const Bytes& args) {
+  if (method != "update_root") throw ContractRevert("unknown method");
+  if (ctx.sender != owner_) throw ContractRevert("only the RA may update the root");
+  ctx.charge(GasSchedule::kStorageWrite);
+  root_ = Fr::from_bytes(args);
+  ctx.log("registry root updated");
+}
+
+}  // namespace zl::zebralancer

@@ -1,0 +1,28 @@
+#pragma once
+// The registration authority's interface contract (paper §VI system view):
+// "the RA's contract simply posits the system's master public key as a
+// common knowledge stored in the blockchain". Here the master public key is
+// the MiMC-Merkle registry root; the RA updates it as identities register.
+
+#include "chain/contract.h"
+#include "field/bn254.h"
+
+namespace zl::zebralancer {
+
+class RaRegistryContract : public chain::Contract {
+ public:
+  static constexpr const char* kContractType = "zebralancer-ra";
+  static void register_type();
+
+  void on_deploy(chain::CallContext& ctx, const Bytes& ctor_args) override;
+  void invoke(chain::CallContext& ctx, const std::string& method, const Bytes& args) override;
+
+  const Fr& registry_root() const { return root_; }
+  const chain::Address& owner() const { return owner_; }
+
+ private:
+  chain::Address owner_;
+  Fr root_ = Fr::zero();
+};
+
+}  // namespace zl::zebralancer

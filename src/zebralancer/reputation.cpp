@@ -1,0 +1,61 @@
+#include "zebralancer/reputation.h"
+
+#include "crypto/keccak.h"
+
+namespace zl::zebralancer {
+
+using chain::CallContext;
+using chain::ContractRevert;
+using chain::GasSchedule;
+
+void ReputationRegistryContract::register_type() {
+  if (!chain::ContractFactory::instance().knows(kContractType)) {
+    chain::ContractFactory::instance().register_type(
+        kContractType, [] { return std::make_unique<ReputationRegistryContract>(); });
+  }
+}
+
+void ReputationRegistryContract::on_deploy(CallContext& ctx, const Bytes& ctor_args) {
+  ctx.charge(GasSchedule::kStorageWrite);
+  if (!ctor_args.empty()) throw ContractRevert("no constructor args expected");
+  owner_ = ctx.sender;
+}
+
+void ReputationRegistryContract::invoke(CallContext& ctx, const std::string& method,
+                                        const Bytes& args) {
+  if (method == "authorize") {
+    if (ctx.sender != owner_) throw ContractRevert("only the owner authorizes reporters");
+    ctx.charge(GasSchedule::kStorageWrite);
+    authorized_[chain::Address::from_bytes(args)] = true;
+  } else if (method == "record") {
+    // Reporters are task contracts calling in via call_contract, so the
+    // sender is the task's own address.
+    if (!authorized_.contains(ctx.sender)) throw ContractRevert("reporter not authorized");
+    std::size_t off = 0;
+    const Bytes digest = read_frame(args, off);
+    const std::int64_t delta = static_cast<std::int64_t>(read_u64_be(args, off));
+    off += 8;
+    if (off != args.size() || digest.size() != 32) throw ContractRevert("malformed record");
+    ctx.charge(GasSchedule::kStorageWrite);
+    scores_[to_hex(digest)] += delta;
+    ctx.log("reputation " + to_hex(digest).substr(0, 8) + (delta >= 0 ? " +" : " ") +
+            std::to_string(delta));
+  } else {
+    throw ContractRevert("unknown method");
+  }
+}
+
+std::int64_t ReputationRegistryContract::score(const Bytes& identity_digest) const {
+  const auto it = scores_.find(to_hex(identity_digest));
+  return it == scores_.end() ? 0 : it->second;
+}
+
+Bytes ReputationRegistryContract::encode_record_args(const Bytes& identity_digest,
+                                                     std::int64_t delta) {
+  Bytes out;
+  append_frame(out, identity_digest);
+  append_u64_be(out, static_cast<std::uint64_t>(delta));
+  return out;
+}
+
+}  // namespace zl::zebralancer

@@ -1,0 +1,49 @@
+#pragma once
+// The reward proof pi_reward (paper §V-B, Reward phase): a zk-SNARK for
+//
+//   L = { R, P | ∃ esk :  ∧_j A_j = Dec(esk, C_j)
+//                       ∧_j R_j = R(A_j; A_1..A_n, tau)
+//                       ∧ pair(esk, epk) = 1 }
+//
+// Statement layout (public inputs, in order):
+//   epk.x, epk.y, share, then per answer j: R_j.x, R_j.y, c_j,
+//   then the n reward amounts.
+// Witness: the kEskBits bits of esk.
+//
+// The circuit is fixed per (n, policy); the requester proves, the task
+// contract verifies via the snark_verify precompile.
+
+#include "snark/groth16.h"
+#include "zebralancer/encryption.h"
+#include "zebralancer/policy.h"
+
+namespace zl::zebralancer {
+
+struct RewardCircuitSpec {
+  std::size_t num_answers = 0;
+  std::string policy_name;
+};
+
+/// Statement vector shared by prover and on-chain verifier.
+std::vector<Fr> reward_statement(const JubjubPoint& epk, std::uint64_t share,
+                                 const std::vector<AnswerCiphertext>& ciphertexts,
+                                 const std::vector<std::uint64_t>& rewards);
+
+/// Trusted setup for the reward circuit of a given spec (offline, once per
+/// task shape — the paper's "establishments of zk-SNARKs (off-line)").
+snark::Keypair reward_setup(const RewardCircuitSpec& spec, Rng& rng);
+
+/// Decrypt all answers, evaluate the policy, and produce (rewards, proof).
+/// Throws if epk does not match esk.
+struct RewardInstruction {
+  std::vector<std::uint64_t> rewards;
+  snark::Proof proof;
+};
+RewardInstruction prove_rewards(const snark::ProvingKey& pk, const RewardCircuitSpec& spec,
+                                const TaskEncKeyPair& enc_key, std::uint64_t share,
+                                const std::vector<AnswerCiphertext>& ciphertexts, Rng& rng);
+
+/// Number of public inputs for a spec (used for sizing reports).
+std::size_t reward_statement_size(const RewardCircuitSpec& spec);
+
+}  // namespace zl::zebralancer

@@ -1,0 +1,309 @@
+#include "zebralancer/task_contract.h"
+
+#include "crypto/keccak.h"
+#include "zebralancer/reputation.h"
+
+namespace zl::zebralancer {
+
+using chain::CallContext;
+using chain::ContractRevert;
+using chain::GasSchedule;
+
+Bytes TaskParams::to_bytes() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(auth_mode));
+  append_frame(out, requester_address.to_bytes());
+  append_frame(out, requester_attestation);
+  append_frame(out, registry_root.to_bytes());
+  append_frame(out, classic_mpk);
+  append_u64_be(out, budget);
+  append_frame(out, epk);
+  append_u32_be(out, num_answers);
+  append_u32_be(out, max_submissions_per_identity);
+  append_u64_be(out, answer_deadline_blocks);
+  append_u64_be(out, instruct_deadline_blocks);
+  append_frame(out, zl::to_bytes(policy_name));
+  append_frame(out, task_data_digest);
+  append_frame(out, reputation_registry.to_bytes());
+  append_frame(out, auth_vk);
+  append_frame(out, reward_vk);
+  return out;
+}
+
+TaskParams TaskParams::from_bytes(const Bytes& bytes) {
+  TaskParams p;
+  std::size_t off = 0;
+  if (bytes.empty() || bytes[0] > 1) throw std::invalid_argument("TaskParams: bad auth mode");
+  p.auth_mode = static_cast<AuthMode>(bytes[0]);
+  off += 1;
+  p.requester_address = chain::Address::from_bytes(read_frame(bytes, off));
+  p.requester_attestation = read_frame(bytes, off);
+  p.registry_root = Fr::from_bytes(read_frame(bytes, off));
+  p.classic_mpk = read_frame(bytes, off);
+  p.budget = read_u64_be(bytes, off);
+  off += 8;
+  p.epk = read_frame(bytes, off);
+  p.num_answers = read_u32_be(bytes, off);
+  off += 4;
+  p.max_submissions_per_identity = read_u32_be(bytes, off);
+  off += 4;
+  p.answer_deadline_blocks = read_u64_be(bytes, off);
+  off += 8;
+  p.instruct_deadline_blocks = read_u64_be(bytes, off);
+  off += 8;
+  const Bytes policy = read_frame(bytes, off);
+  p.policy_name = std::string(policy.begin(), policy.end());
+  p.task_data_digest = read_frame(bytes, off);
+  p.reputation_registry = chain::Address::from_bytes(read_frame(bytes, off));
+  p.auth_vk = read_frame(bytes, off);
+  p.reward_vk = read_frame(bytes, off);
+  if (off != bytes.size()) throw std::invalid_argument("TaskParams::from_bytes: trailing data");
+  return p;
+}
+
+void TaskContract::register_type() {
+  if (!chain::ContractFactory::instance().knows(kContractType)) {
+    chain::ContractFactory::instance().register_type(
+        kContractType, [] { return std::make_unique<TaskContract>(); });
+  }
+}
+
+void TaskContract::on_deploy(CallContext& ctx, const Bytes& ctor_args) {
+  ctx.charge(GasSchedule::kStorageWrite + ctor_args.size() * 2);
+  TaskParams params = TaskParams::from_bytes(ctor_args);
+  if (params.num_answers == 0) throw ContractRevert("n must be positive");
+  // Validate policy name and epk encoding up front.
+  IncentivePolicy::by_name(params.policy_name);
+  JubjubPoint::from_bytes(params.epk);
+
+  // Algorithm 1, line 3: budget deposited?
+  if (ctx.self_balance() < params.budget) throw ContractRevert("budget not deposited");
+
+  // Algorithm 1, line 3: requester identified? Verify pi_R over
+  // alpha_C || alpha_R (anonymous: against the RA registry root; classic:
+  // an RSA certificate chain under the RA's master key).
+  if (params.auth_mode == AuthMode::kAnonymous) {
+    const auth::Attestation att = auth::Attestation::from_bytes(params.requester_attestation);
+    const snark::VerifyingKey auth_vk = snark::VerifyingKey::from_bytes(params.auth_vk);
+    const std::vector<Fr> statement = auth::auth_statement(
+        ctx.self.to_bytes(), params.requester_address.to_bytes(), params.registry_root, att);
+    if (!ctx.snark_verify(auth_vk, statement, att.proof)) {
+      throw ContractRevert("requester not identified");
+    }
+    auth_vk_ = auth_vk;
+  } else {
+    ctx.charge(2 * GasSchedule::kRsaVerify);
+    const auto att = auth::ClassicAttestation::from_bytes(params.requester_attestation);
+    if (!auth::classic_verify(ctx.self.to_bytes(), params.requester_address.to_bytes(),
+                              RsaPublicKey::from_bytes(params.classic_mpk), att)) {
+      throw ContractRevert("requester not identified");
+    }
+  }
+
+  params_ = std::move(params);
+  reward_vk_ = snark::VerifyingKey::from_bytes(params_.reward_vk);
+  deploy_block_ = ctx.block_number;
+  ctx.log("task published: n=" + std::to_string(params_.num_answers) +
+          " policy=" + params_.policy_name);
+}
+
+std::uint64_t TaskContract::instruction_deadline() const {
+  const std::uint64_t collection_end =
+      collection_end_block_ != 0 ? collection_end_block_ : collection_deadline();
+  return collection_end + params_.instruct_deadline_blocks;
+}
+
+bool TaskContract::collection_complete(std::uint64_t block_number) const {
+  return submissions_.size() >= params_.num_answers || block_number > collection_deadline();
+}
+
+void TaskContract::invoke(CallContext& ctx, const std::string& method, const Bytes& args) {
+  if (method == "submit") {
+    handle_submit(ctx, args);
+  } else if (method == "reward") {
+    handle_reward(ctx, args);
+  } else if (method == "finalize") {
+    handle_finalize(ctx);
+  } else {
+    throw ContractRevert("unknown method");
+  }
+}
+
+namespace {
+Bytes encode_submit_args_raw(const Bytes& attestation, const AnswerCiphertext& ct) {
+  Bytes out;
+  append_frame(out, attestation);
+  append_frame(out, ct.to_bytes());
+  return out;
+}
+}  // namespace
+
+Bytes TaskContract::encode_submit_args(const auth::Attestation& att, const AnswerCiphertext& ct) {
+  return encode_submit_args_raw(att.to_bytes(), ct);
+}
+
+Bytes TaskContract::encode_submit_args(const auth::ClassicAttestation& att,
+                                       const AnswerCiphertext& ct) {
+  return encode_submit_args_raw(att.to_bytes(), ct);
+}
+
+Bytes TaskContract::encode_reward_args(const std::vector<std::uint64_t>& rewards,
+                                       const snark::Proof& proof) {
+  Bytes out;
+  append_u32_be(out, static_cast<std::uint32_t>(rewards.size()));
+  for (const std::uint64_t r : rewards) append_u64_be(out, r);
+  append_frame(out, proof.to_bytes());
+  return out;
+}
+
+void TaskContract::handle_submit(CallContext& ctx, const Bytes& args) {
+  if (finalized_) throw ContractRevert("task finished");
+  if (submissions_.size() >= params_.num_answers) throw ContractRevert("already n answers");
+  if (ctx.block_number > collection_deadline()) throw ContractRevert("answering closed");
+
+  std::size_t off = 0;
+  const Bytes att_bytes = read_frame(args, off);
+  const AnswerCiphertext ct = AnswerCiphertext::from_bytes(read_frame(args, off));
+  if (off != args.size()) throw ContractRevert("malformed submission");
+
+  // The attested message is alpha_C || alpha_i || C_i with alpha_i taken
+  // from the *actual transaction sender*: a copied ciphertext+attestation
+  // replayed from a different address fails verification (footnote 9 — this
+  // is exactly what defeats the free-riding copy attack).
+  const Bytes rest = concat({ctx.sender.to_bytes(), ct.to_bytes()});
+
+  Submission submission;
+  submission.worker_address = ctx.sender;
+  submission.ciphertext = ct;
+  if (params_.auth_mode == AuthMode::kAnonymous) {
+    const auth::Attestation att = auth::Attestation::from_bytes(att_bytes);
+    const std::vector<Fr> statement =
+        auth::auth_statement(ctx.self.to_bytes(), rest, params_.registry_root, att);
+    if (!ctx.snark_verify(auth_vk_, statement, att.proof)) {
+      throw ContractRevert("attestation invalid");
+    }
+    // Link against the requester's attestation (she must not submit to her
+    // own task) and every accepted submission (one answer per identity).
+    const auth::Attestation requester_att =
+        auth::Attestation::from_bytes(params_.requester_attestation);
+    ctx.charge(GasSchedule::kLinkCheck);
+    if (auth::link(att, requester_att)) throw ContractRevert("requester cannot submit");
+    std::uint32_t linked = 0;
+    for (const Submission& prior : submissions_) {
+      ctx.charge(GasSchedule::kLinkCheck);
+      if (auth::link(att, prior.attestation)) ++linked;
+    }
+    if (linked >= params_.max_submissions_per_identity) {
+      throw ContractRevert("double submission");
+    }
+    submission.attestation = att;
+  } else {
+    ctx.charge(2 * GasSchedule::kRsaVerify);
+    const auto att = auth::ClassicAttestation::from_bytes(att_bytes);
+    if (!auth::classic_verify(ctx.self.to_bytes(), rest,
+                              RsaPublicKey::from_bytes(params_.classic_mpk), att)) {
+      throw ContractRevert("attestation invalid");
+    }
+    const auto requester_att =
+        auth::ClassicAttestation::from_bytes(params_.requester_attestation);
+    ctx.charge(GasSchedule::kLinkCheck);
+    if (auth::classic_link(att, requester_att)) throw ContractRevert("requester cannot submit");
+    std::uint32_t linked = 0;
+    for (const Submission& prior : submissions_) {
+      ctx.charge(GasSchedule::kLinkCheck);
+      if (prior.classic_pk == att.public_key) ++linked;
+    }
+    if (linked >= params_.max_submissions_per_identity) {
+      throw ContractRevert("double submission");
+    }
+    submission.classic_pk = att.public_key;
+  }
+
+  ctx.charge(GasSchedule::kStorageWrite);
+  submissions_.push_back(std::move(submission));
+  if (submissions_.size() == params_.num_answers) {
+    collection_end_block_ = ctx.block_number;
+    ctx.log("collection complete at block " + std::to_string(ctx.block_number));
+  }
+}
+
+std::vector<AnswerCiphertext> TaskContract::padded_ciphertexts() const {
+  const std::unique_ptr<IncentivePolicy> policy = IncentivePolicy::by_name(params_.policy_name);
+  std::vector<AnswerCiphertext> cts;
+  cts.reserve(params_.num_answers);
+  for (const Submission& s : submissions_) cts.push_back(s.ciphertext);
+  while (cts.size() < params_.num_answers) {
+    cts.push_back(placeholder_ciphertext(policy->bottom()));
+  }
+  return cts;
+}
+
+void TaskContract::handle_reward(CallContext& ctx, const Bytes& args) {
+  if (finalized_) throw ContractRevert("task finished");
+  if (ctx.sender != params_.requester_address) throw ContractRevert("not the requester");
+  if (!collection_complete(ctx.block_number)) throw ContractRevert("collection still open");
+  if (ctx.block_number > instruction_deadline()) throw ContractRevert("instruction window closed");
+
+  std::size_t off = 0;
+  const std::uint32_t count = read_u32_be(args, off);
+  off += 4;
+  if (count != params_.num_answers) throw ContractRevert("wrong instruction arity");
+  std::vector<std::uint64_t> rewards;
+  rewards.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    rewards.push_back(read_u64_be(args, off));
+    off += 8;
+  }
+  const snark::Proof proof = snark::Proof::from_bytes(read_frame(args, off));
+  if (off != args.size()) throw ContractRevert("malformed instruction");
+
+  // libsnark.Verifier((P, R), pi_reward, PP) — Algorithm 1 line 14.
+  const std::vector<Fr> statement = reward_statement(
+      JubjubPoint::from_bytes(params_.epk), share(), padded_ciphertexts(), rewards);
+  if (!ctx.snark_verify(reward_vk_, statement, proof)) {
+    throw ContractRevert("reward proof invalid");
+  }
+
+  // Lines 15-17, 21: pay each worker, refund the remainder.
+  finalized_ = true;
+  rewarded_ = true;
+  for (std::size_t i = 0; i < submissions_.size(); ++i) {
+    if (rewards[i] > 0) ctx.transfer(submissions_[i].worker_address, rewards[i]);
+  }
+  ctx.transfer(params_.requester_address, ctx.self_balance());
+  ctx.log("rewards distributed");
+
+  // Reputation extension (open question 1): report outcomes for stable
+  // (classic-mode) identities. Best-effort — an unauthorized or missing
+  // registry must not unwind the payout.
+  if (!params_.reputation_registry.is_zero() && params_.auth_mode == AuthMode::kClassic) {
+    for (std::size_t i = 0; i < submissions_.size(); ++i) {
+      const Bytes digest = keccak256(submissions_[i].classic_pk);
+      const std::int64_t delta = rewards[i] > 0 ? 1 : -1;
+      try {
+        ctx.call_contract(params_.reputation_registry, "record",
+                          ReputationRegistryContract::encode_record_args(digest, delta));
+      } catch (const ContractRevert& e) {
+        ctx.log(std::string("reputation report skipped: ") + e.what());
+      }
+    }
+  }
+}
+
+void TaskContract::handle_finalize(CallContext& ctx) {
+  if (finalized_) throw ContractRevert("task finished");
+  if (ctx.block_number <= instruction_deadline()) {
+    throw ContractRevert("instruction window still open");
+  }
+  // Lines 18-21: no correct instruction arrived in time — reward all
+  // submitters evenly as punishment, refund the remainder.
+  finalized_ = true;
+  if (!submissions_.empty()) {
+    const std::uint64_t fallback = params_.budget / submissions_.size();
+    for (const Submission& s : submissions_) ctx.transfer(s.worker_address, fallback);
+  }
+  ctx.transfer(params_.requester_address, ctx.self_balance());
+  ctx.log("finalized by timeout");
+}
+
+}  // namespace zl::zebralancer

@@ -1,0 +1,122 @@
+#pragma once
+// The crowdsourcing task contract — a faithful implementation of the
+// paper's Algorithm 1 on our contract runtime:
+//
+//   deploy   : checks the budget deposit and the requester's anonymous
+//              attestation over alpha_C || alpha_R (lines 3-4)
+//   submit   : collects anonymously authenticated encrypted answers,
+//              Verify + Link against every prior attestation including the
+//              requester's; drops double submissions and replays (lines 6-9)
+//   reward   : the requester's instruction R + pi_reward, checked by the
+//              snark_verify precompile, then per-answer transfers and the
+//              refund of the remainder (lines 11-17, 21)
+//   finalize : timeout fallback — tau/||W|| to every submitter, remainder
+//              refunded (lines 18-21)
+//
+// Deadlines are measured in blocks ("the contract program is driven by a
+// discrete clock that increments with validating each newly proposed
+// block"). Like Ethereum, timeout paths execute when poked by any
+// transaction rather than spontaneously.
+
+#include "auth/classic_auth.h"
+#include "auth/cpl_auth.h"
+#include "chain/contract.h"
+#include "zebralancer/reward_circuit.h"
+
+namespace zl::zebralancer {
+
+/// Which authentication scheme a task uses (paper §VI: the protocol
+/// "can be trivially extended to support non-anonymous mode").
+enum class AuthMode : std::uint8_t {
+  kAnonymous = 0,  // common-prefix-linkable anonymous authentication (§V-A)
+  kClassic = 1,    // certified RSA signatures; identity is public
+};
+
+/// Constructor parameters of a task contract (the paper's Param, serialized
+/// into the deployment transaction).
+struct TaskParams {
+  AuthMode auth_mode = AuthMode::kAnonymous;
+  chain::Address requester_address;              // alpha_R (one-task-only)
+  Bytes requester_attestation;                   // pi_R (per auth_mode)
+  Fr registry_root = Fr::zero();                 // RA registry root (anonymous mode)
+  Bytes classic_mpk;                             // RA RSA master key (classic mode)
+  std::uint64_t budget = 0;                      // tau, in wei
+  Bytes epk;                                     // task encryption key (Jubjub, 64B)
+  std::uint32_t num_answers = 0;                 // n
+  /// Paper footnote 11: each identity may submit up to k answers per task
+  /// "by modifying the checking condition programmed in the smart
+  /// contract". Default is the paper's k = 1.
+  std::uint32_t max_submissions_per_identity = 1;
+  std::uint64_t answer_deadline_blocks = 0;      // T_A
+  std::uint64_t instruct_deadline_blocks = 0;    // T_I
+  std::string policy_name;                       // codified reward policy R
+  /// Content address (SHA-256) of the task's data blob (e.g. the image to
+  /// annotate) in off-chain storage; empty when the task carries no blob.
+  /// Only the 32-byte digest lives on chain (paper footnote 13).
+  Bytes task_data_digest;
+  /// Reputation registry to report outcomes to at reward time (zero = none;
+  /// honoured only in classic mode, where identities are stable).
+  chain::Address reputation_registry;
+  Bytes auth_vk;                                 // verifying key, CPL-AA circuit
+  Bytes reward_vk;                               // verifying key, reward circuit
+
+  Bytes to_bytes() const;
+  static TaskParams from_bytes(const Bytes& bytes);
+};
+
+class TaskContract : public chain::Contract {
+ public:
+  static constexpr const char* kContractType = "zebralancer-task";
+  /// Registers the type with the global ContractFactory (idempotent).
+  static void register_type();
+
+  struct Submission {
+    chain::Address worker_address;  // alpha_i
+    auth::Attestation attestation;  // pi_i, anonymous mode (t1 is the Link tag)
+    Bytes classic_pk;               // certified public key, classic mode
+    AnswerCiphertext ciphertext;    // C_i
+  };
+
+  void on_deploy(chain::CallContext& ctx, const Bytes& ctor_args) override;
+  void invoke(chain::CallContext& ctx, const std::string& method, const Bytes& args) override;
+
+  // --- transparent on-chain state (readable by anyone, §III transparency) ---
+  const TaskParams& params() const { return params_; }
+  const std::vector<Submission>& submissions() const { return submissions_; }
+  std::uint64_t deploy_block() const { return deploy_block_; }
+  bool finalized() const { return finalized_; }
+  bool rewarded() const { return rewarded_; }
+  std::uint64_t collection_deadline() const {
+    return deploy_block_ + params_.answer_deadline_blocks;
+  }
+  /// Block at which the instruction window closes.
+  std::uint64_t instruction_deadline() const;
+  bool collection_complete(std::uint64_t block_number) const;
+  std::uint64_t share() const { return params_.budget / params_.num_answers; }
+
+  /// Wire encodings for the two calls.
+  static Bytes encode_submit_args(const auth::Attestation& att, const AnswerCiphertext& ct);
+  static Bytes encode_submit_args(const auth::ClassicAttestation& att,
+                                  const AnswerCiphertext& ct);
+  static Bytes encode_reward_args(const std::vector<std::uint64_t>& rewards,
+                                  const snark::Proof& proof);
+
+ private:
+  void handle_submit(chain::CallContext& ctx, const Bytes& args);
+  void handle_reward(chain::CallContext& ctx, const Bytes& args);
+  void handle_finalize(chain::CallContext& ctx);
+
+  /// Ciphertext list padded with the deterministic ⊥ placeholder to n.
+  std::vector<AnswerCiphertext> padded_ciphertexts() const;
+
+  TaskParams params_;
+  snark::VerifyingKey auth_vk_;
+  snark::VerifyingKey reward_vk_;
+  std::vector<Submission> submissions_;
+  std::uint64_t deploy_block_ = 0;
+  std::uint64_t collection_end_block_ = 0;  // set when the n-th answer lands
+  bool finalized_ = false;
+  bool rewarded_ = false;
+};
+
+}  // namespace zl::zebralancer

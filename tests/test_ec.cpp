@@ -1,0 +1,165 @@
+// Elliptic curve and pairing tests: group laws on G1/G2/secp256k1/Jubjub,
+// bilinearity and non-degeneracy of the ate pairing, Pippenger multiexp
+// against the naive sum.
+#include <gtest/gtest.h>
+
+#include "ec/babyjubjub.h"
+#include "ec/multiexp.h"
+#include "ec/pairing.h"
+#include "ec/secp256k1.h"
+
+namespace zl {
+namespace {
+
+template <typename Point>
+void check_group_laws(std::uint64_t seed) {
+  Rng rng(seed);
+  const Point g = Point::generator();
+  ASSERT_TRUE(g.is_on_curve());
+  EXPECT_TRUE(g.in_prime_subgroup());
+
+  const BigInt a = 3 + random_below(rng, BigInt(1) << 120);
+  const BigInt b = 3 + random_below(rng, BigInt(1) << 120);
+  const Point pa = g * a, pb = g * b;
+  EXPECT_TRUE(pa.is_on_curve());
+  EXPECT_EQ(pa + pb, g * (a + b));
+  EXPECT_EQ(pa - pa, Point::infinity());
+  EXPECT_EQ(pa + Point::infinity(), pa);
+  EXPECT_EQ(pa.dbl(), pa + pa);
+  EXPECT_EQ((pa + pb) + pa, pa + (pb + pa));
+  EXPECT_EQ(g * Point::order(), Point::infinity());
+  EXPECT_EQ(g * (Point::order() + 5), g * 5);
+}
+
+TEST(G1, GroupLaws) { check_group_laws<G1>(21); }
+TEST(G2, GroupLaws) { check_group_laws<G2>(22); }
+TEST(Secp256k1, GroupLaws) { check_group_laws<SecpPoint>(23); }
+
+template <typename Point>
+struct PointOrderHelper {};
+
+TEST(G1, AffineRoundTrip) {
+  const G1 p = G1::generator() * 12345;
+  const auto [x, y] = p.to_affine();
+  EXPECT_EQ(G1::from_affine(x, y), p);
+  EXPECT_THROW(G1::from_affine(x, y + Fq::one()), std::invalid_argument);
+  EXPECT_THROW(G1::infinity().to_affine(), std::domain_error);
+}
+
+TEST(G1, ScalarEdgeCases) {
+  const G1 g = G1::generator();
+  EXPECT_EQ(g * 0, G1::infinity());
+  EXPECT_EQ(g * 1, g);
+  EXPECT_EQ(g * (-3), -(g * 3));
+  EXPECT_EQ(G1::infinity() * 7, G1::infinity());
+}
+
+TEST(Pairing, Bilinearity) {
+  Rng rng(31);
+  const G1 p = G1::generator();
+  const G2 q = G2::generator();
+  const BigInt a = 2 + random_below(rng, BigInt(1) << 100);
+  const BigInt b = 2 + random_below(rng, BigInt(1) << 100);
+
+  const Fq12 e = pairing(q, p);
+  EXPECT_FALSE(e.is_one()) << "pairing must be non-degenerate";
+  EXPECT_EQ(pairing(q, p * a), e.pow(a));
+  EXPECT_EQ(pairing(q * b, p), e.pow(b));
+  EXPECT_EQ(pairing(q * b, p * a), e.pow(a * b));
+}
+
+TEST(Pairing, ValuesLieInMuR) {
+  const Fq12 e = pairing(G2::generator(), G1::generator());
+  EXPECT_TRUE(e.pow(Fr::modulus_bigint()).is_one());
+}
+
+TEST(Pairing, AdditivityInEachSlot) {
+  const G1 p = G1::generator();
+  const G2 q = G2::generator();
+  const G1 p2 = p * 7, p3 = p * 11;
+  EXPECT_EQ(pairing(q, p2 + p3), pairing(q, p2) * pairing(q, p3));
+  const G2 q2 = q * 5, q3 = q * 13;
+  EXPECT_EQ(pairing(q2 + q3, p), pairing(q2, p) * pairing(q3, p));
+}
+
+TEST(Pairing, InfinityConvention) {
+  EXPECT_TRUE(pairing(G2::infinity(), G1::generator()).is_one());
+  EXPECT_TRUE(pairing(G2::generator(), G1::infinity()).is_one());
+}
+
+TEST(Pairing, ProductSharesFinalExponentiation) {
+  const G1 p = G1::generator();
+  const G2 q = G2::generator();
+  // e(q, 3p) * e(-q, 3p) == 1, and a Groth16-shaped 2-term identity.
+  EXPECT_TRUE(pairing_product({{q, p * 3}, {-q, p * 3}}).is_one());
+  EXPECT_EQ(pairing_product({{q * 2, p * 3}, {q * 5, p * 7}}),
+            pairing(q, p).pow(BigInt(2 * 3 + 5 * 7)));
+}
+
+TEST(Multiexp, MatchesNaive) {
+  Rng rng(41);
+  for (const std::size_t n : {0u, 1u, 5u, 8u, 33u, 100u}) {
+    std::vector<G1> points;
+    std::vector<Fr> scalars;
+    G1 expected = G1::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      const G1 p = G1::generator() * (1 + rng.uniform(1000));
+      const Fr s = Fr::random(rng);
+      points.push_back(p);
+      scalars.push_back(s);
+      expected += p * s.to_bigint();
+    }
+    EXPECT_EQ(multiexp(points, scalars), expected) << "n=" << n;
+  }
+}
+
+TEST(Multiexp, HandlesZeroAndLargeScalars) {
+  std::vector<G1> points = {G1::generator(), G1::generator() * 2, G1::generator() * 3,
+                            G1::generator() * 4, G1::generator() * 5, G1::generator() * 6,
+                            G1::generator() * 7, G1::generator() * 8, G1::generator() * 9};
+  std::vector<Fr> scalars(9, Fr::zero());
+  scalars[3] = Fr::from_bigint(Fr::modulus_bigint() - 1);  // max canonical scalar
+  const G1 expected = points[3] * (Fr::modulus_bigint() - 1);
+  EXPECT_EQ(multiexp(points, scalars), expected);
+  EXPECT_THROW(multiexp(points, std::vector<Fr>(3)), std::invalid_argument);
+}
+
+TEST(Jubjub, GeneratorAndSubgroup) {
+  const JubjubPoint g = JubjubPoint::generator();
+  EXPECT_TRUE(g.is_on_curve());
+  EXPECT_EQ(g * JubjubPoint::subgroup_order(), JubjubPoint::identity());
+  EXPECT_NE(g * 2, JubjubPoint::identity());
+}
+
+TEST(Jubjub, GroupLaws) {
+  Rng rng(51);
+  const JubjubPoint g = JubjubPoint::generator();
+  const BigInt a = 2 + random_below(rng, BigInt(1) << 100);
+  const BigInt b = 2 + random_below(rng, BigInt(1) << 100);
+  EXPECT_EQ((g * a) + (g * b), g * (a + b));
+  EXPECT_EQ(g + JubjubPoint::identity(), g);
+  EXPECT_EQ((g * a) - (g * a), JubjubPoint::identity());
+  EXPECT_TRUE((g * a).is_on_curve());
+}
+
+TEST(Jubjub, DiffieHellmanAgreement) {
+  // The key-agreement pattern the task encryption uses (DESIGN.md T2).
+  Rng rng(52);
+  const JubjubPoint g = JubjubPoint::generator();
+  const BigInt esk = 2 + random_below(rng, JubjubPoint::subgroup_order());
+  const BigInt r = 2 + random_below(rng, JubjubPoint::subgroup_order());
+  const JubjubPoint epk = g * esk;
+  const JubjubPoint R = g * r;
+  EXPECT_EQ(epk * r, R * esk);
+}
+
+TEST(Jubjub, SerializationRoundTrip) {
+  const JubjubPoint p = JubjubPoint::generator() * 97;
+  EXPECT_EQ(JubjubPoint::from_bytes(p.to_bytes()), p);
+  Bytes bad = p.to_bytes();
+  bad[5] ^= 1;
+  EXPECT_THROW(JubjubPoint::from_bytes(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace zl

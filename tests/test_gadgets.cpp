@@ -1,0 +1,343 @@
+// Gadget tests: every gadget is checked two ways — (1) its witness
+// generation agrees with the native implementation, and (2) the constraint
+// system it produces is satisfied by honest witnesses and *unsatisfiable*
+// under tampered ones.
+#include <gtest/gtest.h>
+
+#include "snark/gadgets/jubjub_gadget.h"
+#include "snark/gadgets/merkle_gadget.h"
+#include "snark/gadgets/mimc_gadget.h"
+#include "snark/groth16.h"
+
+namespace zl::snark {
+namespace {
+
+bool satisfied(const CircuitBuilder& b) {
+  return b.constraint_system().is_satisfied(b.assignment());
+}
+
+TEST(Builder, WireAlgebraIsLinear) {
+  CircuitBuilder b;
+  const Wire x = b.witness(Fr::from_u64(4));
+  const Wire y = b.witness(Fr::from_u64(9));
+  const Wire z = x + y * Fr::from_u64(2) - Fr::from_u64(3);
+  EXPECT_EQ(z.value, Fr::from_u64(4 + 18 - 3));
+  EXPECT_EQ(b.num_constraints(), 0u) << "linear ops must not add constraints";
+  const Wire p = b.mul(x, y);
+  EXPECT_EQ(p.value, Fr::from_u64(36));
+  EXPECT_EQ(b.num_constraints(), 1u);
+  EXPECT_TRUE(satisfied(b));
+}
+
+TEST(Builder, InputsBeforeWitnessesEnforced) {
+  CircuitBuilder b;
+  b.witness(Fr::one());
+  EXPECT_THROW(b.input(Fr::one()), std::logic_error);
+}
+
+TEST(Builder, InverseGadget) {
+  CircuitBuilder b;
+  const Wire x = b.witness(Fr::from_u64(7));
+  const Wire inv = b.inverse(x);
+  EXPECT_EQ(inv.value * x.value, Fr::one());
+  EXPECT_TRUE(satisfied(b));
+}
+
+TEST(Gadgets, BooleanEnforcement) {
+  CircuitBuilder good;
+  boolean_witness(good, true);
+  boolean_witness(good, false);
+  EXPECT_TRUE(satisfied(good));
+
+  CircuitBuilder bad;
+  const Wire w = bad.witness(Fr::from_u64(2));
+  enforce_boolean(bad, w);
+  EXPECT_FALSE(satisfied(bad));
+}
+
+TEST(Gadgets, BitDecomposition) {
+  CircuitBuilder b;
+  const Wire w = b.witness(Fr::from_u64(0b101101));
+  const auto bits = bit_decompose(b, w, 8);
+  ASSERT_EQ(bits.size(), 8u);
+  const bool expected[8] = {true, false, true, true, false, true, false, false};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(bits[static_cast<std::size_t>(i)].value,
+                                        expected[i] ? Fr::one() : Fr::zero());
+  EXPECT_TRUE(satisfied(b));
+  EXPECT_EQ(bits_to_wire(bits).value, w.value);
+}
+
+TEST(Gadgets, BitDecompositionRejectsOverflowValues) {
+  CircuitBuilder b;
+  const Wire w = b.witness(Fr::from_u64(256));
+  bit_decompose(b, w, 8);  // value does not fit in 8 bits
+  EXPECT_FALSE(satisfied(b));
+}
+
+TEST(Gadgets, SelectAndLogic) {
+  CircuitBuilder b;
+  const Wire t = b.witness(Fr::from_u64(10));
+  const Wire f = b.witness(Fr::from_u64(20));
+  const Wire one = boolean_witness(b, true);
+  const Wire zero = boolean_witness(b, false);
+  EXPECT_EQ(select(b, one, t, f).value, Fr::from_u64(10));
+  EXPECT_EQ(select(b, zero, t, f).value, Fr::from_u64(20));
+  EXPECT_EQ(bool_and(b, one, zero).value, Fr::zero());
+  EXPECT_EQ(bool_or(b, one, zero).value, Fr::one());
+  EXPECT_EQ(bool_not(zero).value, Fr::one());
+  EXPECT_TRUE(satisfied(b));
+}
+
+TEST(Gadgets, IsZeroAndIsEqual) {
+  CircuitBuilder b;
+  const Wire z = b.witness(Fr::zero());
+  const Wire nz = b.witness(Fr::from_u64(5));
+  EXPECT_EQ(is_zero(b, z).value, Fr::one());
+  EXPECT_EQ(is_zero(b, nz).value, Fr::zero());
+  EXPECT_EQ(is_equal(b, nz, nz).value, Fr::one());
+  EXPECT_EQ(is_equal(b, nz, z).value, Fr::zero());
+  EXPECT_TRUE(satisfied(b));
+}
+
+TEST(Gadgets, IsZeroCannotBeLiedAbout) {
+  // Adversarial witness: claim a nonzero value is zero.
+  CircuitBuilder b;
+  const Wire w = b.witness(Fr::from_u64(5));
+  const Wire fake_inv = b.witness(Fr::zero());
+  const Wire fake_out = b.witness(Fr::one());  // claims w == 0
+  b.enforce(w, fake_inv, Wire::one() - fake_out);
+  b.enforce(w, fake_out, Wire::zero());
+  EXPECT_FALSE(satisfied(b));
+}
+
+TEST(Gadgets, Comparisons) {
+  for (const auto& [a, c, leq, lt] :
+       std::vector<std::tuple<std::uint64_t, std::uint64_t, bool, bool>>{
+           {3, 5, true, true}, {5, 3, false, false}, {4, 4, true, false}, {0, 0, true, false},
+           {0, 255, true, true}, {255, 0, false, false}}) {
+    CircuitBuilder b;
+    const Wire wa = b.witness(Fr::from_u64(a));
+    const Wire wc = b.witness(Fr::from_u64(c));
+    EXPECT_EQ(less_or_equal(b, wa, wc, 8).value, leq ? Fr::one() : Fr::zero())
+        << a << " <= " << c;
+    EXPECT_EQ(less_than(b, wa, wc, 8).value, lt ? Fr::one() : Fr::zero()) << a << " < " << c;
+    EXPECT_TRUE(satisfied(b));
+  }
+}
+
+TEST(MimcNative, PermutationBasics) {
+  // x -> x^7 must be a bijection: gcd(7, r-1) == 1.
+  BigInt g;
+  const BigInt r1 = Fr::modulus_bigint() - 1;
+  const BigInt seven = 7;
+  mpz_gcd(g.get_mpz_t(), seven.get_mpz_t(), r1.get_mpz_t());
+  EXPECT_EQ(g, 1);
+
+  // Determinism + key sensitivity + message sensitivity.
+  const Fr x = Fr::from_u64(123), k = Fr::from_u64(456);
+  EXPECT_EQ(mimc_permute(x, k), mimc_permute(x, k));
+  EXPECT_NE(mimc_permute(x, k), mimc_permute(x, k + Fr::one()));
+  EXPECT_NE(mimc_permute(x, k), mimc_permute(x + Fr::one(), k));
+  EXPECT_EQ(mimc_round_constants().size(), static_cast<std::size_t>(kMimcRounds));
+  EXPECT_EQ(mimc_round_constants()[0], Fr::zero());
+}
+
+TEST(MimcNative, HashChaining) {
+  const std::vector<Fr> m1 = {Fr::from_u64(1), Fr::from_u64(2)};
+  const std::vector<Fr> m2 = {Fr::from_u64(2), Fr::from_u64(1)};
+  EXPECT_NE(mimc_hash(m1), mimc_hash(m2)) << "order must matter";
+  EXPECT_EQ(mimc_hash({}), Fr::zero());
+  EXPECT_EQ(mimc_hash({Fr::from_u64(7)}), mimc_compress(Fr::from_u64(7), Fr::zero()));
+}
+
+TEST(MimcGadget, AgreesWithNative) {
+  Rng rng(91);
+  for (int i = 0; i < 3; ++i) {
+    const Fr x = Fr::random(rng), k = Fr::random(rng);
+    CircuitBuilder b;
+    const Wire wx = b.witness(x), wk = b.witness(k);
+    const Wire out = mimc_permute_gadget(b, wx, wk);
+    EXPECT_EQ(out.value, mimc_permute(x, k));
+    EXPECT_EQ(mimc_compress_gadget(b, wx, wk).value, mimc_compress(x, k));
+    EXPECT_TRUE(satisfied(b));
+  }
+}
+
+TEST(MimcGadget, HashGadgetAgreesWithNative) {
+  Rng rng(92);
+  const std::vector<Fr> msgs = {Fr::random(rng), Fr::random(rng), Fr::random(rng)};
+  CircuitBuilder b;
+  std::vector<Wire> wires;
+  for (const Fr& m : msgs) wires.push_back(b.witness(m));
+  EXPECT_EQ(mimc_hash_gadget(b, wires).value, mimc_hash(msgs));
+  EXPECT_TRUE(satisfied(b));
+}
+
+TEST(MimcGadget, ConstraintCountIsAsDocumented) {
+  CircuitBuilder b;
+  const Wire x = b.witness(Fr::one()), k = b.witness(Fr::one());
+  mimc_permute_gadget(b, x, k);
+  EXPECT_EQ(b.num_constraints(), static_cast<std::size_t>(4 * kMimcRounds));
+}
+
+TEST(MerkleNative, AppendPathVerify) {
+  MerkleTree tree(4);
+  EXPECT_EQ(tree.capacity(), 16u);
+  std::vector<Fr> leaves;
+  for (int i = 0; i < 9; ++i) {
+    leaves.push_back(Fr::from_u64(static_cast<std::uint64_t>(100 + i)));
+    EXPECT_EQ(tree.append(leaves.back()), static_cast<std::size_t>(i));
+  }
+  const Fr root = tree.root();
+  for (int i = 0; i < 9; ++i) {
+    const auto path = tree.path(static_cast<std::size_t>(i));
+    EXPECT_TRUE(MerkleTree::verify_path(leaves[static_cast<std::size_t>(i)], path, root, 4));
+    EXPECT_FALSE(MerkleTree::verify_path(leaves[static_cast<std::size_t>(i)] + Fr::one(), path, root, 4));
+  }
+  // Wrong index in path fails.
+  auto path = tree.path(3);
+  path.leaf_index = 2;
+  EXPECT_FALSE(MerkleTree::verify_path(leaves[3], path, root, 4));
+}
+
+TEST(MerkleNative, RootChangesOnUpdate) {
+  MerkleTree tree(3);
+  tree.append(Fr::from_u64(1));
+  const Fr r1 = tree.root();
+  tree.append(Fr::from_u64(2));
+  const Fr r2 = tree.root();
+  EXPECT_NE(r1, r2);
+  tree.set_leaf(0, Fr::from_u64(99));
+  EXPECT_NE(tree.root(), r2);
+  EXPECT_EQ(tree.leaf(0), Fr::from_u64(99));
+}
+
+TEST(MerkleNative, EmptyTreeMatchesDefaults) {
+  MerkleTree tree(5);
+  EXPECT_EQ(tree.root(), MerkleTree::default_node(5));
+  EXPECT_THROW(tree.path(32), std::out_of_range);
+  MerkleTree full(1);
+  full.append(Fr::one());
+  full.append(Fr::one());
+  EXPECT_THROW(full.append(Fr::one()), std::overflow_error);
+}
+
+TEST(MerkleGadget, AgreesWithNativeAndCatchesTampering) {
+  MerkleTree tree(5);
+  for (int i = 0; i < 7; ++i) tree.append(Fr::from_u64(static_cast<std::uint64_t>(i * i + 1)));
+  const Fr root = tree.root();
+  for (const std::size_t idx : {0u, 3u, 6u}) {
+    CircuitBuilder b;
+    const Wire leaf = b.witness(tree.leaf(idx));
+    const auto wires = allocate_merkle_path(b, tree.path(idx), 5);
+    const Wire computed = merkle_root_gadget(b, leaf, wires);
+    EXPECT_EQ(computed.value, root);
+    b.enforce_equal(computed, Wire::constant(root));
+    EXPECT_TRUE(satisfied(b));
+  }
+  // Tampered leaf cannot reach the same root.
+  CircuitBuilder bad;
+  const Wire leaf = bad.witness(Fr::from_u64(12345));
+  const auto wires = allocate_merkle_path(bad, tree.path(2), 5);
+  bad.enforce_equal(merkle_root_gadget(bad, leaf, wires), Wire::constant(root));
+  EXPECT_FALSE(satisfied(bad));
+}
+
+TEST(JubjubGadget, OnCurveCheck) {
+  CircuitBuilder b;
+  const PointWires g = allocate_point(b, JubjubPoint::generator());
+  enforce_on_curve(b, g);
+  EXPECT_TRUE(satisfied(b));
+
+  CircuitBuilder bad;
+  const PointWires off = allocate_point(bad, JubjubPoint(Fr::from_u64(1), Fr::from_u64(2)));
+  enforce_on_curve(bad, off);
+  EXPECT_FALSE(satisfied(bad));
+}
+
+TEST(JubjubGadget, AdditionAgreesWithNative) {
+  Rng rng(93);
+  const JubjubPoint g = JubjubPoint::generator();
+  const JubjubPoint p = g * BigInt(12345), q = g * BigInt(67890);
+  CircuitBuilder b;
+  const PointWires wp = allocate_point(b, p), wq = allocate_point(b, q);
+  const PointWires sum = point_add(b, wp, wq);
+  const JubjubPoint native = p + q;
+  EXPECT_EQ(sum.x.value, native.x);
+  EXPECT_EQ(sum.y.value, native.y);
+  EXPECT_TRUE(satisfied(b));
+  // Adding the identity is a no-op.
+  const PointWires id = {Wire::zero(), Wire::one()};
+  const PointWires same = point_add(b, wp, id);
+  EXPECT_EQ(same.x.value, p.x);
+  EXPECT_EQ(same.y.value, p.y);
+  EXPECT_TRUE(satisfied(b));
+}
+
+TEST(JubjubGadget, ScalarMulAgreesWithNative) {
+  Rng rng(94);
+  const JubjubPoint base = JubjubPoint::generator() * BigInt(777);
+  const BigInt scalar = random_below(rng, BigInt(1) << 64);
+  CircuitBuilder b;
+  std::vector<Wire> bits;
+  for (unsigned i = 0; i < 64; ++i) {
+    bits.push_back(boolean_witness(b, mpz_tstbit(scalar.get_mpz_t(), i) != 0));
+  }
+  const PointWires wbase = allocate_point(b, base);
+  const PointWires out = scalar_mul(b, bits, wbase);
+  const JubjubPoint native = base * scalar;
+  EXPECT_EQ(out.x.value, native.x);
+  EXPECT_EQ(out.y.value, native.y);
+  EXPECT_TRUE(satisfied(b));
+}
+
+TEST(JubjubGadget, FixedBaseScalarMulAgreesAndIsCheaper) {
+  Rng rng(95);
+  const BigInt scalar = random_below(rng, BigInt(1) << 64);
+  const JubjubPoint base = JubjubPoint::generator();
+
+  CircuitBuilder fixed;
+  std::vector<Wire> bits_f;
+  for (unsigned i = 0; i < 64; ++i) {
+    bits_f.push_back(boolean_witness(fixed, mpz_tstbit(scalar.get_mpz_t(), i) != 0));
+  }
+  const PointWires out_f = fixed_base_scalar_mul(fixed, bits_f, base);
+  const JubjubPoint native = base * scalar;
+  EXPECT_EQ(out_f.x.value, native.x);
+  EXPECT_EQ(out_f.y.value, native.y);
+  EXPECT_TRUE(satisfied(fixed));
+
+  CircuitBuilder variable;
+  std::vector<Wire> bits_v;
+  for (unsigned i = 0; i < 64; ++i) {
+    bits_v.push_back(boolean_witness(variable, mpz_tstbit(scalar.get_mpz_t(), i) != 0));
+  }
+  scalar_mul(variable, bits_v, allocate_point(variable, base));
+  EXPECT_LT(fixed.num_constraints(), variable.num_constraints());
+}
+
+TEST(GadgetsEndToEnd, MimcPreimageProof) {
+  // Full Groth16 round trip over a gadget circuit: prove knowledge of a
+  // MiMC preimage. Statement: h. Witness: x with mimc_compress(x, 0) == h.
+  const Fr x = Fr::from_u64(424242);
+  const Fr h = mimc_compress(x, Fr::zero());
+
+  const auto build = [&](const Fr& stmt, const Fr& wit) {
+    CircuitBuilder b;
+    const Wire wh = b.input(stmt);
+    const Wire wx = b.witness(wit);
+    b.enforce_equal(mimc_compress_gadget(b, wx, Wire::zero()), wh);
+    return b;
+  };
+
+  CircuitBuilder b = build(h, x);
+  ASSERT_TRUE(satisfied(b));
+  Rng rng(96);
+  const Keypair keys = setup(b.constraint_system(), rng);
+  const Proof proof = prove(keys.pk, b.constraint_system(), b.assignment(), rng);
+  EXPECT_TRUE(verify(keys.vk, {h}, proof));
+  EXPECT_FALSE(verify(keys.vk, {h + Fr::one()}, proof));
+}
+
+}  // namespace
+}  // namespace zl::snark

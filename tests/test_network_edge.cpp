@@ -1,0 +1,135 @@
+// Edge-case regression tests for the gossip layer — these encode two real
+// bugs found during development: (1) a block arriving before its parent was
+// dropped forever, permanently splitting the node off the network; (2)
+// transactions in orphaned blocks were never returned to the mempool after
+// a reorg, wedging every later nonce from the same sender.
+#include <gtest/gtest.h>
+
+#include "chain/network.h"
+
+namespace zl::chain {
+namespace {
+
+GenesisConfig tiny_genesis(const Address& funded) {
+  GenesisConfig g;
+  g.allocations = {{funded, 10'000'000}};
+  g.difficulty = 4;
+  return g;
+}
+
+Block mine_block(const GenesisConfig& genesis, const Bytes& parent, std::uint64_t number,
+                 std::uint64_t stamp, std::vector<Transaction> txs) {
+  Block b;
+  b.header.parent_hash = parent;
+  b.header.number = number;
+  b.header.difficulty = genesis.difficulty;
+  b.header.timestamp = stamp;
+  b.transactions = std::move(txs);
+  b.header.tx_root = Block::compute_tx_root(b.transactions);
+  while (!proof_of_work_valid(b.header)) ++b.header.nonce;
+  return b;
+}
+
+// Expose the protected ingestion hooks for direct delivery-order control.
+class ProbeNode : public Node {
+ public:
+  using Node::Node;
+  void deliver_block(const Block& b) { accept_block(b, false); }
+  void deliver_tx(const Transaction& tx) { accept_transaction(tx, false); }
+  std::size_t mempool_size() const { return mempool_.size(); }
+};
+
+TEST(NetworkEdge, ChildBeforeParentIsParkedAndReconnected) {
+  Rng rng(1101);
+  Wallet alice(rng);
+  const GenesisConfig genesis = tiny_genesis(alice.address());
+  SimNetwork net({.base_latency_ms = 1, .jitter_ms = 0, .seed = 1});
+  ProbeNode node(net, genesis);
+
+  const Block b1 = mine_block(genesis, node.chain().head_hash(), 1, 1, {});
+  const Block b2 = mine_block(genesis, b1.hash(), 2, 2, {});
+  const Block b3 = mine_block(genesis, b2.hash(), 3, 3, {});
+
+  // Deliver out of order: grandchild, child, then parent.
+  node.deliver_block(b3);
+  node.deliver_block(b2);
+  EXPECT_EQ(node.chain().height(), 0u) << "nothing connects without the parent";
+  node.deliver_block(b1);
+  EXPECT_EQ(node.chain().height(), 3u) << "orphans must reconnect transitively";
+  EXPECT_EQ(node.chain().head_hash(), b3.hash());
+}
+
+TEST(NetworkEdge, ReorgResurrectsOrphanedTransactions) {
+  Rng rng(1102);
+  Wallet alice(rng), bob(rng);
+  const GenesisConfig genesis = tiny_genesis(alice.address());
+  SimNetwork net({.base_latency_ms = 1, .jitter_ms = 0, .seed = 2});
+  ProbeNode node(net, genesis);
+
+  const Transaction tx = alice.make_transaction(bob.address(), 777, 21000, "", {});
+  node.deliver_tx(tx);
+  EXPECT_EQ(node.mempool_size(), 1u);
+
+  // Branch A includes the tx.
+  const Block a1 = mine_block(genesis, node.chain().head_hash(), 1, 1, {tx});
+  node.deliver_block(a1);
+  EXPECT_TRUE(node.chain().find_receipt(tx.hash()).has_value());
+  EXPECT_EQ(node.mempool_size(), 0u);
+
+  // A heavier empty branch B displaces A: the tx must return to the
+  // mempool so miners can re-include it.
+  const Block b1 = mine_block(genesis, a1.header.parent_hash, 1, 50, {});
+  const Block b2 = mine_block(genesis, b1.hash(), 2, 51, {});
+  node.deliver_block(b1);
+  node.deliver_block(b2);
+  EXPECT_EQ(node.chain().head_hash(), b2.hash());
+  EXPECT_FALSE(node.chain().find_receipt(tx.hash()).has_value());
+  EXPECT_EQ(node.mempool_size(), 1u) << "orphaned tx must be resurrected";
+}
+
+TEST(NetworkEdge, DuplicateAndMalformedGossipIgnored) {
+  Rng rng(1103);
+  Wallet alice(rng);
+  const GenesisConfig genesis = tiny_genesis(alice.address());
+  SimNetwork net({.base_latency_ms = 1, .jitter_ms = 0, .seed = 3});
+  ProbeNode node(net, genesis);
+
+  const Transaction tx = alice.make_transaction(alice.address(), 1, 21000, "", {});
+  node.deliver_tx(tx);
+  node.deliver_tx(tx);
+  EXPECT_EQ(node.mempool_size(), 1u);
+
+  // Garbage payloads must not crash the node.
+  node.on_message(MessageKind::kTransaction, Bytes{1, 2, 3});
+  node.on_message(MessageKind::kBlock, Bytes(10, 0xff));
+  EXPECT_EQ(node.chain().height(), 0u);
+
+  // A transaction with a broken signature is dropped.
+  Transaction forged = tx;
+  forged.value = 999;  // signature no longer covers this
+  node.deliver_tx(forged);
+  EXPECT_EQ(node.mempool_size(), 1u);
+}
+
+TEST(NetworkEdge, HighJitterNetworkStillConverges) {
+  // Stress the orphan pool: jitter comparable to block time.
+  Rng rng(1104);
+  Wallet coinbase1(rng), coinbase2(rng), faucet(rng);
+  GenesisConfig genesis = tiny_genesis(faucet.address());
+  genesis.difficulty = 512;  // ~32ms blocks at 16 h/ms vs 20-60ms latency
+  SimNetwork net({.base_latency_ms = 20, .jitter_ms = 40, .seed = 4});
+  MinerNode miner1(net, genesis, coinbase1.address());
+  MinerNode miner2(net, genesis, coinbase2.address());
+  Node observer(net, genesis);
+
+  ASSERT_TRUE(net.run_until_height(12, 120'000));
+  miner1.set_enabled(false);
+  miner2.set_enabled(false);
+  net.run_for(1'000);
+  EXPECT_EQ(observer.chain().head_hash(), miner1.chain().head_hash());
+  EXPECT_EQ(observer.chain().head_hash(), miner2.chain().head_hash());
+  EXPECT_GE(observer.chain().height(), 12u);
+}
+
+}  // namespace
+}  // namespace zl::chain

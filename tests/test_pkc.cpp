@@ -1,0 +1,146 @@
+// Public-key crypto tests: RSA-OAEP / RSA signatures (paper §VI
+// instantiation) and secp256k1 ECDSA (blockchain transaction signatures).
+#include <gtest/gtest.h>
+
+#include "crypto/ecdsa.h"
+#include "crypto/rsa.h"
+
+namespace zl {
+namespace {
+
+// 1024-bit keys keep unit tests fast; the 2048-bit path is exercised by the
+// ablation bench (bench_ablation) and one smoke test below.
+RsaKeyPair test_key() {
+  static const RsaKeyPair key = [] {
+    Rng rng(101);
+    return RsaKeyPair::generate(rng, 1024);
+  }();
+  return key;
+}
+
+TEST(Rsa, KeyGenerationShape) {
+  const RsaKeyPair key = test_key();
+  EXPECT_EQ(mpz_sizeinbase(key.pub.n.get_mpz_t(), 2), 1024u);
+  EXPECT_EQ(key.pub.e, 65537);
+  EXPECT_EQ(key.pub.modulus_bytes(), 128u);
+}
+
+TEST(Rsa, OaepRoundTrip) {
+  Rng rng(102);
+  const RsaKeyPair key = test_key();
+  for (const std::size_t len : {0u, 1u, 30u, 62u}) {  // capacity = 128-66 = 62
+    const Bytes msg = rng.bytes(len);
+    const Bytes ct = rsa_oaep_encrypt(key.pub, msg, rng);
+    EXPECT_EQ(ct.size(), 128u);
+    EXPECT_EQ(rsa_oaep_decrypt(key, ct), msg);
+  }
+}
+
+TEST(Rsa, OaepIsRandomized) {
+  Rng rng(103);
+  const RsaKeyPair key = test_key();
+  const Bytes msg = to_bytes("same message");
+  EXPECT_NE(rsa_oaep_encrypt(key.pub, msg, rng), rsa_oaep_encrypt(key.pub, msg, rng));
+}
+
+TEST(Rsa, OaepRejectsOversizeAndTampering) {
+  Rng rng(104);
+  const RsaKeyPair key = test_key();
+  EXPECT_THROW(rsa_oaep_encrypt(key.pub, rng.bytes(63), rng), std::invalid_argument);
+  Bytes ct = rsa_oaep_encrypt(key.pub, to_bytes("secret"), rng);
+  ct[40] ^= 1;
+  EXPECT_THROW(rsa_oaep_decrypt(key, ct), std::invalid_argument);
+  EXPECT_THROW(rsa_oaep_decrypt(key, Bytes(5, 0x01)), std::invalid_argument);
+}
+
+TEST(Rsa, SignVerify) {
+  Rng rng(105);
+  const RsaKeyPair key = test_key();
+  const Bytes msg = to_bytes("certificate binding pk_i to W_i");
+  const Bytes sig = rsa_sign(key, msg);
+  EXPECT_TRUE(rsa_verify(key.pub, msg, sig));
+  EXPECT_FALSE(rsa_verify(key.pub, to_bytes("another message"), sig));
+  Bytes bad = sig;
+  bad[0] ^= 1;
+  EXPECT_FALSE(rsa_verify(key.pub, msg, bad));
+  EXPECT_FALSE(rsa_verify(key.pub, msg, Bytes(10, 0)));
+  // Signature from a different key fails.
+  Rng rng2(106);
+  const RsaKeyPair other = RsaKeyPair::generate(rng2, 1024);
+  EXPECT_FALSE(rsa_verify(other.pub, msg, sig));
+}
+
+TEST(Rsa, PublicKeySerialization) {
+  const RsaKeyPair key = test_key();
+  const Bytes enc = key.pub.to_bytes();
+  EXPECT_EQ(RsaPublicKey::from_bytes(enc), key.pub);
+  Bytes trailing = enc;
+  trailing.push_back(0);
+  EXPECT_THROW(RsaPublicKey::from_bytes(trailing), std::invalid_argument);
+}
+
+TEST(Rsa, FullSize2048Smoke) {
+  Rng rng(107);
+  const RsaKeyPair key = RsaKeyPair::generate(rng, 2048);
+  EXPECT_EQ(key.pub.modulus_bytes(), 256u);
+  const Bytes msg = rng.bytes(190);  // exactly the OAEP capacity at 2048 bits
+  EXPECT_EQ(rsa_oaep_decrypt(key, rsa_oaep_encrypt(key.pub, msg, rng)), msg);
+  EXPECT_TRUE(rsa_verify(key.pub, msg, rsa_sign(key, msg)));
+}
+
+TEST(Ecdsa, SignVerify) {
+  Rng rng(111);
+  const EcdsaKeyPair key = EcdsaKeyPair::generate(rng);
+  const Bytes msg = to_bytes("transaction payload");
+  const EcdsaSignature sig = key.sign(msg, rng);
+  EXPECT_TRUE(ecdsa_verify(key.public_key_bytes(), msg, sig));
+  EXPECT_FALSE(ecdsa_verify(key.public_key_bytes(), to_bytes("forged"), sig));
+}
+
+TEST(Ecdsa, RejectsTamperedSignatures) {
+  Rng rng(112);
+  const EcdsaKeyPair key = EcdsaKeyPair::generate(rng);
+  const Bytes msg = to_bytes("msg");
+  EcdsaSignature sig = key.sign(msg, rng);
+  sig.r += 1;
+  EXPECT_FALSE(ecdsa_verify(key.public_key_bytes(), msg, sig));
+  sig = key.sign(msg, rng);
+  sig.s = SecpPoint::order();  // out of range
+  EXPECT_FALSE(ecdsa_verify(key.public_key_bytes(), msg, sig));
+  sig = key.sign(msg, rng);
+  Bytes bad_key = key.public_key_bytes();
+  bad_key[10] ^= 1;
+  EXPECT_FALSE(ecdsa_verify(bad_key, msg, sig));
+}
+
+TEST(Ecdsa, SignaturesFromOtherKeysRejected) {
+  Rng rng(113);
+  const EcdsaKeyPair a = EcdsaKeyPair::generate(rng);
+  const EcdsaKeyPair b = EcdsaKeyPair::generate(rng);
+  const Bytes msg = to_bytes("msg");
+  EXPECT_FALSE(ecdsa_verify(b.public_key_bytes(), msg, a.sign(msg, rng)));
+}
+
+TEST(Ecdsa, SerializationRoundTrip) {
+  Rng rng(114);
+  const EcdsaKeyPair key = EcdsaKeyPair::generate(rng);
+  const EcdsaSignature sig = key.sign(to_bytes("m"), rng);
+  const EcdsaSignature decoded = EcdsaSignature::from_bytes(sig.to_bytes());
+  EXPECT_EQ(decoded.r, sig.r);
+  EXPECT_EQ(decoded.s, sig.s);
+  EXPECT_TRUE(ecdsa_verify(key.public_key_bytes(), to_bytes("m"), decoded));
+}
+
+TEST(Ecdsa, AddressDerivation) {
+  Rng rng(115);
+  const EcdsaKeyPair key = EcdsaKeyPair::generate(rng);
+  const Bytes addr = key.address();
+  EXPECT_EQ(addr.size(), 20u);
+  EXPECT_EQ(addr, ecdsa_address(key.public_key_bytes()));
+  // Distinct keys get distinct addresses (one-task-only address freshness).
+  const EcdsaKeyPair other = EcdsaKeyPair::generate(rng);
+  EXPECT_NE(other.address(), addr);
+}
+
+}  // namespace
+}  // namespace zl

@@ -1,0 +1,70 @@
+// Wire-format coverage for the curve/point serializers (ec/serialize.h) and
+// the fixed-base table used by the trusted setup.
+#include <gtest/gtest.h>
+
+#include "ec/serialize.h"
+
+namespace zl {
+namespace {
+
+TEST(Serialize, G1RoundTripAndRejection) {
+  Rng rng(1001);
+  for (int i = 0; i < 10; ++i) {
+    const G1 p = G1::generator() * (1 + rng.uniform(1 << 20));
+    const Bytes enc = g1_to_bytes(p);
+    EXPECT_EQ(enc.size(), 65u);
+    EXPECT_EQ(g1_from_bytes(enc), p);
+  }
+  EXPECT_EQ(g1_from_bytes(g1_to_bytes(G1::infinity())), G1::infinity());
+  // Off-curve point rejected.
+  Bytes bad = g1_to_bytes(G1::generator());
+  bad[64] ^= 1;
+  EXPECT_THROW(g1_from_bytes(bad), std::invalid_argument);
+  EXPECT_THROW(g1_from_bytes(Bytes(64)), std::invalid_argument);
+  // Non-canonical field encoding rejected.
+  Bytes big = g1_to_bytes(G1::generator());
+  for (int i = 1; i <= 32; ++i) big[static_cast<std::size_t>(i)] = 0xff;
+  EXPECT_THROW(g1_from_bytes(big), std::invalid_argument);
+}
+
+TEST(Serialize, G2RoundTripAndRejection) {
+  Rng rng(1002);
+  for (int i = 0; i < 5; ++i) {
+    const G2 p = G2::generator() * (1 + rng.uniform(1 << 20));
+    const Bytes enc = g2_to_bytes(p);
+    EXPECT_EQ(enc.size(), 129u);
+    EXPECT_EQ(g2_from_bytes(enc), p);
+  }
+  EXPECT_EQ(g2_from_bytes(g2_to_bytes(G2::infinity())), G2::infinity());
+  Bytes bad = g2_to_bytes(G2::generator());
+  bad[100] ^= 1;
+  EXPECT_THROW(g2_from_bytes(bad), std::invalid_argument);
+  EXPECT_THROW(g2_from_bytes(Bytes(12)), std::invalid_argument);
+}
+
+TEST(Serialize, Fq2RoundTrip) {
+  Rng rng(1003);
+  const Fq2 v = Fq2::random(rng);
+  EXPECT_EQ(fq2_from_bytes(fq2_to_bytes(v)), v);
+  EXPECT_THROW(fq2_from_bytes(Bytes(63)), std::invalid_argument);
+}
+
+TEST(Serialize, FixedBaseTableMatchesPlainScalarMul) {
+  Rng rng(1004);
+  const FixedBaseTable<G1> table(G1::generator());
+  for (int i = 0; i < 10; ++i) {
+    const Fr s = Fr::random(rng);
+    EXPECT_EQ(table.mul(s), G1::generator() * s.to_bigint());
+  }
+  EXPECT_EQ(table.mul(Fr::zero()), G1::infinity());
+  EXPECT_EQ(table.mul(Fr::one()), G1::generator());
+  EXPECT_EQ(table.mul(Fr::from_bigint(Fr::modulus_bigint() - 1)),
+            G1::generator() * (Fr::modulus_bigint() - 1));
+
+  const FixedBaseTable<G2> g2_table(G2::generator());
+  const Fr s = Fr::random(rng);
+  EXPECT_EQ(g2_table.mul(s), G2::generator() * s.to_bigint());
+}
+
+}  // namespace
+}  // namespace zl
