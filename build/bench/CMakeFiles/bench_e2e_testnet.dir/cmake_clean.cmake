@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_testnet.dir/bench_e2e_testnet.cpp.o"
+  "CMakeFiles/bench_e2e_testnet.dir/bench_e2e_testnet.cpp.o.d"
+  "bench_e2e_testnet"
+  "bench_e2e_testnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_testnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

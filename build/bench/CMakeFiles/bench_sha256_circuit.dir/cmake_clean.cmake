@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sha256_circuit.dir/bench_sha256_circuit.cpp.o"
+  "CMakeFiles/bench_sha256_circuit.dir/bench_sha256_circuit.cpp.o.d"
+  "bench_sha256_circuit"
+  "bench_sha256_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sha256_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_auth_demo.dir/anonymous_auth_demo.cpp.o"
+  "CMakeFiles/anonymous_auth_demo.dir/anonymous_auth_demo.cpp.o.d"
+  "anonymous_auth_demo"
+  "anonymous_auth_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_auth_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsensing_anonymous.dir/crowdsensing_anonymous.cpp.o"
+  "CMakeFiles/crowdsensing_anonymous.dir/crowdsensing_anonymous.cpp.o.d"
+  "crowdsensing_anonymous"
+  "crowdsensing_anonymous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsensing_anonymous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crowdsensing_anonymous.
+# This may be replaced when dependencies are built.

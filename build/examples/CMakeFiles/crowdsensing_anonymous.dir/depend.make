@@ -1,0 +1,2 @@
+# Empty dependencies file for crowdsensing_anonymous.
+# This may be replaced when dependencies are built.

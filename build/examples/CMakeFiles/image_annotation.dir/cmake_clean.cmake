@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_annotation.dir/image_annotation.cpp.o"
+  "CMakeFiles/image_annotation.dir/image_annotation.cpp.o.d"
+  "image_annotation"
+  "image_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

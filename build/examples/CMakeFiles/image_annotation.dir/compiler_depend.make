@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for image_annotation.
+# This may be replaced when dependencies are built.

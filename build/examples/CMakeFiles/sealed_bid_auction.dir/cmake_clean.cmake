@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealed_bid_auction.dir/sealed_bid_auction.cpp.o"
+  "CMakeFiles/sealed_bid_auction.dir/sealed_bid_auction.cpp.o.d"
+  "sealed_bid_auction"
+  "sealed_bid_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealed_bid_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sealed_bid_auction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zl_auth.dir/classic_auth.cpp.o"
+  "CMakeFiles/zl_auth.dir/classic_auth.cpp.o.d"
+  "CMakeFiles/zl_auth.dir/cpl_auth.cpp.o"
+  "CMakeFiles/zl_auth.dir/cpl_auth.cpp.o.d"
+  "libzl_auth.a"
+  "libzl_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zl_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

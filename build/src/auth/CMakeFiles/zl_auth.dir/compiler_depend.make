@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zl_auth.
+# This may be replaced when dependencies are built.

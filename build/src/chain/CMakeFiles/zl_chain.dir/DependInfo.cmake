@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/zl_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/zl_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/blockchain.cpp" "src/chain/CMakeFiles/zl_chain.dir/blockchain.cpp.o" "gcc" "src/chain/CMakeFiles/zl_chain.dir/blockchain.cpp.o.d"
+  "/root/repo/src/chain/datastore.cpp" "src/chain/CMakeFiles/zl_chain.dir/datastore.cpp.o" "gcc" "src/chain/CMakeFiles/zl_chain.dir/datastore.cpp.o.d"
+  "/root/repo/src/chain/light_client.cpp" "src/chain/CMakeFiles/zl_chain.dir/light_client.cpp.o" "gcc" "src/chain/CMakeFiles/zl_chain.dir/light_client.cpp.o.d"
+  "/root/repo/src/chain/network.cpp" "src/chain/CMakeFiles/zl_chain.dir/network.cpp.o" "gcc" "src/chain/CMakeFiles/zl_chain.dir/network.cpp.o.d"
+  "/root/repo/src/chain/state.cpp" "src/chain/CMakeFiles/zl_chain.dir/state.cpp.o" "gcc" "src/chain/CMakeFiles/zl_chain.dir/state.cpp.o.d"
+  "/root/repo/src/chain/tx.cpp" "src/chain/CMakeFiles/zl_chain.dir/tx.cpp.o" "gcc" "src/chain/CMakeFiles/zl_chain.dir/tx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snark/CMakeFiles/zl_snark.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/zl_ec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

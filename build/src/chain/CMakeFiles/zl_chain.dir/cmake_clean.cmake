@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zl_chain.dir/block.cpp.o"
+  "CMakeFiles/zl_chain.dir/block.cpp.o.d"
+  "CMakeFiles/zl_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/zl_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/zl_chain.dir/datastore.cpp.o"
+  "CMakeFiles/zl_chain.dir/datastore.cpp.o.d"
+  "CMakeFiles/zl_chain.dir/light_client.cpp.o"
+  "CMakeFiles/zl_chain.dir/light_client.cpp.o.d"
+  "CMakeFiles/zl_chain.dir/network.cpp.o"
+  "CMakeFiles/zl_chain.dir/network.cpp.o.d"
+  "CMakeFiles/zl_chain.dir/state.cpp.o"
+  "CMakeFiles/zl_chain.dir/state.cpp.o.d"
+  "CMakeFiles/zl_chain.dir/tx.cpp.o"
+  "CMakeFiles/zl_chain.dir/tx.cpp.o.d"
+  "libzl_chain.a"
+  "libzl_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zl_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for zl_chain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/zl_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/zl_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/bytes.cpp" "src/crypto/CMakeFiles/zl_crypto.dir/bytes.cpp.o" "gcc" "src/crypto/CMakeFiles/zl_crypto.dir/bytes.cpp.o.d"
+  "/root/repo/src/crypto/ecdsa.cpp" "src/crypto/CMakeFiles/zl_crypto.dir/ecdsa.cpp.o" "gcc" "src/crypto/CMakeFiles/zl_crypto.dir/ecdsa.cpp.o.d"
+  "/root/repo/src/crypto/keccak.cpp" "src/crypto/CMakeFiles/zl_crypto.dir/keccak.cpp.o" "gcc" "src/crypto/CMakeFiles/zl_crypto.dir/keccak.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/zl_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/zl_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/mimc.cpp" "src/crypto/CMakeFiles/zl_crypto.dir/mimc.cpp.o" "gcc" "src/crypto/CMakeFiles/zl_crypto.dir/mimc.cpp.o.d"
+  "/root/repo/src/crypto/rng.cpp" "src/crypto/CMakeFiles/zl_crypto.dir/rng.cpp.o" "gcc" "src/crypto/CMakeFiles/zl_crypto.dir/rng.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/zl_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/zl_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/zl_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/zl_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zl_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/zl_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/zl_crypto.dir/bytes.cpp.o"
+  "CMakeFiles/zl_crypto.dir/bytes.cpp.o.d"
+  "CMakeFiles/zl_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/zl_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/zl_crypto.dir/keccak.cpp.o"
+  "CMakeFiles/zl_crypto.dir/keccak.cpp.o.d"
+  "CMakeFiles/zl_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/zl_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/zl_crypto.dir/mimc.cpp.o"
+  "CMakeFiles/zl_crypto.dir/mimc.cpp.o.d"
+  "CMakeFiles/zl_crypto.dir/rng.cpp.o"
+  "CMakeFiles/zl_crypto.dir/rng.cpp.o.d"
+  "CMakeFiles/zl_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/zl_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/zl_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/zl_crypto.dir/sha256.cpp.o.d"
+  "libzl_crypto.a"
+  "libzl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zl_ec.dir/pairing.cpp.o"
+  "CMakeFiles/zl_ec.dir/pairing.cpp.o.d"
+  "libzl_ec.a"
+  "libzl_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zl_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zl_ec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snark/domain.cpp" "src/snark/CMakeFiles/zl_snark.dir/domain.cpp.o" "gcc" "src/snark/CMakeFiles/zl_snark.dir/domain.cpp.o.d"
+  "/root/repo/src/snark/gadgets/gadgets.cpp" "src/snark/CMakeFiles/zl_snark.dir/gadgets/gadgets.cpp.o" "gcc" "src/snark/CMakeFiles/zl_snark.dir/gadgets/gadgets.cpp.o.d"
+  "/root/repo/src/snark/gadgets/jubjub_gadget.cpp" "src/snark/CMakeFiles/zl_snark.dir/gadgets/jubjub_gadget.cpp.o" "gcc" "src/snark/CMakeFiles/zl_snark.dir/gadgets/jubjub_gadget.cpp.o.d"
+  "/root/repo/src/snark/gadgets/merkle_gadget.cpp" "src/snark/CMakeFiles/zl_snark.dir/gadgets/merkle_gadget.cpp.o" "gcc" "src/snark/CMakeFiles/zl_snark.dir/gadgets/merkle_gadget.cpp.o.d"
+  "/root/repo/src/snark/gadgets/mimc_gadget.cpp" "src/snark/CMakeFiles/zl_snark.dir/gadgets/mimc_gadget.cpp.o" "gcc" "src/snark/CMakeFiles/zl_snark.dir/gadgets/mimc_gadget.cpp.o.d"
+  "/root/repo/src/snark/gadgets/sha256_gadget.cpp" "src/snark/CMakeFiles/zl_snark.dir/gadgets/sha256_gadget.cpp.o" "gcc" "src/snark/CMakeFiles/zl_snark.dir/gadgets/sha256_gadget.cpp.o.d"
+  "/root/repo/src/snark/groth16.cpp" "src/snark/CMakeFiles/zl_snark.dir/groth16.cpp.o" "gcc" "src/snark/CMakeFiles/zl_snark.dir/groth16.cpp.o.d"
+  "/root/repo/src/snark/r1cs.cpp" "src/snark/CMakeFiles/zl_snark.dir/r1cs.cpp.o" "gcc" "src/snark/CMakeFiles/zl_snark.dir/r1cs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ec/CMakeFiles/zl_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zl_snark.dir/domain.cpp.o"
+  "CMakeFiles/zl_snark.dir/domain.cpp.o.d"
+  "CMakeFiles/zl_snark.dir/gadgets/gadgets.cpp.o"
+  "CMakeFiles/zl_snark.dir/gadgets/gadgets.cpp.o.d"
+  "CMakeFiles/zl_snark.dir/gadgets/jubjub_gadget.cpp.o"
+  "CMakeFiles/zl_snark.dir/gadgets/jubjub_gadget.cpp.o.d"
+  "CMakeFiles/zl_snark.dir/gadgets/merkle_gadget.cpp.o"
+  "CMakeFiles/zl_snark.dir/gadgets/merkle_gadget.cpp.o.d"
+  "CMakeFiles/zl_snark.dir/gadgets/mimc_gadget.cpp.o"
+  "CMakeFiles/zl_snark.dir/gadgets/mimc_gadget.cpp.o.d"
+  "CMakeFiles/zl_snark.dir/gadgets/sha256_gadget.cpp.o"
+  "CMakeFiles/zl_snark.dir/gadgets/sha256_gadget.cpp.o.d"
+  "CMakeFiles/zl_snark.dir/groth16.cpp.o"
+  "CMakeFiles/zl_snark.dir/groth16.cpp.o.d"
+  "CMakeFiles/zl_snark.dir/r1cs.cpp.o"
+  "CMakeFiles/zl_snark.dir/r1cs.cpp.o.d"
+  "libzl_snark.a"
+  "libzl_snark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zl_snark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzl_snark.a"
+)

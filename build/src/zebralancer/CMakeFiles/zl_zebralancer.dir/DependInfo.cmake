@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zebralancer/classic_clients.cpp" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/classic_clients.cpp.o" "gcc" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/classic_clients.cpp.o.d"
+  "/root/repo/src/zebralancer/clients.cpp" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/clients.cpp.o" "gcc" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/clients.cpp.o.d"
+  "/root/repo/src/zebralancer/encryption.cpp" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/encryption.cpp.o" "gcc" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/encryption.cpp.o.d"
+  "/root/repo/src/zebralancer/policy.cpp" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/policy.cpp.o" "gcc" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/policy.cpp.o.d"
+  "/root/repo/src/zebralancer/ra_contract.cpp" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/ra_contract.cpp.o" "gcc" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/ra_contract.cpp.o.d"
+  "/root/repo/src/zebralancer/reputation.cpp" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/reputation.cpp.o" "gcc" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/reputation.cpp.o.d"
+  "/root/repo/src/zebralancer/reward_circuit.cpp" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/reward_circuit.cpp.o" "gcc" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/reward_circuit.cpp.o.d"
+  "/root/repo/src/zebralancer/scenario.cpp" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/scenario.cpp.o" "gcc" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/scenario.cpp.o.d"
+  "/root/repo/src/zebralancer/task_contract.cpp" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/task_contract.cpp.o" "gcc" "src/zebralancer/CMakeFiles/zl_zebralancer.dir/task_contract.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/auth/CMakeFiles/zl_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/zl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/snark/CMakeFiles/zl_snark.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/zl_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

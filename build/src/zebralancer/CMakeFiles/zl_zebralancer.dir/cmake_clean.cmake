@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zl_zebralancer.dir/classic_clients.cpp.o"
+  "CMakeFiles/zl_zebralancer.dir/classic_clients.cpp.o.d"
+  "CMakeFiles/zl_zebralancer.dir/clients.cpp.o"
+  "CMakeFiles/zl_zebralancer.dir/clients.cpp.o.d"
+  "CMakeFiles/zl_zebralancer.dir/encryption.cpp.o"
+  "CMakeFiles/zl_zebralancer.dir/encryption.cpp.o.d"
+  "CMakeFiles/zl_zebralancer.dir/policy.cpp.o"
+  "CMakeFiles/zl_zebralancer.dir/policy.cpp.o.d"
+  "CMakeFiles/zl_zebralancer.dir/ra_contract.cpp.o"
+  "CMakeFiles/zl_zebralancer.dir/ra_contract.cpp.o.d"
+  "CMakeFiles/zl_zebralancer.dir/reputation.cpp.o"
+  "CMakeFiles/zl_zebralancer.dir/reputation.cpp.o.d"
+  "CMakeFiles/zl_zebralancer.dir/reward_circuit.cpp.o"
+  "CMakeFiles/zl_zebralancer.dir/reward_circuit.cpp.o.d"
+  "CMakeFiles/zl_zebralancer.dir/scenario.cpp.o"
+  "CMakeFiles/zl_zebralancer.dir/scenario.cpp.o.d"
+  "CMakeFiles/zl_zebralancer.dir/task_contract.cpp.o"
+  "CMakeFiles/zl_zebralancer.dir/task_contract.cpp.o.d"
+  "libzl_zebralancer.a"
+  "libzl_zebralancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zl_zebralancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

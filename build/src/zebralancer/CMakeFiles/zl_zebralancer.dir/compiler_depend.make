@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zl_zebralancer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attacks.dir/test_attacks.cpp.o"
+  "CMakeFiles/test_attacks.dir/test_attacks.cpp.o.d"
+  "test_attacks"
+  "test_attacks.pdb"
+  "test_attacks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auction.dir/test_auction.cpp.o"
+  "CMakeFiles/test_auction.dir/test_auction.cpp.o.d"
+  "test_auction"
+  "test_auction.pdb"
+  "test_auction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auth.dir/test_auth.cpp.o"
+  "CMakeFiles/test_auth.dir/test_auth.cpp.o.d"
+  "test_auth"
+  "test_auth.pdb"
+  "test_auth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

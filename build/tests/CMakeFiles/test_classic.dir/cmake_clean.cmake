@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classic.dir/test_classic.cpp.o"
+  "CMakeFiles/test_classic.dir/test_classic.cpp.o.d"
+  "test_classic"
+  "test_classic.pdb"
+  "test_classic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ec.dir/test_ec.cpp.o"
+  "CMakeFiles/test_ec.dir/test_ec.cpp.o.d"
+  "test_ec"
+  "test_ec.pdb"
+  "test_ec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

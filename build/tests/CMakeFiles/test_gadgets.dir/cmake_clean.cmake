@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gadgets.dir/test_gadgets.cpp.o"
+  "CMakeFiles/test_gadgets.dir/test_gadgets.cpp.o.d"
+  "test_gadgets"
+  "test_gadgets.pdb"
+  "test_gadgets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

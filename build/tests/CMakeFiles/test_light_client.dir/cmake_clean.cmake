@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_light_client.dir/test_light_client.cpp.o"
+  "CMakeFiles/test_light_client.dir/test_light_client.cpp.o.d"
+  "test_light_client"
+  "test_light_client.pdb"
+  "test_light_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_light_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

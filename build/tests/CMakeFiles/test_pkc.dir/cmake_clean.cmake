@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pkc.dir/test_pkc.cpp.o"
+  "CMakeFiles/test_pkc.dir/test_pkc.cpp.o.d"
+  "test_pkc"
+  "test_pkc.pdb"
+  "test_pkc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pkc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

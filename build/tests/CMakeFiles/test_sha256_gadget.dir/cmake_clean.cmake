@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sha256_gadget.dir/test_sha256_gadget.cpp.o"
+  "CMakeFiles/test_sha256_gadget.dir/test_sha256_gadget.cpp.o.d"
+  "test_sha256_gadget"
+  "test_sha256_gadget.pdb"
+  "test_sha256_gadget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sha256_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

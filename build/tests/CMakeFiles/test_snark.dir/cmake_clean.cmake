@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snark.dir/test_snark.cpp.o"
+  "CMakeFiles/test_snark.dir/test_snark.cpp.o.d"
+  "test_snark"
+  "test_snark.pdb"
+  "test_snark[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

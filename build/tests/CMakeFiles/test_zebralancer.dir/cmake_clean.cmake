@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zebralancer.dir/test_zebralancer.cpp.o"
+  "CMakeFiles/test_zebralancer.dir/test_zebralancer.cpp.o.d"
+  "test_zebralancer"
+  "test_zebralancer.pdb"
+  "test_zebralancer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zebralancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
