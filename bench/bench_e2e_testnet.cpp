@@ -57,6 +57,7 @@ int main() {
   };
   std::vector<Result> results;
 
+  std::vector<chain::Address> tasks;
   for (const unsigned n : worker_counts) {
     std::fprintf(stderr, "[e2e] === contract collecting %u answers ===\n", n);
     Result res{};
@@ -70,6 +71,7 @@ int main() {
                                                    .answer_deadline_blocks = 500,
                                                    .instruct_deadline_blocks = 500},
                                                   net.on_chain_registry_root());
+    tasks.push_back(task);
     const auto* contract = net.client_node().chain().state().contract_as<TaskContract>(task);
     res.publish_block = contract->deploy_block();
     res.deploy_gas = net.client_node().chain().find_receipt(requester.deploy_tx_hash())->gas_used;
@@ -113,6 +115,18 @@ int main() {
     results.push_back(res);
   }
 
+  // Watchtower pass: re-verify every stored reward proof against on-chain
+  // state in one batch (parallel Miller loops across the 5 contracts).
+  const auto audit_start = Clock::now();
+  const std::vector<std::size_t> audit_failures =
+      audit_rewarded_tasks(net.client_node().chain().state(), tasks);
+  const double audit_secs = secs_since(audit_start);
+  if (!audit_failures.empty()) {
+    std::fprintf(stderr, "FATAL: %zu reward proofs failed the batch audit\n",
+                 audit_failures.size());
+    return 1;
+  }
+
   std::printf("\nEND-TO-END TEST-NET DEPLOYMENT (5 contracts, 2 miners + 2 full nodes)\n");
   std::printf("offline SNARK establishment (all 6 circuits): %.1fs\n\n", setup_secs);
   std::printf("%-4s %-22s %-14s %-14s %-12s %-12s %-12s\n", "n", "blocks pub->done",
@@ -133,5 +147,7 @@ int main() {
       "is dominated by the constant-cost SNARK-verify precompile.\n");
   std::printf("total blocks mined across the experiment: %zu, final height %llu\n",
               net.total_blocks_mined(), static_cast<unsigned long long>(net.height()));
+  std::printf("watchtower audit: batch re-verified all %zu stored reward proofs in %.2fs\n",
+              tasks.size(), audit_secs);
   return 0;
 }

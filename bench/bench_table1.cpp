@@ -11,9 +11,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <sys/resource.h>
 
 #include "auth/cpl_auth.h"
+#include "common/thread_pool.h"
 #include "zebralancer/reward_circuit.h"
 
 using namespace zl;
@@ -125,5 +127,108 @@ int main() {
       "Shape checks vs the paper: proof size constant (theirs 729-731B, ours %zuB);\n"
       "key and input sizes grow linearly in n; verification time grows mildly in n.\n",
       snark::Proof::kByteSize);
+
+  // --- Prover trajectory: per-phase wall clock, serial vs. parallel -------
+  // Same seeds in both passes, so the emitted identical_* flags double as a
+  // determinism check for the thread-pool code paths.
+  struct Pass {
+    unsigned threads;
+    double setup_s, prove_s, verify_s, batch_s;
+    Bytes vk_bytes, proof_bytes;
+  };
+  const RewardCircuitSpec bench_spec{11u, "majority-vote:4"};
+  constexpr std::uint64_t kShare = 1'000'000;
+  constexpr std::size_t kBatch = 8;
+  const auto run_pass = [&](unsigned threads) {
+    set_num_threads(threads);
+    Pass p{};
+    p.threads = threads;
+    Rng r(424242);
+    const auto t0 = Clock::now();
+    const snark::Keypair keys = reward_setup(bench_spec, r);
+    const auto t1 = Clock::now();
+    const TaskEncKeyPair enc = TaskEncKeyPair::generate(r);
+    std::vector<AnswerCiphertext> cts;
+    for (unsigned i = 0; i < bench_spec.num_answers; ++i) {
+      cts.push_back(encrypt_answer(enc.epk, Fr::from_u64(i % 3), r));
+    }
+    const auto t2 = Clock::now();
+    const RewardInstruction inst = prove_rewards(keys.pk, bench_spec, enc, kShare, cts, r);
+    const auto t3 = Clock::now();
+    const std::vector<Fr> statement = reward_statement(enc.epk, kShare, cts, inst.rewards);
+    const bool ok = snark::verify(keys.vk, statement, inst.proof);
+    const auto t4 = Clock::now();
+    const std::vector<snark::BatchVerifyItem> items(kBatch, {keys.vk, statement, inst.proof});
+    const std::vector<std::uint8_t> batch_ok = snark::verify_batch(items);
+    const auto t5 = Clock::now();
+    if (!ok || std::count(batch_ok.begin(), batch_ok.end(), 1) != std::ssize(items)) {
+      std::fprintf(stderr, "FATAL: prover-bench verification failed\n");
+      std::exit(1);
+    }
+    const auto secs = [](auto a, auto b) { return std::chrono::duration<double>(b - a).count(); };
+    p.setup_s = secs(t0, t1);
+    p.prove_s = secs(t2, t3);
+    p.verify_s = secs(t3, t4);
+    p.batch_s = secs(t4, t5);
+    p.vk_bytes = keys.vk.to_bytes();
+    p.proof_bytes = inst.proof.to_bytes();
+    return p;
+  };
+
+  unsigned parallel_threads = num_threads();  // honours ZL_THREADS
+  if (parallel_threads <= 1) {
+    parallel_threads = std::max(2u, std::thread::hardware_concurrency());
+  }
+  std::fprintf(stderr, "[prover] serial pass (1 thread)...\n");
+  const Pass serial = run_pass(1);
+  std::fprintf(stderr, "[prover] parallel pass (%u threads)...\n", parallel_threads);
+  const Pass parallel = run_pass(parallel_threads);
+
+  const bool identical_keys = serial.vk_bytes == parallel.vk_bytes;
+  const bool identical_proofs = serial.proof_bytes == parallel.proof_bytes;
+  const auto speedup = [](double s, double p) { return p > 0.0 ? s / p : 0.0; };
+
+  std::printf("\nPROVER TRAJECTORY — majority-vote reward circuit, n=11 (seconds)\n");
+  std::printf("%-14s %12s %12s %9s\n", "phase", "serial", "parallel", "speedup");
+  const auto print_phase = [&](const char* name, double s, double p) {
+    std::printf("%-14s %12.3f %12.3f %8.2fx\n", name, s, p, speedup(s, p));
+  };
+  print_phase("setup", serial.setup_s, parallel.setup_s);
+  print_phase("prove", serial.prove_s, parallel.prove_s);
+  print_phase("verify", serial.verify_s, parallel.verify_s);
+  print_phase("verify_batch8", serial.batch_s, parallel.batch_s);
+  std::printf("threads=%u  identical_keys=%s  identical_proofs=%s\n", parallel.threads,
+              identical_keys ? "true" : "false", identical_proofs ? "true" : "false");
+
+  const char* json_path = "BENCH_prover.json";
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"circuit\": \"majority-vote-reward\",\n"
+                 "  \"num_answers\": %zu,\n"
+                 "  \"batch_size\": %zu,\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"serial\": {\"threads\": 1, \"setup_s\": %.6f, \"prove_s\": %.6f, "
+                 "\"verify_s\": %.6f, \"verify_batch_s\": %.6f},\n"
+                 "  \"parallel\": {\"threads\": %u, \"setup_s\": %.6f, \"prove_s\": %.6f, "
+                 "\"verify_s\": %.6f, \"verify_batch_s\": %.6f},\n"
+                 "  \"speedup\": {\"setup\": %.3f, \"prove\": %.3f, \"verify\": %.3f, "
+                 "\"verify_batch\": %.3f},\n"
+                 "  \"identical_keys\": %s,\n"
+                 "  \"identical_proofs\": %s\n"
+                 "}\n",
+                 bench_spec.num_answers, kBatch, std::thread::hardware_concurrency(),
+                 serial.setup_s, serial.prove_s, serial.verify_s, serial.batch_s,
+                 parallel.threads, parallel.setup_s, parallel.prove_s, parallel.verify_s,
+                 parallel.batch_s, speedup(serial.setup_s, parallel.setup_s),
+                 speedup(serial.prove_s, parallel.prove_s),
+                 speedup(serial.verify_s, parallel.verify_s),
+                 speedup(serial.batch_s, parallel.batch_s), identical_keys ? "true" : "false",
+                 identical_proofs ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "WARNING: could not open %s for writing\n", json_path);
+  }
   return 0;
 }

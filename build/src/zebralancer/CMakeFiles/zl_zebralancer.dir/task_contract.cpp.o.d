@@ -239,5 +239,6 @@ src/zebralancer/CMakeFiles/zl_zebralancer.dir/task_contract.cpp.o: \
  /root/repo/src/zebralancer/encryption.h /root/repo/src/ec/babyjubjub.h \
  /root/repo/src/zebralancer/policy.h \
  /root/repo/src/snark/gadgets/gadgets.h \
- /root/repo/src/snark/gadgets/builder.h \
- /root/repo/src/zebralancer/reputation.h
+ /root/repo/src/snark/gadgets/builder.h /root/repo/src/chain/state.h \
+ /root/repo/src/chain/tx.h /root/repo/src/crypto/ecdsa.h \
+ /root/repo/src/ec/secp256k1.h /root/repo/src/zebralancer/reputation.h

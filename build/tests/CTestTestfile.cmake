@@ -8,6 +8,7 @@ include("/root/repo/build/tests/test_crypto[1]_include.cmake")
 include("/root/repo/build/tests/test_field[1]_include.cmake")
 include("/root/repo/build/tests/test_ec[1]_include.cmake")
 include("/root/repo/build/tests/test_snark[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
 include("/root/repo/build/tests/test_gadgets[1]_include.cmake")
 include("/root/repo/build/tests/test_pkc[1]_include.cmake")
 include("/root/repo/build/tests/test_auth[1]_include.cmake")

@@ -4,13 +4,40 @@
 // The Groth16 prover and setup are dominated by multiexps of size equal to
 // the number of circuit variables/constraints, so this is the performance-
 // critical primitive of the whole proving pipeline.
+//
+// Parallelism: the scalar range is split into chunks; each worker runs the
+// bucket method over its slice, producing one partial sum per window, and
+// the caller merges partials in (chunk, window) order with a single Horner
+// pass of doublings. Group addition is exact, so the merged result is
+// bit-identical to the serial computation for any chunk count (ZL_THREADS=1
+// takes the one-chunk path, which IS the serial algorithm).
+//
+// Scalars are decomposed into canonical limbs once up front (not re-encoded
+// per window), windows cover only the field's 254 significant bits, and
+// zero scalars never touch a bucket — sparse witness vectors are common in
+// our circuits.
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "ec/bn254_groups.h"
 
 namespace zl {
+
+namespace detail {
+
+/// The c-bit window digit of a canonical little-endian limb array starting
+/// at bit position `pos`.
+inline std::uint32_t window_digit(const Limbs& limbs, unsigned pos, unsigned c) {
+  const unsigned limb = pos / 64, off = pos % 64;
+  std::uint64_t v = limbs[limb] >> off;
+  if (off + c > 64 && limb + 1 < limbs.size()) v |= limbs[limb + 1] << (64 - off);
+  return static_cast<std::uint32_t>(v & ((std::uint64_t{1} << c) - 1));
+}
+
+}  // namespace detail
 
 /// Computes sum_i scalars[i] * points[i]. Scalars are Fr elements.
 /// Window size is chosen from the input size; falls back to plain
@@ -24,46 +51,61 @@ Point multiexp(const std::vector<Point>& points, const std::vector<Fr>& scalars)
   if (n == 0) return Point::infinity();
   if (n < 8) {
     Point acc = Point::infinity();
-    for (std::size_t i = 0; i < n; ++i) acc += points[i] * scalars[i].to_bigint();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!scalars[i].is_zero()) acc += points[i] * scalars[i].to_bigint();
+    }
     return acc;
   }
 
-  // Window size ~ log2(n) is the classic Pippenger choice.
+  // Window size ~ log2(n) is the classic Pippenger choice; the window count
+  // is derived from the field (254 bits for Fr), not a hardcoded 256.
   const unsigned c = n < 32 ? 3 : static_cast<unsigned>(std::log2(static_cast<double>(n))) - 1;
-  constexpr unsigned kScalarBits = 256;
-  const unsigned windows = (kScalarBits + c - 1) / c;
+  const unsigned scalar_bits = Fr::kModulusBits;
+  const unsigned windows = (scalar_bits + c - 1) / c;
 
-  // Canonical little-endian bit access via byte encodings.
-  std::vector<Bytes> scalar_bytes;
-  scalar_bytes.reserve(n);
-  for (const Fr& s : scalars) scalar_bytes.push_back(s.to_bytes());  // big-endian 32B
-  const auto window_value = [&](std::size_t i, unsigned w) -> std::uint32_t {
-    std::uint32_t v = 0;
-    for (unsigned bit = 0; bit < c; ++bit) {
-      const unsigned pos = w * c + bit;
-      if (pos >= kScalarBits) break;
-      const unsigned byte_index = 31 - pos / 8;  // big-endian layout
-      if ((scalar_bytes[i][byte_index] >> (pos % 8)) & 1) v |= 1u << bit;
-    }
-    return v;
+  // Decompose every scalar into canonical limbs exactly once.
+  std::vector<Limbs> digits(n);
+  parallel_for(n, [&](std::size_t i) { digits[i] = scalars[i].to_limbs(); });
+  const auto is_zero_scalar = [&](std::size_t i) {
+    return digits[i] == Limbs{0, 0, 0, 0};
   };
 
+  // Per-chunk partial window sums. Keep chunks coarse: each one walks all
+  // windows over its slice with a private bucket array.
+  const std::size_t max_chunks = static_cast<std::size_t>(num_threads());
+  std::size_t chunks = n / 512;
+  if (chunks < 1) chunks = 1;
+  if (chunks > max_chunks) chunks = max_chunks;
+
+  std::vector<std::vector<Point>> partial(chunks);
+  ThreadPool::instance().run(chunks, [&](std::size_t t) {
+    const auto [begin, end] = chunk_range(n, chunks, t);
+    std::vector<Point>& sums = partial[t];
+    sums.assign(windows, Point::infinity());
+    std::vector<Point> buckets(static_cast<std::size_t>(1) << c);
+    for (unsigned w = 0; w < windows; ++w) {
+      std::fill(buckets.begin(), buckets.end(), Point::infinity());
+      for (std::size_t i = begin; i < end; ++i) {
+        if (is_zero_scalar(i)) continue;
+        const std::uint32_t v = detail::window_digit(digits[i], w * c, c);
+        if (v != 0) buckets[v] += points[i];
+      }
+      // Sum b_1 + 2 b_2 + ... via running suffix sums.
+      Point running = Point::infinity();
+      Point window_sum = Point::infinity();
+      for (std::size_t b = buckets.size(); b-- > 1;) {
+        running += buckets[b];
+        window_sum += running;
+      }
+      sums[w] = window_sum;
+    }
+  });
+
+  // Deterministic merge: windows high-to-low (Horner), chunks in order.
   Point result = Point::infinity();
   for (unsigned w = windows; w-- > 0;) {
     for (unsigned bit = 0; bit < c; ++bit) result = result.dbl();
-    std::vector<Point> buckets(static_cast<std::size_t>(1) << c, Point::infinity());
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::uint32_t v = window_value(i, w);
-      if (v != 0) buckets[v] += points[i];
-    }
-    // Sum b_1 + 2 b_2 + ... via running suffix sums.
-    Point running = Point::infinity();
-    Point window_sum = Point::infinity();
-    for (std::size_t b = buckets.size(); b-- > 1;) {
-      running += buckets[b];
-      window_sum += running;
-    }
-    result += window_sum;
+    for (std::size_t t = 0; t < chunks; ++t) result += partial[t][w];
   }
   return result;
 }

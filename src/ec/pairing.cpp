@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace zl {
 
 namespace {
@@ -97,11 +99,19 @@ Fq12 pairing(const G2& q, const G1& p) {
 }
 
 Fq12 pairing_product(const std::vector<std::pair<G2, G1>>& pairs) {
-  Fq12 acc = Fq12::one();
-  for (const auto& [q, p] : pairs) {
-    if (q.is_infinity() || p.is_infinity()) continue;
-    acc *= miller_loop(q, p);
+  // The Miller loops are independent; run them on the thread pool and
+  // multiply the results in input order (Fq12 multiplication is exact and
+  // commutative, so any schedule yields the identical product anyway).
+  std::vector<const std::pair<G2, G1>*> finite;
+  finite.reserve(pairs.size());
+  for (const auto& pr : pairs) {
+    if (pr.first.is_infinity() || pr.second.is_infinity()) continue;
+    finite.push_back(&pr);
   }
+  const std::vector<Fq12> loops = parallel_map<Fq12>(
+      finite.size(), [&](std::size_t i) { return miller_loop(finite[i]->first, finite[i]->second); });
+  Fq12 acc = Fq12::one();
+  for (const Fq12& f : loops) acc *= f;
   return final_exponentiation(acc);
 }
 

@@ -92,6 +92,21 @@ constexpr std::uint64_t compute_inv64(std::uint64_t p0) {
   return ~x + 1;                                // -x
 }
 
+/// Bit length of the modulus (position of its highest set bit + 1).
+constexpr unsigned limbs_bit_length(const Limbs& p) {
+  for (int i = 3; i >= 0; --i) {
+    if (p[static_cast<std::size_t>(i)] == 0) continue;
+    std::uint64_t v = p[static_cast<std::size_t>(i)];
+    unsigned bits = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++bits;
+    }
+    return static_cast<unsigned>(i) * 64 + bits;
+  }
+  return 0;
+}
+
 }  // namespace detail
 
 /// A prime field element in Montgomery form. `Params` must provide
@@ -104,6 +119,9 @@ class Fp {
   static constexpr Limbs kR = detail::compute_r(Params::kModulus);
   static constexpr Limbs kR2 = detail::compute_r2(Params::kModulus);
   static constexpr std::uint64_t kInv64 = detail::compute_inv64(Params::kModulus[0]);
+  /// Bit length of the modulus (254 for both BN254 fields) — the number of
+  /// scalar bits a windowed multiexp actually has to cover.
+  static constexpr unsigned kModulusBits = detail::limbs_bit_length(Params::kModulus);
 
   constexpr Fp() : limbs_{0, 0, 0, 0} {}
 
@@ -272,6 +290,10 @@ class Fp {
 
   /// Raw Montgomery limbs (for hashing/serialization-free comparisons).
   const Limbs& montgomery_limbs() const { return limbs_; }
+
+  /// Canonical (non-Montgomery) little-endian limbs in [0, p). This is the
+  /// fast path for scalar-digit extraction in windowed multiexp.
+  Limbs to_limbs() const { return to_canonical(); }
 
  private:
   static constexpr Fp from_montgomery_raw(const Limbs& limbs) {

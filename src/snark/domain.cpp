@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace zl::snark {
 
 void batch_invert(std::vector<Fr>& values) {
@@ -21,6 +23,21 @@ void batch_invert(std::vector<Fr>& values) {
   }
 }
 
+std::vector<Fr> power_table(const Fr& base, std::size_t count) {
+  std::vector<Fr> table(count);
+  parallel_for_range(
+      count,
+      [&](std::size_t begin, std::size_t end) {
+        Fr p = base.pow(BigInt(static_cast<unsigned long>(begin)));
+        for (std::size_t i = begin; i < end; ++i) {
+          table[i] = p;
+          p *= base;
+        }
+      },
+      /*min_grain=*/1024);
+  return table;
+}
+
 EvaluationDomain::EvaluationDomain(std::size_t min_size) {
   if (min_size == 0) throw std::invalid_argument("EvaluationDomain: empty domain");
   size_ = 1;
@@ -36,9 +53,14 @@ EvaluationDomain::EvaluationDomain(std::size_t min_size) {
   size_inv_ = Fr::from_u64(static_cast<std::uint64_t>(size_)).inverse();
   coset_gen_ = Fr::from_u64(kFrMultiplicativeGenerator);
   coset_gen_inv_ = coset_gen_.inverse();
+
+  twiddles_ = power_table(omega_, size_ / 2);
+  twiddles_inv_ = power_table(omega_inv_, size_ / 2);
+  coset_powers_ = power_table(coset_gen_, size_);
+  coset_powers_inv_ = power_table(coset_gen_inv_, size_);
 }
 
-void EvaluationDomain::fft_internal(std::vector<Fr>& a, const Fr& root) const {
+void EvaluationDomain::fft_internal(std::vector<Fr>& a, const std::vector<Fr>& twiddles) const {
   if (a.size() != size_) throw std::invalid_argument("fft: size mismatch");
   // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < size_; ++i) {
@@ -47,44 +69,45 @@ void EvaluationDomain::fft_internal(std::vector<Fr>& a, const Fr& root) const {
     j ^= bit;
     if (i < j) std::swap(a[i], a[j]);
   }
+  // Each stage performs size/2 independent butterflies; they write disjoint
+  // index pairs, so the stage parallelizes freely (stages are barriers).
   for (std::size_t len = 2; len <= size_; len <<= 1) {
-    const Fr wlen = root.pow(BigInt(static_cast<unsigned long>(size_ / len)));
-    for (std::size_t i = 0; i < size_; i += len) {
-      Fr w = Fr::one();
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Fr u = a[i + k];
-        const Fr v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
+    const std::size_t half = len >> 1;
+    const std::size_t stride = size_ / len;  // twiddle step within a block
+    parallel_for(
+        size_ / 2,
+        [&](std::size_t b) {
+          const std::size_t block = b / half, k = b % half;
+          const std::size_t i0 = block * len + k;
+          const std::size_t i1 = i0 + half;
+          const Fr u = a[i0];
+          const Fr v = a[i1] * twiddles[k * stride];
+          a[i0] = u + v;
+          a[i1] = u - v;
+        },
+        /*min_grain=*/2048);
   }
 }
 
-void EvaluationDomain::fft(std::vector<Fr>& a) const { fft_internal(a, omega_); }
+void EvaluationDomain::fft(std::vector<Fr>& a) const { fft_internal(a, twiddles_); }
 
 void EvaluationDomain::ifft(std::vector<Fr>& a) const {
-  fft_internal(a, omega_inv_);
-  for (Fr& x : a) x *= size_inv_;
+  fft_internal(a, twiddles_inv_);
+  parallel_for(
+      size_, [&](std::size_t i) { a[i] *= size_inv_; }, /*min_grain=*/2048);
 }
 
 void EvaluationDomain::coset_fft(std::vector<Fr>& a) const {
-  Fr g = Fr::one();
-  for (Fr& x : a) {
-    x *= g;
-    g *= coset_gen_;
-  }
+  if (a.size() != size_) throw std::invalid_argument("coset_fft: size mismatch");
+  parallel_for(
+      size_, [&](std::size_t i) { a[i] *= coset_powers_[i]; }, /*min_grain=*/2048);
   fft(a);
 }
 
 void EvaluationDomain::coset_ifft(std::vector<Fr>& a) const {
   ifft(a);
-  Fr g = Fr::one();
-  for (Fr& x : a) {
-    x *= g;
-    g *= coset_gen_inv_;
-  }
+  parallel_for(
+      size_, [&](std::size_t i) { a[i] *= coset_powers_inv_[i]; }, /*min_grain=*/2048);
 }
 
 Fr EvaluationDomain::vanishing_poly_at(const Fr& x) const {
@@ -98,21 +121,22 @@ Fr EvaluationDomain::vanishing_poly_on_coset() const {
 std::vector<Fr> EvaluationDomain::lagrange_coeffs_at(const Fr& tau) const {
   const Fr z = vanishing_poly_at(tau);
   if (z.is_zero()) throw std::domain_error("lagrange_coeffs_at: tau lies in the domain");
-  // L_j(tau) = (Z(tau) / size) * omega^j / (tau - omega^j)
+  // L_j(tau) = (Z(tau) / size) * omega^j / (tau - omega^j). omega^j comes
+  // from the twiddle tables: omega^j for j < size/2, and
+  // omega^(size/2 + k) = -omega^k (omega^(size/2) = -1 in a 2-adic domain).
+  const auto omega_pow = [&](std::size_t j) {
+    if (size_ == 1) return Fr::one();
+    return j < size_ / 2 ? twiddles_[j] : -twiddles_[j - size_ / 2];
+  };
   std::vector<Fr> denoms(size_);
-  Fr w = Fr::one();
-  for (std::size_t j = 0; j < size_; ++j) {
-    denoms[j] = tau - w;
-    w *= omega_;
-  }
+  parallel_for(
+      size_, [&](std::size_t j) { denoms[j] = tau - omega_pow(j); }, /*min_grain=*/2048);
   batch_invert(denoms);
   std::vector<Fr> out(size_);
   const Fr scale = z * size_inv_;
-  w = Fr::one();
-  for (std::size_t j = 0; j < size_; ++j) {
-    out[j] = scale * w * denoms[j];
-    w *= omega_;
-  }
+  parallel_for(
+      size_, [&](std::size_t j) { out[j] = scale * omega_pow(j) * denoms[j]; },
+      /*min_grain=*/2048);
   return out;
 }
 

@@ -2,6 +2,16 @@
 // Radix-2 FFT evaluation domains over Fr (2-adicity 28 suffices for every
 // circuit in this system). Used by the Groth16 prover to compute the QAP
 // quotient polynomial H, and by the setup to evaluate Lagrange bases.
+//
+// Construction precomputes, per domain: the twiddle tables (powers of omega
+// and omega^-1, size/2 each) consumed by every FFT stage, and the coset
+// power tables (powers of the multiplicative generator g and of g^-1, size
+// each) shared by coset_fft/coset_ifft — the three coset FFTs of one
+// compute_h call reuse one table instead of re-deriving a running product
+// three times. Butterfly stages and coset scalings run on the process
+// thread pool (common/thread_pool.h); every parallel write targets a
+// disjoint slot and field arithmetic is exact, so results are bit-identical
+// at any thread count.
 
 #include <vector>
 
@@ -12,6 +22,10 @@ namespace zl::snark {
 /// Batch inversion (Montgomery's trick): replaces each non-zero element by
 /// its inverse using a single field inversion. Zero entries throw.
 void batch_invert(std::vector<Fr>& values);
+
+/// table[i] = base^i for i in [0, count), computed in parallel chunks
+/// (chunk heads seeded by pow, then running products).
+std::vector<Fr> power_table(const Fr& base, std::size_t count);
 
 class EvaluationDomain {
  public:
@@ -43,7 +57,7 @@ class EvaluationDomain {
   std::vector<Fr> lagrange_coeffs_at(const Fr& tau) const;
 
  private:
-  void fft_internal(std::vector<Fr>& a, const Fr& root) const;
+  void fft_internal(std::vector<Fr>& a, const std::vector<Fr>& twiddles) const;
 
   std::size_t size_;
   unsigned log_size_;
@@ -52,6 +66,10 @@ class EvaluationDomain {
   Fr size_inv_;
   Fr coset_gen_;
   Fr coset_gen_inv_;
+  std::vector<Fr> twiddles_;          // omega^j,   j < size/2
+  std::vector<Fr> twiddles_inv_;      // omega^-j,  j < size/2
+  std::vector<Fr> coset_powers_;      // g^j,       j < size
+  std::vector<Fr> coset_powers_inv_;  // g^-j,      j < size
 };
 
 }  // namespace zl::snark

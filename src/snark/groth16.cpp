@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.h"
 #include "ec/multiexp.h"
 #include "ec/serialize.h"
 
@@ -25,14 +26,48 @@ QapEvaluation evaluate_qap_at(const ConstraintSystem& cs, const Fr& tau) {
   const std::vector<Fr> lagrange = domain.lagrange_coeffs_at(tau);
 
   QapEvaluation qap;
-  qap.at.assign(cs.num_variables, Fr::zero());
-  qap.bt.assign(cs.num_variables, Fr::zero());
-  qap.ct.assign(cs.num_variables, Fr::zero());
-  for (std::size_t j = 0; j < cs.constraints.size(); ++j) {
-    const Constraint& con = cs.constraints[j];
-    for (const auto& t : con.a.terms()) qap.at[t.index] += t.coeff * lagrange[j];
-    for (const auto& t : con.b.terms()) qap.bt[t.index] += t.coeff * lagrange[j];
-    for (const auto& t : con.c.terms()) qap.ct[t.index] += t.coeff * lagrange[j];
+  const std::size_t m = cs.num_variables;
+  qap.at.assign(m, Fr::zero());
+  qap.bt.assign(m, Fr::zero());
+  qap.ct.assign(m, Fr::zero());
+  // Constraints scatter into per-variable accumulators, so chunks keep
+  // private partial vectors that merge per variable afterwards. Field
+  // addition is exact, so the split is invisible in the result.
+  std::size_t chunks = cs.constraints.size() / 512;
+  if (chunks < 1) chunks = 1;
+  if (chunks > num_threads()) chunks = num_threads();
+  if (chunks <= 1) {
+    for (std::size_t j = 0; j < cs.constraints.size(); ++j) {
+      const Constraint& con = cs.constraints[j];
+      for (const auto& t : con.a.terms()) qap.at[t.index] += t.coeff * lagrange[j];
+      for (const auto& t : con.b.terms()) qap.bt[t.index] += t.coeff * lagrange[j];
+      for (const auto& t : con.c.terms()) qap.ct[t.index] += t.coeff * lagrange[j];
+    }
+  } else {
+    struct Partial {
+      std::vector<Fr> at, bt, ct;
+    };
+    std::vector<Partial> partials(chunks);
+    ThreadPool::instance().run(chunks, [&](std::size_t c) {
+      const auto [begin, end] = chunk_range(cs.constraints.size(), chunks, c);
+      Partial& p = partials[c];
+      p.at.assign(m, Fr::zero());
+      p.bt.assign(m, Fr::zero());
+      p.ct.assign(m, Fr::zero());
+      for (std::size_t j = begin; j < end; ++j) {
+        const Constraint& con = cs.constraints[j];
+        for (const auto& t : con.a.terms()) p.at[t.index] += t.coeff * lagrange[j];
+        for (const auto& t : con.b.terms()) p.bt[t.index] += t.coeff * lagrange[j];
+        for (const auto& t : con.c.terms()) p.ct[t.index] += t.coeff * lagrange[j];
+      }
+    });
+    parallel_for(m, [&](std::size_t i) {
+      for (const Partial& p : partials) {
+        qap.at[i] += p.at[i];
+        qap.bt[i] += p.bt[i];
+        qap.ct[i] += p.ct[i];
+      }
+    });
   }
   for (std::size_t i = 0; i <= cs.num_inputs; ++i) {
     qap.at[i] += lagrange[cs.constraints.size() + i];
@@ -50,12 +85,12 @@ std::vector<Fr> compute_h(const ConstraintSystem& cs, const std::vector<Fr>& z,
   std::vector<Fr> a_evals(domain.size(), Fr::zero());
   std::vector<Fr> b_evals(domain.size(), Fr::zero());
   std::vector<Fr> c_evals(domain.size(), Fr::zero());
-  for (std::size_t j = 0; j < cs.constraints.size(); ++j) {
+  parallel_for(cs.constraints.size(), [&](std::size_t j) {
     const Constraint& con = cs.constraints[j];
     a_evals[j] = con.a.evaluate(z);
     b_evals[j] = con.b.evaluate(z);
     c_evals[j] = con.c.evaluate(z);
-  }
+  });
   for (std::size_t i = 0; i <= cs.num_inputs; ++i) {
     a_evals[cs.constraints.size() + i] = z[i];
   }
@@ -69,9 +104,9 @@ std::vector<Fr> compute_h(const ConstraintSystem& cs, const std::vector<Fr>& z,
 
   const Fr z_inv = domain.vanishing_poly_on_coset().inverse();
   std::vector<Fr>& h = a_evals;
-  for (std::size_t j = 0; j < domain.size(); ++j) {
+  parallel_for(domain.size(), [&](std::size_t j) {
     h[j] = (a_evals[j] * b_evals[j] - c_evals[j]) * z_inv;
-  }
+  });
   domain.coset_ifft(h);
   // deg H = domain_size - 2, so the top coefficient must vanish.
   h.pop_back();
@@ -119,33 +154,42 @@ Keypair setup(const ConstraintSystem& cs, Rng& rng) {
   pk.domain_size = qap.domain_size;
   pk.num_inputs = cs.num_inputs;
 
-  pk.a_query.reserve(m);
-  pk.b_g1_query.reserve(m);
-  pk.b_g2_query.reserve(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    pk.a_query.push_back(g1_table.mul(qap.at[i]));
-    pk.b_g1_query.push_back(g1_table.mul(qap.bt[i]));
-    pk.b_g2_query.push_back(g2_table.mul(qap.bt[i]));
-  }
+  // The m-sized fixed-base exponentiation loops below are the setup's hot
+  // path; every slot is independent, so they run on the thread pool.
+  pk.a_query.resize(m);
+  pk.b_g1_query.resize(m);
+  pk.b_g2_query.resize(m);
+  parallel_for(
+      m,
+      [&](std::size_t i) {
+        pk.a_query[i] = g1_table.mul(qap.at[i]);
+        pk.b_g1_query[i] = g1_table.mul(qap.bt[i]);
+        pk.b_g2_query[i] = g2_table.mul(qap.bt[i]);
+      },
+      /*min_grain=*/16);
 
-  vk.ic.reserve(cs.num_inputs + 1);
-  pk.l_query.reserve(m - cs.num_inputs - 1);
-  for (std::size_t i = 0; i < m; ++i) {
-    const Fr combined = beta * qap.at[i] + alpha * qap.bt[i] + qap.ct[i];
-    if (i <= cs.num_inputs) {
-      vk.ic.push_back(g1_table.mul(combined * gamma_inv));
-    } else {
-      pk.l_query.push_back(g1_table.mul(combined * delta_inv));
-    }
-  }
+  vk.ic.resize(cs.num_inputs + 1);
+  pk.l_query.resize(m - cs.num_inputs - 1);
+  parallel_for(
+      m,
+      [&](std::size_t i) {
+        const Fr combined = beta * qap.at[i] + alpha * qap.bt[i] + qap.ct[i];
+        if (i <= cs.num_inputs) {
+          vk.ic[i] = g1_table.mul(combined * gamma_inv);
+        } else {
+          pk.l_query[i - cs.num_inputs - 1] = g1_table.mul(combined * delta_inv);
+        }
+      },
+      /*min_grain=*/16);
 
   // h_query[i] = [tau^i * Z(tau) / delta]_1 for i = 0 .. domain_size - 2.
-  pk.h_query.reserve(qap.domain_size - 1);
-  Fr tau_pow = qap.zt * delta_inv;
-  for (std::size_t i = 0; i + 1 < qap.domain_size; ++i) {
-    pk.h_query.push_back(g1_table.mul(tau_pow));
-    tau_pow *= tau;
-  }
+  const std::vector<Fr> tau_powers = power_table(tau, qap.domain_size - 1);
+  const Fr z_over_delta = qap.zt * delta_inv;
+  pk.h_query.resize(qap.domain_size - 1);
+  parallel_for(
+      qap.domain_size - 1,
+      [&](std::size_t i) { pk.h_query[i] = g1_table.mul(tau_powers[i] * z_over_delta); },
+      /*min_grain=*/16);
 
   vk.alpha_g1 = pk.alpha_g1;
   vk.beta_g2 = pk.beta_g2;
@@ -200,6 +244,19 @@ bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const 
   return pairing_product({{proof.b, -proof.a},
                           {vk.gamma_g2, vk_x},
                           {vk.delta_g2, proof.c}}) == vk.alpha_beta_gt().conjugate();
+}
+
+std::vector<std::uint8_t> verify_batch(const std::vector<BatchVerifyItem>& items) {
+  std::vector<std::uint8_t> ok(items.size(), 0);
+  // std::vector<std::uint8_t> (not <bool>) so parallel writes hit disjoint
+  // bytes. Nested parallelism inside verify() degrades to serial per item.
+  parallel_for(
+      items.size(),
+      [&](std::size_t i) {
+        ok[i] = verify(items[i].vk, items[i].public_inputs, items[i].proof) ? 1 : 0;
+      },
+      /*min_grain=*/1);
+  return ok;
 }
 
 Bytes Proof::to_bytes() const {

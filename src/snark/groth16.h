@@ -75,4 +75,20 @@ Proof prove(const ProvingKey& pk, const ConstraintSystem& cs, const std::vector<
 /// Verify a proof against the public inputs (statement) only.
 bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof);
 
+/// One entry of a batch verification. Entries own their verifying-key copy
+/// so concurrent verification never races on the lazily-cached e(alpha,
+/// beta) of a shared key.
+struct BatchVerifyItem {
+  VerifyingKey vk;
+  std::vector<Fr> public_inputs;
+  Proof proof;
+};
+
+/// Verifies many proofs with parallel Miller loops: entries are checked
+/// concurrently on the thread pool, each one fully and independently, so a
+/// bad proof in a batch is pinpointed (ok[i] == 0), not just detected.
+/// Used by the task-contract audit path, where the test-net re-checks one
+/// reward proof per finished task.
+std::vector<std::uint8_t> verify_batch(const std::vector<BatchVerifyItem>& items);
+
 }  // namespace zl::snark

@@ -1,5 +1,8 @@
 #include "zebralancer/task_contract.h"
 
+#include <algorithm>
+
+#include "chain/state.h"
 #include "crypto/keccak.h"
 #include "zebralancer/reputation.h"
 
@@ -264,9 +267,12 @@ void TaskContract::handle_reward(CallContext& ctx, const Bytes& args) {
     throw ContractRevert("reward proof invalid");
   }
 
-  // Lines 15-17, 21: pay each worker, refund the remainder.
+  // Lines 15-17, 21: pay each worker, refund the remainder. The accepted
+  // instruction and proof stay in contract state for later batch audits.
   finalized_ = true;
   rewarded_ = true;
+  rewards_ = rewards;
+  reward_proof_ = proof;
   for (std::size_t i = 0; i < submissions_.size(); ++i) {
     if (rewards[i] > 0) ctx.transfer(submissions_[i].worker_address, rewards[i]);
   }
@@ -288,6 +294,33 @@ void TaskContract::handle_reward(CallContext& ctx, const Bytes& args) {
       }
     }
   }
+}
+
+std::vector<Fr> TaskContract::reward_audit_statement() const {
+  return reward_statement(JubjubPoint::from_bytes(params_.epk), share(), padded_ciphertexts(),
+                          rewards_);
+}
+
+std::vector<std::size_t> audit_rewarded_tasks(const chain::ChainState& state,
+                                              const std::vector<chain::Address>& addresses) {
+  std::vector<snark::BatchVerifyItem> items;
+  std::vector<std::size_t> item_index;  // items[k] audits addresses[item_index[k]]
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    const auto* task = state.contract_as<TaskContract>(addresses[i]);
+    if (task == nullptr || !task->rewarded()) {
+      failed.push_back(i);
+      continue;
+    }
+    items.push_back({task->reward_vk(), task->reward_audit_statement(), task->reward_proof()});
+    item_index.push_back(i);
+  }
+  const std::vector<std::uint8_t> ok = snark::verify_batch(items);
+  for (std::size_t k = 0; k < ok.size(); ++k) {
+    if (!ok[k]) failed.push_back(item_index[k]);
+  }
+  std::sort(failed.begin(), failed.end());
+  return failed;
 }
 
 void TaskContract::handle_finalize(CallContext& ctx) {

@@ -86,6 +86,14 @@ class TaskContract : public chain::Contract {
   std::uint64_t deploy_block() const { return deploy_block_; }
   bool finalized() const { return finalized_; }
   bool rewarded() const { return rewarded_; }
+  /// The accepted reward instruction and its proof (valid once rewarded():
+  /// on-chain state is transparent, so anyone can re-check the payout).
+  const std::vector<std::uint64_t>& rewards() const { return rewards_; }
+  const snark::Proof& reward_proof() const { return reward_proof_; }
+  const snark::VerifyingKey& reward_vk() const { return reward_vk_; }
+  /// The public statement the stored reward proof was verified against
+  /// (rebuilt from on-chain ciphertexts + the accepted instruction).
+  std::vector<Fr> reward_audit_statement() const;
   std::uint64_t collection_deadline() const {
     return deploy_block_ + params_.answer_deadline_blocks;
   }
@@ -117,6 +125,16 @@ class TaskContract : public chain::Contract {
   std::uint64_t collection_end_block_ = 0;  // set when the n-th answer lands
   bool finalized_ = false;
   bool rewarded_ = false;
+  std::vector<std::uint64_t> rewards_;  // accepted instruction (rewarded_ only)
+  snark::Proof reward_proof_;           // its pi_reward
 };
+
+/// Watchtower/auditor batch pass over finished tasks: re-verifies the stored
+/// reward proof of every rewarded task at `addresses` against on-chain state
+/// in one snark::verify_batch call (parallel Miller loops). Returns the
+/// indices (into `addresses`) that FAIL the audit — an address that is not a
+/// rewarded task contract also fails. Empty result = every payout proven.
+std::vector<std::size_t> audit_rewarded_tasks(const chain::ChainState& state,
+                                              const std::vector<chain::Address>& addresses);
 
 }  // namespace zl::zebralancer

@@ -315,6 +315,14 @@ TEST_F(EndToEndTest, FullImageAnnotationTask) {
   EXPECT_TRUE(contract->rewarded());
   // Contract balance fully disbursed (remainder refunded to alpha_R).
   EXPECT_EQ(state.balance_of(task), 0u);
+
+  // Watchtower audit: the stored instruction + pi_reward re-verify against
+  // on-chain state in one batch; a non-contract address fails the audit.
+  EXPECT_EQ(contract->rewards(), rewards);
+  EXPECT_TRUE(audit_rewarded_tasks(state, {task}).empty());
+  const chain::Address bogus = chain::Address::from_bytes(Bytes(20, 0xab));
+  EXPECT_EQ(audit_rewarded_tasks(state, {task, bogus, task}),
+            (std::vector<std::size_t>{1}));
 }
 
 }  // namespace
