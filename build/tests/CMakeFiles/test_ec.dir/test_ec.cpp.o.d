@@ -323,7 +323,16 @@ tests/CMakeFiles/test_ec.dir/test_ec.cpp.o: /root/repo/tests/test_ec.cpp \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/ec/bn254_groups.h /root/repo/src/field/fp2.h \
- /root/repo/src/ec/weierstrass.h /root/repo/src/ec/pairing.h \
- /root/repo/src/field/fp12.h /root/repo/src/field/fp6.h \
- /root/repo/src/ec/secp256k1.h
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/ec/bn254_groups.h \
+ /root/repo/src/field/fp2.h /root/repo/src/ec/weierstrass.h \
+ /root/repo/src/ec/pairing.h /root/repo/src/field/fp12.h \
+ /root/repo/src/field/fp6.h /root/repo/src/ec/secp256k1.h

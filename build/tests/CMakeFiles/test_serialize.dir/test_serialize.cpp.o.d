@@ -293,7 +293,16 @@ tests/CMakeFiles/test_serialize.dir/test_serialize.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/ec/serialize.h /root/repo/src/ec/bn254_groups.h \
+ /root/repo/src/ec/serialize.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/ec/bn254_groups.h \
  /root/repo/src/field/fp2.h /root/repo/src/field/bn254.h \
  /root/repo/src/field/fp.h /root/repo/src/crypto/bigint.h \
  /usr/include/gmpxx.h /usr/include/c++/12/cstring \
