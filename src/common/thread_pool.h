@@ -3,8 +3,10 @@
 // process-wide thread pool plus `parallel_for` / `parallel_map` helpers.
 //
 // Sizing: the pool targets ZL_THREADS (environment) if set, otherwise the
-// hardware concurrency; `set_num_threads` adjusts it at runtime (used by the
-// benches to measure serial-vs-parallel on one process). ZL_THREADS=1 — or a
+// hardware concurrency; the startup default is clamped to the hardware
+// concurrency so the pool never oversubscribes the host. `set_num_threads`
+// adjusts it at runtime without the clamp (used by benches and tests to
+// measure serial-vs-parallel on one process). ZL_THREADS=1 — or a
 // single-core host — is a guaranteed serial fallback: every helper then runs
 // inline on the caller with no pool interaction at all.
 //
@@ -110,13 +112,20 @@ class ThreadPool {
 
  private:
   ThreadPool() {
-    unsigned n = std::thread::hardware_concurrency();
-    if (n == 0) n = 1;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    unsigned n = hw;
     if (const char* env = std::getenv("ZL_THREADS")) {
       char* end = nullptr;
       const long v = std::strtol(env, &end, 10);
       if (end != env && *end == '\0' && v >= 1) n = static_cast<unsigned>(v);
     }
+    // The default never oversubscribes: more workers than hardware threads
+    // only slows the exact-arithmetic workloads down (and once produced a
+    // bogus <1 "speedup" in BENCH_prover.json on a single-core host).
+    // set_num_threads() remains unclamped for tests that deliberately
+    // exercise high chunk counts.
+    if (n > hw) n = hw;
     set_num_threads(n);
   }
 

@@ -3,15 +3,32 @@
 //
 // e : G2 x G1 -> mu_r in Fq12,  e(Q, P) = f_{t-1, Q}(P) ^ ((q^12 - 1) / r)
 //
-// Implementation strategy (correctness over micro-optimization): G2 points
-// are untwisted into E(Fq12) via psi(x, y) = (x w^2, y w^3) (w^6 = xi) and
-// the Miller loop runs with textbook affine line functions in Fq12. The
-// Miller-loop length is t - 1 = 6x^2 (the classic ate pairing), which needs
-// no Frobenius correction lines. The final exponentiation splits into the
-// easy part (q^6 - 1)(q^2 + 1) done with conjugation/Frobenius and the hard
-// part (q^4 - q^2 + 1)/r done by plain exponentiation.
+// Fast path (the default): the Miller doubling/addition schedule for a G2
+// point is run once in homogeneous projective Fq2 coordinates, storing one
+// line-coefficient triple per step (`G2Prepared`). The Miller loop itself is
+// then inversion-free: each step squares the accumulator and folds in the
+// precomputed line with a sparse `Fq12::mul_by_034`, touching the G1 point
+// only through two Fq2-by-Fq scalar products. The final exponentiation runs
+// its easy part with conjugation/Frobenius and its hard part
+// (q^4 - q^2 + 1)/r with the exact Devegili/Scott addition chain in the BN
+// parameter x, using cyclotomic squarings throughout.
 //
-// Verified by bilinearity/non-degeneracy property tests in tests/test_ec.cpp.
+// Line format: with the untwist psi(x, y) = (x w^2, y w^3) (w^6 = xi), every
+// chord/tangent line evaluated at P = (px, py) has the sparse w-basis shape
+//     l(P) = (ell_vw * py) + (ell_vv * px) w + ell_0 w^3,
+// all coefficients in Fq2 and determined by the G2 schedule alone. Line
+// coefficients carry per-step Fq2 scale factors from the projective
+// formulas; those lie in a subfield killed by the easy part of the final
+// exponentiation, so pairing outputs are bit-identical to the textbook
+// implementation (pinned by tests/test_pairing_fast.cpp).
+//
+// The textbook implementation (affine chord-tangent lines in full Fq12, one
+// Fq12 inversion per step, generic-pow hard part) is retained as
+// `pairing_textbook` / `pairing_product_textbook` for differential tests and
+// speedup benchmarks.
+//
+// Verified by bilinearity/non-degeneracy property tests in tests/test_ec.cpp
+// and old-vs-new bit-equality tests in tests/test_pairing_fast.cpp.
 
 #include <vector>
 
@@ -20,8 +37,39 @@
 
 namespace zl {
 
-/// Miller loop only (no final exponentiation). Both inputs must be
-/// non-infinity points of the respective prime-order subgroups.
+/// One precomputed Miller-step line (see the header comment for the sparse
+/// evaluation shape).
+struct LineCoefficients {
+  Fq2 ell_0;   // constant w^3 coefficient
+  Fq2 ell_vw;  // multiplied by y_P (w^0 coefficient)
+  Fq2 ell_vv;  // multiplied by x_P (w^1 coefficient)
+};
+
+/// A G2 point with its full Miller doubling/addition schedule precomputed:
+/// one `LineCoefficients` per doubling step plus one per addition step, in
+/// loop order. Preparing costs one pass of projective Fq2 point arithmetic;
+/// every subsequent Miller loop against the same point reuses the table.
+class G2Prepared {
+ public:
+  /// Prepared point at infinity (pairing degenerates to one).
+  G2Prepared() = default;
+  explicit G2Prepared(const G2& q);
+
+  bool is_infinity() const { return infinity_; }
+  const std::vector<LineCoefficients>& coefficients() const { return coeffs_; }
+
+ private:
+  bool infinity_ = true;
+  std::vector<LineCoefficients> coeffs_;
+};
+
+/// Miller loop against a prepared G2 point (no final exponentiation). Throws
+/// if either input is infinity. The raw Miller value is defined up to Fq2
+/// factors relative to the textbook implementation; after
+/// `final_exponentiation` the results coincide exactly.
+Fq12 miller_loop(const G2Prepared& q, const G1& p);
+
+/// Convenience overload: prepares `q` and runs the loop once.
 Fq12 miller_loop(const G2& q, const G1& p);
 
 /// (q^12-1)/r-th power, mapping Miller values into mu_r.
@@ -31,9 +79,23 @@ Fq12 final_exponentiation(const Fq12& f);
 /// Fq12::one() if either input is the point at infinity (the degenerate
 /// bilinear extension).
 Fq12 pairing(const G2& q, const G1& p);
+Fq12 pairing(const G2Prepared& q, const G1& p);
 
 /// Product of pairings: prod_i e(Q_i, P_i), sharing one final
 /// exponentiation. This is what the Groth16 verifier calls.
 Fq12 pairing_product(const std::vector<std::pair<G2, G1>>& pairs);
+
+/// Prepared overload: the batch-audit path prepares each distinct G2 once
+/// and shares the tables across every product in the batch. Pointers must be
+/// non-null and outlive the call; infinity entries (on either side)
+/// contribute the factor one, matching the unprepared overload.
+Fq12 pairing_product(const std::vector<std::pair<const G2Prepared*, G1>>& pairs);
+
+/// Reference textbook implementation (affine Fq12 lines, one Fq12 inversion
+/// per Miller step, generic-pow final exponentiation). Kept only for
+/// differential testing and as the speedup baseline in bench_table1 — all
+/// production callers use `pairing` / `pairing_product`.
+Fq12 pairing_textbook(const G2& q, const G1& p);
+Fq12 pairing_product_textbook(const std::vector<std::pair<G2, G1>>& pairs);
 
 }  // namespace zl

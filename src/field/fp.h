@@ -268,6 +268,24 @@ class Fp {
 
   Fp dbl() const { return *this + *this; }
 
+  /// x/2 mod p (p odd). In Montgomery form halving commutes with the
+  /// representation: (aR)/2 mod p represents a/2. Used by the pairing
+  /// engine's projective G2 line formulas.
+  Fp halve() const {
+    Limbs r = limbs_;
+    std::uint64_t top = 0;
+    if (r[0] & 1) {
+      bool carry = false;
+      r = detail::limbs_add(r, kModulus, carry);
+      top = carry ? 1 : 0;
+    }
+    for (int i = 0; i < 3; ++i) r[i] = (r[i] >> 1) | (r[i + 1] << 63);
+    r[3] = (r[3] >> 1) | (top << 63);
+    Fp out;
+    out.limbs_ = r;
+    return out;
+  }
+
   /// Exponentiation by an arbitrary non-negative big integer.
   Fp pow(const BigInt& e) const {
     if (e < 0) throw std::invalid_argument("Fp::pow: negative exponent");

@@ -45,6 +45,69 @@ class Fq12 {
 
   Fq12 squared() const { return *this * *this; }
 
+  /// Sparse multiplication by g = c0 + (c3 + c4*v)*w, the shape of a
+  /// Miller-loop line in the w-basis (non-zero coefficients d0, d1, d3).
+  /// ~15 Fq2 multiplications instead of the 27 of a full product.
+  Fq12 mul_by_034(const Fq2& c0, const Fq2& c3, const Fq2& c4) const {
+    const Fq6 va = a0.scalar_mul(c0);               // f0 * g0
+    const Fq6 vb = a1.mul_by_01(c3, c4);            // f1 * g1
+    const Fq6 ve = (a0 + a1).mul_by_01(c0 + c3, c4);  // (f0+f1)(g0+g1)
+    return Fq12(va + vb.mul_by_v(), ve - va - vb);
+  }
+
+  /// Inverse of an element of the cyclotomic subgroup (where x^(q^6+1) = 1,
+  /// so the Fq6-conjugate is the inverse) — no field inversion needed.
+  Fq12 unitary_inverse() const { return conjugate(); }
+
+  /// Granger–Scott squaring for elements of the cyclotomic subgroup
+  /// (unitary elements): three Fq4 squarings instead of a full Fq12
+  /// product. Only valid when *this is unitary (x * conjugate(x) == 1);
+  /// tests pin agreement with squared() on such elements.
+  Fq12 cyclotomic_squared() const {
+    // w-basis pairs (d0,d3), (d1,d4), (d2,d5) are Fq4 = Fq2[w^3] elements
+    // ((w^3)^2 = xi); Granger–Scott reconstructs the square of a unitary
+    // element from the three Fq4 squares alone.
+    const Fq2& z0 = a0.c0;  // d0
+    const Fq2& z4 = a0.c1;  // d2
+    const Fq2& z3 = a0.c2;  // d4
+    const Fq2& z2 = a1.c0;  // d1
+    const Fq2& z1 = a1.c1;  // d3
+    const Fq2& z5 = a1.c2;  // d5
+
+    // (t0 + t1*s) = (a + b*s)^2 in Fq4 = Fq2[s]/(s^2 - xi).
+    const auto fq4_square = [](const Fq2& a, const Fq2& b, Fq2& t0, Fq2& t1) {
+      const Fq2 ab = a * b;
+      t0 = (a + b) * (a + b.mul_by_xi()) - ab - ab.mul_by_xi();
+      t1 = ab.dbl();
+    };
+    Fq2 t0, t1, t2, t3, t4, t5;
+    fq4_square(z0, z1, t0, t1);
+    fq4_square(z2, z3, t2, t3);
+    fq4_square(z4, z5, t4, t5);
+
+    const Fq2 r0 = (t0 - z0).dbl() + t0;
+    const Fq2 r1 = (t1 + z1).dbl() + t1;
+    const Fq2 xi_t5 = t5.mul_by_xi();
+    const Fq2 r2 = (xi_t5 + z2).dbl() + xi_t5;
+    const Fq2 r3 = (t4 - z3).dbl() + t4;
+    const Fq2 r4 = (t2 - z4).dbl() + t2;
+    const Fq2 r5 = (t3 + z5).dbl() + t3;
+    return Fq12(Fq6(r0, r4, r3), Fq6(r2, r1, r5));
+  }
+
+  /// Exponentiation of a unitary element, with cyclotomic squarings in the
+  /// ladder. Only valid when *this is unitary.
+  Fq12 cyclotomic_pow(const BigInt& e) const {
+    Fq12 acc = one();
+    if (e == 0) return acc;
+    const std::size_t bits = mpz_sizeinbase(e.get_mpz_t(), 2);
+    for (std::size_t i = bits; i-- > 0;) {
+      acc = acc.cyclotomic_squared();
+      if (mpz_tstbit(e.get_mpz_t(), i)) acc *= *this;
+    }
+    return acc;
+  }
+
   Fq12 inverse() const {
     // 1/(a0 + a1 w) = (a0 - a1 w) / (a0^2 - v a1^2)
     const Fq6 denom = a0.squared() - a1.squared().mul_by_v();

@@ -55,6 +55,8 @@ class Fq2 {
 
   Fq2 dbl() const { return *this + *this; }
 
+  Fq2 halve() const { return Fq2(c0.halve(), c1.halve()); }
+
   Fq2 mul_by_xi() const {
     // (9 + u)(c0 + c1 u) = (9c0 - c1) + (9c1 + c0) u
     const Fq nine_c0 = (c0.dbl().dbl().dbl()) + c0;

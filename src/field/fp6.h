@@ -49,6 +49,13 @@ class Fq6 {
   /// Multiply by v (used by Fq12 arithmetic): (c0,c1,c2) -> (xi*c2, c0, c1).
   Fq6 mul_by_v() const { return Fq6(c2.mul_by_xi(), c0, c1); }
 
+  /// Sparse multiplication by b0 + b1*v (c2 of the operand is zero) — the
+  /// shape of a Miller-loop line's odd coefficients. 6 Fq2 multiplications
+  /// instead of the 9 of a full product.
+  Fq6 mul_by_01(const Fq2& b0, const Fq2& b1) const {
+    return Fq6(c0 * b0 + (c2 * b1).mul_by_xi(), c1 * b0 + c0 * b1, c2 * b0 + c1 * b1);
+  }
+
   Fq6 inverse() const {
     // Standard cubic-extension inversion (e.g. Lauter–Montgomery formulas).
     const Fq2 t0 = c0.squared() - (c1 * c2).mul_by_xi();

@@ -229,21 +229,40 @@ const Fq12& VerifyingKey::alpha_beta_gt() const {
   return *alpha_beta;
 }
 
-bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof) {
-  if (public_inputs.size() + 1 != vk.ic.size()) return false;
+PreparedVerifyingKey PreparedVerifyingKey::prepare(const VerifyingKey& vk) {
+  PreparedVerifyingKey pvk;
+  pvk.beta_g2 = G2Prepared(vk.beta_g2);
+  pvk.gamma_g2 = G2Prepared(vk.gamma_g2);
+  pvk.delta_g2 = G2Prepared(vk.delta_g2);
+  // Populate (and reuse) the key's lazy e(alpha, beta) cache, sharing the
+  // prepared beta schedule just built.
+  if (!vk.alpha_beta.has_value()) vk.alpha_beta = pairing(pvk.beta_g2, vk.alpha_g1);
+  pvk.alpha_beta = *vk.alpha_beta;
+  pvk.ic = vk.ic;
+  return pvk;
+}
+
+bool verify(const PreparedVerifyingKey& pvk, const std::vector<Fr>& public_inputs,
+            const Proof& proof) {
+  if (public_inputs.size() + 1 != pvk.ic.size()) return false;
   if (!proof.a.is_on_curve() || !proof.b.is_on_curve() || !proof.c.is_on_curve()) return false;
 
-  G1 vk_x = vk.ic[0];
+  G1 vk_x = pvk.ic[0];
   for (std::size_t i = 0; i < public_inputs.size(); ++i) {
-    vk_x += vk.ic[i + 1] * public_inputs[i];
+    vk_x += pvk.ic[i + 1] * public_inputs[i];
   }
 
   // e(A, B) == e(alpha, beta) e(vk_x, gamma) e(C, delta), with e(alpha,
   // beta) precomputed: 3 Miller loops + 1 final exponentiation.
   // e(B, -A) e(gamma, vk_x) e(delta, C) == e(alpha, beta)^-1 ... rearranged:
-  return pairing_product({{proof.b, -proof.a},
-                          {vk.gamma_g2, vk_x},
-                          {vk.delta_g2, proof.c}}) == vk.alpha_beta_gt().conjugate();
+  const G2Prepared b_prepared(proof.b);
+  return pairing_product({{&b_prepared, -proof.a},
+                          {&pvk.gamma_g2, vk_x},
+                          {&pvk.delta_g2, proof.c}}) == pvk.alpha_beta.conjugate();
+}
+
+bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof) {
+  return verify(PreparedVerifyingKey::prepare(vk), public_inputs, proof);
 }
 
 std::vector<std::uint8_t> verify_batch(const std::vector<BatchVerifyItem>& items) {
@@ -254,6 +273,17 @@ std::vector<std::uint8_t> verify_batch(const std::vector<BatchVerifyItem>& items
       items.size(),
       [&](std::size_t i) {
         ok[i] = verify(items[i].vk, items[i].public_inputs, items[i].proof) ? 1 : 0;
+      },
+      /*min_grain=*/1);
+  return ok;
+}
+
+std::vector<std::uint8_t> verify_batch(const std::vector<PreparedBatchVerifyItem>& items) {
+  std::vector<std::uint8_t> ok(items.size(), 0);
+  parallel_for(
+      items.size(),
+      [&](std::size_t i) {
+        ok[i] = verify(*items[i].pvk, items[i].public_inputs, items[i].proof) ? 1 : 0;
       },
       /*min_grain=*/1);
   return ok;

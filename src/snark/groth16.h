@@ -58,6 +58,21 @@ struct ProvingKey {
   std::size_t num_inputs = 0;
 };
 
+/// A verifying key with its pairing work hoisted out: e(alpha, beta) in GT
+/// plus the precomputed Miller schedules of the three fixed G2 points. Every
+/// verification against the same key then costs three sparse Miller loops
+/// (one of which, proof.b, is prepared per call) and one final
+/// exponentiation — no repeated G2 line computation.
+struct PreparedVerifyingKey {
+  Fq12 alpha_beta;  // e(alpha, beta)
+  G2Prepared beta_g2;
+  G2Prepared gamma_g2;
+  G2Prepared delta_g2;
+  std::vector<G1> ic;
+
+  static PreparedVerifyingKey prepare(const VerifyingKey& vk);
+};
+
 struct Keypair {
   ProvingKey pk;
   VerifyingKey vk;
@@ -72,8 +87,15 @@ Keypair setup(const ConstraintSystem& cs, Rng& rng);
 Proof prove(const ProvingKey& pk, const ConstraintSystem& cs, const std::vector<Fr>& assignment,
             Rng& rng);
 
-/// Verify a proof against the public inputs (statement) only.
+/// Verify a proof against the public inputs (statement) only. Routes
+/// through a per-call PreparedVerifyingKey; amortize with the prepared
+/// overload when verifying many proofs under one key.
 bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof);
+
+/// Prepared-key verification: bit-identical accept/reject decisions to the
+/// unprepared overload, with the key's G2 schedules computed once up front.
+bool verify(const PreparedVerifyingKey& pvk, const std::vector<Fr>& public_inputs,
+            const Proof& proof);
 
 /// One entry of a batch verification. Entries own their verifying-key copy
 /// so concurrent verification never races on the lazily-cached e(alpha,
@@ -90,5 +112,19 @@ struct BatchVerifyItem {
 /// Used by the task-contract audit path, where the test-net re-checks one
 /// reward proof per finished task.
 std::vector<std::uint8_t> verify_batch(const std::vector<BatchVerifyItem>& items);
+
+/// One entry of a prepared batch verification. The key pointer must be
+/// non-null and outlive the call; many entries may share one prepared key,
+/// which is how the audit path pays each G2 precomputation exactly once per
+/// distinct verifying key across a whole batch.
+struct PreparedBatchVerifyItem {
+  const PreparedVerifyingKey* pvk = nullptr;
+  std::vector<Fr> public_inputs;
+  Proof proof;
+};
+
+/// Prepared-key batch verification: same parallel schedule and bit-identical
+/// ok-flags as verify_batch, minus the per-item key preparation.
+std::vector<std::uint8_t> verify_batch(const std::vector<PreparedBatchVerifyItem>& items);
 
 }  // namespace zl::snark

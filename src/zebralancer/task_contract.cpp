@@ -1,6 +1,8 @@
 #include "zebralancer/task_contract.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
 
 #include "chain/state.h"
 #include "crypto/keccak.h"
@@ -303,7 +305,11 @@ std::vector<Fr> TaskContract::reward_audit_statement() const {
 
 std::vector<std::size_t> audit_rewarded_tasks(const chain::ChainState& state,
                                               const std::vector<chain::Address>& addresses) {
-  std::vector<snark::BatchVerifyItem> items;
+  // Tasks deployed from the same circuit share a verifying key; the prepared
+  // keys are deduplicated by serialized bytes so each distinct G2 triple is
+  // precomputed exactly once for the whole batch.
+  std::map<Bytes, std::unique_ptr<snark::PreparedVerifyingKey>> prepared_keys;
+  std::vector<snark::PreparedBatchVerifyItem> items;
   std::vector<std::size_t> item_index;  // items[k] audits addresses[item_index[k]]
   std::vector<std::size_t> failed;
   for (std::size_t i = 0; i < addresses.size(); ++i) {
@@ -312,7 +318,12 @@ std::vector<std::size_t> audit_rewarded_tasks(const chain::ChainState& state,
       failed.push_back(i);
       continue;
     }
-    items.push_back({task->reward_vk(), task->reward_audit_statement(), task->reward_proof()});
+    auto& slot = prepared_keys[task->reward_vk().to_bytes()];
+    if (!slot) {
+      slot = std::make_unique<snark::PreparedVerifyingKey>(
+          snark::PreparedVerifyingKey::prepare(task->reward_vk()));
+    }
+    items.push_back({slot.get(), task->reward_audit_statement(), task->reward_proof()});
     item_index.push_back(i);
   }
   const std::vector<std::uint8_t> ok = snark::verify_batch(items);
