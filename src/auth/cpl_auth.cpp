@@ -51,7 +51,11 @@ Fr message_to_field(const Bytes& prefix, const Bytes& rest) {
 UserKey UserKey::generate(Rng& rng) {
   UserKey key;
   key.sk = Fr::random(rng);
+  ct::poison_object(key.sk);  // harness hook; no-op outside a CT scope
+  // MiMC is straight-line Fp arithmetic, so sk flows through it without any
+  // secret-dependent branch; pk is the published key — declassified output.
   key.pk = mimc_compress(key.sk, Fr::zero());
+  ct::declassify_object(key.pk);
   return key;
 }
 
@@ -106,8 +110,13 @@ Attestation authenticate(const AuthParams& params, const Bytes& prefix, const By
   const Fr p = prefix_to_field(prefix);
   const Fr m = message_to_field(prefix, rest);
   Attestation att;
+  ct::poison_object(key.sk);  // harness hook; no-op outside a CT scope
+  // The PRF tags are straight-line MiMC over Fr; they are published in the
+  // attestation, so their storage is declassified once computed.
   att.t1 = mimc_compress(p, key.sk);
   att.t2 = mimc_compress(m, key.sk);
+  ct::declassify_object(att.t1);
+  ct::declassify_object(att.t2);
 
   snark::CircuitBuilder b;
   build_auth_circuit(b, params.merkle_depth, att.t1, att.t2, p, m, root, key.sk, cert.path);

@@ -34,6 +34,13 @@ struct UserKey {
   Fr sk;
   Fr pk;
 
+  UserKey() = default;
+  UserKey(const UserKey&) = default;
+  UserKey(UserKey&&) = default;
+  UserKey& operator=(const UserKey&) = default;
+  UserKey& operator=(UserKey&&) = default;
+  ~UserKey() { sk.zeroize(); }
+
   static UserKey generate(Rng& rng);
 };
 

@@ -1,0 +1,267 @@
+#pragma once
+// Constant-time taint harness (dudect/ctgrind-style, in-process).
+//
+// The anonymity and confidentiality claims of the system reduce to the crypto
+// substrate never branching, indexing, or early-exiting on secret data. This
+// header provides a runtime harness that checks exactly that discipline:
+//
+//   - Secrets are *poisoned*: their byte ranges are registered in a
+//     thread-local taint set (`poison`, or the `CtChecked<T>` wrapper).
+//   - Instrumented decision points call `branch()` / `index()` guards; if the
+//     inspected bytes overlap a poisoned range while a harness scope is
+//     active, that is a secret-dependent control-flow (or memory-access)
+//     violation — by default the process aborts with the offending site.
+//   - Values that become public by construction (blinded scalars, rejection
+//     -sampled candidates, ciphertexts, signatures) are *declassified*
+//     explicitly, documenting the exact point where secret-derived data is
+//     allowed to influence timing.
+//   - Straight-line arithmetic calls `propagate()` so taint follows secrets
+//     through Fp limbs without any shadow-memory machinery.
+//
+// Two layers of gating keep the default build clean:
+//   - Hot-path hooks (per-Fp-op propagate/guard calls) compile to nothing
+//     unless the `ZL_CT_CHECK` build option defines the macro; see the
+//     ZL_CT_* macros at the bottom.
+//   - Cold-path guards (scalar multiplication entry, mod_pow/mod_inverse)
+//     are always compiled but are no-ops unless a `ScopedHarness` (or
+//     `enable()`) is active on the current thread — one thread-local load.
+//
+// The harness checks the *source* discipline, not the emitted machine code:
+// it cannot see micro-architectural leakage or branches inside GMP. Those
+// limits, and the declassification policy, are documented in DESIGN.md §8.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace zl::ct {
+
+using ViolationHandler = void (*)(const char* site);
+
+namespace detail {
+
+struct Range {
+  const unsigned char* begin;
+  const unsigned char* end;
+};
+
+struct State {
+  bool enabled = false;
+  std::vector<Range> poisoned;
+  ViolationHandler handler = nullptr;
+  std::uint64_t violations = 0;
+};
+
+inline State& state() {
+  thread_local State s;
+  return s;
+}
+
+}  // namespace detail
+
+/// Whether a checking scope is active on this thread.
+inline bool enabled() { return detail::state().enabled; }
+
+/// Report a secret-dependent decision at `site`. Aborts unless a handler is
+/// installed (tests install a counting handler for non-fatal assertions).
+inline void violation(const char* site) {
+  auto& s = detail::state();
+  ++s.violations;
+  if (s.handler != nullptr) {
+    s.handler(site);
+    return;
+  }
+  std::fprintf(stderr, "zl-ct: secret-dependent operation at %s\n", site);
+  std::fflush(stderr);
+  std::abort();
+}
+
+inline void set_violation_handler(ViolationHandler h) { detail::state().handler = h; }
+inline std::uint64_t violation_count() { return detail::state().violations; }
+inline void reset_violation_count() { detail::state().violations = 0; }
+
+/// Mark `n` bytes at `p` as secret. No-op outside a harness scope.
+inline void poison(const void* p, std::size_t n) {
+  auto& s = detail::state();
+  if (!s.enabled || n == 0) return;
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (const auto& r : s.poisoned) {
+    if (r.begin <= b && b + n <= r.end) return;  // already covered
+  }
+  s.poisoned.push_back({b, b + n});
+}
+
+/// Remove any taint overlapping [p, p+n), splitting ranges as needed.
+inline void unpoison(const void* p, std::size_t n) {
+  auto& s = detail::state();
+  if (s.poisoned.empty() || n == 0) return;
+  const auto* b = static_cast<const unsigned char*>(p);
+  const auto* e = b + n;
+  std::vector<detail::Range> next;
+  next.reserve(s.poisoned.size());
+  for (const auto& r : s.poisoned) {
+    if (r.end <= b || e <= r.begin) {
+      next.push_back(r);
+      continue;
+    }
+    if (r.begin < b) next.push_back({r.begin, b});
+    if (e < r.end) next.push_back({e, r.end});
+  }
+  s.poisoned.swap(next);
+}
+
+/// Whether [p, p+n) overlaps any poisoned range.
+inline bool tainted(const void* p, std::size_t n) {
+  const auto& s = detail::state();
+  if (!s.enabled || s.poisoned.empty() || n == 0) return false;
+  const auto* b = static_cast<const unsigned char*>(p);
+  const auto* e = b + n;
+  for (const auto& r : s.poisoned) {
+    if (r.begin < e && b < r.end) return true;
+  }
+  return false;
+}
+
+/// Declassify: the bytes are public by construction from here on (blinded,
+/// rejection-sampled, or an output the protocol publishes anyway). Identical
+/// to unpoison but spelled differently so call sites document *why*.
+inline void declassify(const void* p, std::size_t n) { unpoison(p, n); }
+
+/// Guard for a control-flow decision that inspects [p, p+n).
+inline void branch(const void* p, std::size_t n, const char* site) {
+  if (tainted(p, n)) violation(site);
+}
+
+/// Guard for a memory access whose address derives from [p, p+n) (table
+/// lookups, window indexing): secret-dependent addresses leak through the
+/// data cache exactly like branches leak through the branch predictor.
+inline void index(const void* p, std::size_t n, const char* site) {
+  if (tainted(p, n)) violation(site);
+}
+
+/// Taint propagation for straight-line ops: `out` becomes tainted iff any
+/// input is. The else-branch *untaints* out, so recycled stack slots don't
+/// accumulate stale poison.
+inline void propagate(const void* out, std::size_t n_out, const void* a, std::size_t n_a) {
+  if (!enabled()) return;
+  if (tainted(a, n_a)) {
+    poison(out, n_out);
+  } else {
+    unpoison(out, n_out);
+  }
+}
+
+inline void propagate(const void* out, std::size_t n_out, const void* a, std::size_t n_a,
+                      const void* b, std::size_t n_b) {
+  if (!enabled()) return;
+  if (tainted(a, n_a) || tainted(b, n_b)) {
+    poison(out, n_out);
+  } else {
+    unpoison(out, n_out);
+  }
+}
+
+/// Object-granular conveniences (byte-wise over the object representation;
+/// only meaningful for trivially-copyable value types like Fp/Limbs).
+template <typename T>
+void poison_object(const T& v) {
+  poison(&v, sizeof(T));
+}
+template <typename T>
+void unpoison_object(const T& v) {
+  unpoison(&v, sizeof(T));
+}
+template <typename T>
+void declassify_object(const T& v) {
+  declassify(&v, sizeof(T));
+}
+template <typename T>
+bool tainted_object(const T& v) {
+  return tainted(&v, sizeof(T));
+}
+
+/// Turn checking on/off for the current thread. Both transitions reset the
+/// taint set and the violation counter so scopes can't leak into each other.
+inline void enable() {
+  auto& s = detail::state();
+  s.enabled = true;
+  s.poisoned.clear();
+  s.violations = 0;
+}
+
+inline void disable() {
+  auto& s = detail::state();
+  s.enabled = false;
+  s.poisoned.clear();
+  s.handler = nullptr;
+}
+
+/// RAII harness scope: `ScopedHarness h;` activates checking on this thread
+/// for the enclosing block.
+class ScopedHarness {
+ public:
+  ScopedHarness() { enable(); }
+  ~ScopedHarness() { disable(); }
+  ScopedHarness(const ScopedHarness&) = delete;
+  ScopedHarness& operator=(const ScopedHarness&) = delete;
+};
+
+/// A value whose storage is poisoned for its entire lifetime. Use for
+/// secrets held across calls (keys, nonces):
+///
+///   ct::CtChecked<Fr> sk(Fr::random(rng));
+///   ... sk.secret() ...           // stays tainted
+///   Fr pub = sk.reveal();         // fresh untainted copy (explicit exit)
+///
+/// The wrapper tracks the *storage*: any guard inspecting these bytes while
+/// a harness scope is active trips a violation.
+template <typename T>
+class CtChecked {
+ public:
+  CtChecked() : value_() { poison(&value_, sizeof(T)); }
+  explicit CtChecked(T v) : value_(std::move(v)) { poison(&value_, sizeof(T)); }
+  CtChecked(const CtChecked& other) : value_(other.value_) { poison(&value_, sizeof(T)); }
+  CtChecked& operator=(const CtChecked& other) {
+    value_ = other.value_;
+    poison(&value_, sizeof(T));
+    return *this;
+  }
+  ~CtChecked() { unpoison(&value_, sizeof(T)); }
+
+  T& secret() { return value_; }
+  const T& secret() const { return value_; }
+
+  /// Explicit declassification: returns an untainted copy.
+  T reveal() const {
+    T out = value_;
+    unpoison(&out, sizeof(T));
+    return out;
+  }
+
+ private:
+  T value_;
+};
+
+}  // namespace zl::ct
+
+// Hot-path hooks: compiled in only under the ZL_CT_CHECK build option so the
+// default build's Fp arithmetic carries zero instrumentation overhead.
+#if defined(ZL_CT_CHECK)
+#define ZL_CT_PROP1(out, a) ::zl::ct::propagate(&(out), sizeof(out), &(a), sizeof(a))
+#define ZL_CT_PROP2(out, a, b) \
+  ::zl::ct::propagate(&(out), sizeof(out), &(a), sizeof(a), &(b), sizeof(b))
+#define ZL_CT_GUARD1(a, site) ::zl::ct::branch(&(a), sizeof(a), site)
+#define ZL_CT_GUARD2(a, b, site)                \
+  do {                                          \
+    ::zl::ct::branch(&(a), sizeof(a), site);    \
+    ::zl::ct::branch(&(b), sizeof(b), site);    \
+  } while (0)
+#else
+#define ZL_CT_PROP1(out, a) ((void)0)
+#define ZL_CT_PROP2(out, a, b) ((void)0)
+#define ZL_CT_GUARD1(a, site) ((void)0)
+#define ZL_CT_GUARD2(a, b, site) ((void)0)
+#endif

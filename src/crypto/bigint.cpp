@@ -39,17 +39,54 @@ BigInt bigint_from_hex(const std::string& s) { return BigInt(s, 16); }
 
 BigInt mod_pow(const BigInt& v, const BigInt& e, const BigInt& m) {
   if (m <= 0) throw std::domain_error("mod_pow: modulus must be positive");
+  // mpz_powm's sliding-window table indexing is driven by the (reduced) base,
+  // so a secret base leaks through the cache; RSA private ops blind it first.
+  ct::branch(v, "mod_pow: variable-time in the base — blind secret bases");
   BigInt out;
   mpz_powm(out.get_mpz_t(), v.get_mpz_t(), e.get_mpz_t(), m.get_mpz_t());
   return out;
 }
 
 BigInt mod_inverse(const BigInt& v, const BigInt& m) {
+  ct::branch(v, "mod_inverse: extended Euclid is variable-time in the operand — use mod_inverse_blinded");
   BigInt out;
   if (mpz_invert(out.get_mpz_t(), v.get_mpz_t(), m.get_mpz_t()) == 0) {
     throw std::domain_error("mod_inverse: not invertible");
   }
   return out;
+}
+
+BigInt mod_inverse_blinded(const BigInt& v, const BigInt& m, Rng& rng) {
+  if (m <= 1) throw std::domain_error("mod_inverse_blinded: modulus must exceed 1");
+  for (;;) {
+    const BigInt b = random_below(rng, m);
+    if (b == 0) continue;
+    BigInt vb = (v * b) % m;
+    // v*b mod m is uniform over the invertible residues (b is), so running
+    // the variable-time Euclid on it reveals nothing about v.
+    ct::declassify(vb);
+    BigInt vb_inv;
+    if (mpz_invert(vb_inv.get_mpz_t(), vb.get_mpz_t(), m.get_mpz_t()) == 0) {
+      BigInt g;
+      mpz_gcd(g.get_mpz_t(), b.get_mpz_t(), m.get_mpz_t());
+      if (g != 1) continue;  // the blind itself was non-invertible; redraw
+      throw std::domain_error("mod_inverse_blinded: not invertible");
+    }
+    return (b * vb_inv) % m;
+  }
+}
+
+void secure_zero(BigInt& v) {
+  const std::size_t n = mpz_size(v.get_mpz_t());
+  if (n > 0) {
+    mp_limb_t* limbs = mpz_limbs_modify(v.get_mpz_t(), static_cast<mp_size_t>(n));
+    secure_zero(limbs, n * sizeof(mp_limb_t));
+    // The value is gone; lift any taint so a reused allocation is not
+    // mistaken for secret data by the CT harness.
+    ct::unpoison(limbs, n * sizeof(mp_limb_t));
+    mpz_limbs_finish(v.get_mpz_t(), 0);
+  }
+  v = 0;
 }
 
 BigInt random_below(Rng& rng, const BigInt& bound) {

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "common/ct.h"
 #include "crypto/bytes.h"
 #include "crypto/rng.h"
 
@@ -29,11 +30,22 @@ Bytes bigint_to_bytes(const BigInt& v);
 BigInt bigint_from_decimal(const std::string& s);
 BigInt bigint_from_hex(const std::string& s);
 
-/// v^e mod m (m > 0).
+/// v^e mod m (m > 0). Variable-time in `v` (and in `e` via mpz_powm's window
+/// schedule); the CT harness guards the base — blind secret bases first.
 BigInt mod_pow(const BigInt& v, const BigInt& e, const BigInt& m);
 
-/// Modular inverse; throws std::domain_error if gcd(v, m) != 1.
+/// Modular inverse; throws std::domain_error if gcd(v, m) != 1. The extended
+/// Euclid iteration count depends on the operand, so the CT harness rejects
+/// tainted `v` — use mod_inverse_blinded for secrets.
 BigInt mod_inverse(const BigInt& v, const BigInt& m);
+
+/// Modular inverse of a *secret* v modulo a public m, computed as
+/// b * (v*b)^-1 mod m for a fresh uniform blind b: the variable-time Euclid
+/// runs only on the uniformly-distributed product, never on v itself.
+BigInt mod_inverse_blinded(const BigInt& v, const BigInt& m, Rng& rng);
+
+/// Wipe a BigInt's limb buffer in place (then set the value to 0).
+void secure_zero(BigInt& v);
 
 /// Uniform integer in [0, bound) using rejection sampling over `rng`.
 BigInt random_below(Rng& rng, const BigInt& bound);
@@ -45,5 +57,44 @@ bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 40);
 /// Generate a random prime with exactly `bits` bits (top two bits set so that
 /// products of two such primes have exactly 2*bits bits, as RSA requires).
 BigInt random_prime(Rng& rng, int bits);
+
+namespace ct {
+
+/// BigInt-granular taint helpers: GMP stores the magnitude in a heap limb
+/// buffer, so tainting a BigInt means tainting that buffer. Note mpz
+/// arithmetic may reallocate — re-poison after mutating a secret in place.
+inline void poison(const BigInt& v) {
+  const std::size_t n = mpz_size(v.get_mpz_t());
+  if (n > 0) poison(mpz_limbs_read(v.get_mpz_t()), n * sizeof(mp_limb_t));
+}
+
+inline bool tainted(const BigInt& v) {
+  const std::size_t n = mpz_size(v.get_mpz_t());
+  return n > 0 && tainted(mpz_limbs_read(v.get_mpz_t()), n * sizeof(mp_limb_t));
+}
+
+inline void declassify(const BigInt& v) {
+  const std::size_t n = mpz_size(v.get_mpz_t());
+  if (n > 0) declassify(mpz_limbs_read(v.get_mpz_t()), n * sizeof(mp_limb_t));
+}
+
+inline void branch(const BigInt& v, const char* site) {
+  if (tainted(v)) violation(site);
+}
+
+/// RAII poison for a BigInt whose limb buffer is stable for the scope
+/// (i.e. the value is not mutated while poisoned).
+class ScopedPoison {
+ public:
+  explicit ScopedPoison(const BigInt& v) : v_(v) { poison(v_); }
+  ~ScopedPoison() { declassify(v_); }
+  ScopedPoison(const ScopedPoison&) = delete;
+  ScopedPoison& operator=(const ScopedPoison&) = delete;
+
+ private:
+  const BigInt& v_;
+};
+
+}  // namespace ct
 
 }  // namespace zl

@@ -1,5 +1,6 @@
 #include "crypto/bytes.h"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace zl {
@@ -93,10 +94,23 @@ Bytes read_frame(const Bytes& in, std::size_t& offset) {
 }
 
 bool ct_equal(const Bytes& a, const Bytes& b) {
+  // Lengths are public (fixed per protocol); content is compared without an
+  // early exit. The final bool is the one sanctioned declassification of the
+  // comparison result.
   if (a.size() != b.size()) return false;
   std::uint8_t acc = 0;
   for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
   return acc == 0;
 }
+
+void secure_zero(void* p, std::size_t n) {
+  if (n == 0) return;
+  std::memset(p, 0, n);
+  // The asm barrier claims to read memory, so the memset above is observable
+  // and cannot be dropped by dead-store elimination.
+  __asm__ __volatile__("" : : "r"(p) : "memory");
+}
+
+void secure_zero(Bytes& b) { secure_zero(b.data(), b.size()); }
 
 }  // namespace zl

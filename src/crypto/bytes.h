@@ -46,4 +46,10 @@ Bytes read_frame(const Bytes& in, std::size_t& offset);
 /// Constant-time equality (for MAC/tag comparison).
 bool ct_equal(const Bytes& a, const Bytes& b);
 
+/// Wipe a buffer through a compiler barrier so the store cannot be elided as
+/// a dead write. Every secret-key destructor routes through this (zl-lint's
+/// secret-zeroize rule enforces that).
+void secure_zero(void* p, std::size_t n);
+void secure_zero(Bytes& b);
+
 }  // namespace zl

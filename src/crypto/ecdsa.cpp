@@ -38,9 +38,12 @@ EcdsaSignature EcdsaSignature::from_bytes(const Bytes& bytes) {
 EcdsaKeyPair EcdsaKeyPair::generate(Rng& rng) {
   EcdsaKeyPair key;
   do {
+    // The zero check is public-by-rejection: it only ever observes (and
+    // discards) candidates, never the key that leaves this loop.
     key.secret_ = random_below(rng, curve_order());
   } while (key.secret_ == 0);
-  key.pub_ = SecpPoint::generator() * key.secret_;
+  ct::poison(key.secret_);
+  key.pub_ = SecpPoint::generator().mul_blinded(key.secret_, rng);
   return key;
 }
 
@@ -65,13 +68,20 @@ Bytes ecdsa_address(const Bytes& public_key_bytes) {
 EcdsaSignature EcdsaKeyPair::sign(const Bytes& message, Rng& rng) const {
   const BigInt n = curve_order();
   const BigInt z = hash_to_scalar(message);
+  ct::poison(secret_);  // harness hook; no-op outside a CT-checking scope
   for (;;) {
     const BigInt k = random_below(rng, n);
-    if (k == 0) continue;
-    const SecpPoint kg = SecpPoint::generator() * k;
+    if (k == 0) continue;  // public-by-rejection
+    const ct::ScopedPoison poison_k(k);  // the nonce is as secret as the key
+    // k enters the ladder blinded (k + t*n) and the inversion blinded
+    // (b * (kb)^-1): neither variable-time algorithm ever sees k itself.
+    const SecpPoint kg = SecpPoint::generator().mul_blinded(k, rng);
     const BigInt r = kg.to_affine().first.to_bigint() % n;
     if (r == 0) continue;
-    const BigInt s = (mod_inverse(k, n) * ((z + r * secret_) % n)) % n;
+    BigInt s = (mod_inverse_blinded(k, n, rng) * ((z + r * secret_) % n)) % n;
+    // r and s are the published signature — declassified outputs by
+    // definition (and fresh mpz buffers, so untainted either way).
+    ct::declassify(s);
     if (s == 0) continue;
     return {r, s};
   }

@@ -18,6 +18,13 @@ struct EcdsaSignature {
 
 class EcdsaKeyPair {
  public:
+  EcdsaKeyPair() = default;
+  EcdsaKeyPair(const EcdsaKeyPair&) = default;
+  EcdsaKeyPair(EcdsaKeyPair&&) = default;
+  EcdsaKeyPair& operator=(const EcdsaKeyPair&) = default;
+  EcdsaKeyPair& operator=(EcdsaKeyPair&&) = default;
+  ~EcdsaKeyPair() { secure_zero(secret_); }
+
   /// Fresh key; the secret scalar is uniform in [1, n).
   static EcdsaKeyPair generate(Rng& rng);
 

@@ -1,6 +1,7 @@
 #include "crypto/rng.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "crypto/sha256.h"
@@ -19,6 +20,11 @@ Rng::Rng(std::uint64_t seed) : Rng([&] {
   return s;
 }()) {}
 
+Rng::~Rng() {
+  secure_zero(key_);
+  secure_zero(value_);
+}
+
 Rng Rng::from_os_entropy() {
   Bytes seed(48);
   FILE* f = std::fopen("/dev/urandom", "rb");
@@ -27,7 +33,24 @@ Rng Rng::from_os_entropy() {
     throw std::runtime_error("Rng: cannot read /dev/urandom");
   }
   std::fclose(f);
-  return Rng(seed);
+  Rng rng(seed);
+  secure_zero(seed);
+  return rng;
+}
+
+Rng& Rng::system() {
+  thread_local Rng rng = [] {
+    // Explicit test hook — the ONLY deterministic override. Everything else
+    // seeds from the OS entropy pool.
+    if (const char* hook = std::getenv("ZL_TEST_DETERMINISTIC_SEED")) {
+      Bytes seed = to_bytes("zl-test-deterministic:");
+      const Bytes v = to_bytes(hook);
+      seed.insert(seed.end(), v.begin(), v.end());
+      return Rng(seed);
+    }
+    return from_os_entropy();
+  }();
+  return rng;
 }
 
 void Rng::reseed(const Bytes& material) {

@@ -21,8 +21,25 @@ class Rng {
   /// Seed from a 64-bit value (convenience for simulations/tests).
   explicit Rng(std::uint64_t seed);
 
+  Rng(const Rng&) = default;
+  Rng(Rng&&) = default;
+  Rng& operator=(const Rng&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  /// Wipes the DRBG state (K, V) — past outputs stay unrecoverable even if
+  /// the freed memory is later exposed.
+  ~Rng();
+
   /// Seed from the OS entropy pool (/dev/urandom).
   static Rng from_os_entropy();
+
+  /// Per-thread ambient generator for operations that need randomness but
+  /// have no caller-supplied stream (blinding factors, masking). Seeded from
+  /// OS entropy on first use on each thread. Deterministic override ONLY via
+  /// the explicit test hook: if ZL_TEST_DETERMINISTIC_SEED is set in the
+  /// environment, its value seeds the generator instead (never use outside
+  /// tests — zl-lint enforces that no other randomness source exists).
+  static Rng& system();
 
   /// Fill `out` with `len` random bytes.
   void fill(std::uint8_t* out, std::size_t len);

@@ -19,6 +19,38 @@ const Bytes& sha256_digest_info_prefix() {
 void xor_into(Bytes& target, const Bytes& mask) {
   for (std::size_t i = 0; i < target.size(); ++i) target[i] ^= mask[i];
 }
+
+// m^d mod n with base blinding (Kocher-style countermeasure, shared by
+// decrypt and sign): mpz_powm's table indexing is driven by the base, so the
+// exponentiation runs on m * r^e for a fresh uniform r and the result is
+// unblinded by r^-1. The variable-time machinery only ever sees uniformly
+// re-randomized values.
+BigInt rsa_private_op(const RsaKeyPair& key, const BigInt& m) {
+  Rng& rng = Rng::system();
+  const BigInt& n = key.pub.n;
+  for (;;) {
+    const BigInt r = random_below(rng, n);
+    if (r == 0) continue;
+    BigInt r_inv;
+    if (mpz_invert(r_inv.get_mpz_t(), r.get_mpz_t(), n.get_mpz_t()) == 0) continue;
+    BigInt blinded = (m * mod_pow(r, key.pub.e, n)) % n;
+    ct::declassify(blinded);  // uniform in the ciphertext space
+    return (mod_pow(blinded, key.d, n) * r_inv) % n;
+  }
+}
+
+// Branchless byte helpers for the OAEP unpadding scan (BoringSSL-style
+// mask arithmetic: every byte of DB is examined the same way regardless of
+// where the 0x01 delimiter sits).
+std::uint32_t ct_eq_u8(std::uint8_t a, std::uint8_t b) {
+  const std::uint32_t d = static_cast<std::uint32_t>(a ^ b);
+  return static_cast<std::uint32_t>((d - 1) >> 31);  // 1 if equal else 0
+}
+
+std::size_t ct_select_size(std::uint32_t pick, std::size_t a, std::size_t b) {
+  const std::size_t mask = 0 - static_cast<std::size_t>(pick);
+  return (a & mask) | (b & ~mask);
+}
 }  // namespace
 
 std::size_t RsaPublicKey::modulus_bytes() const {
@@ -91,24 +123,34 @@ Bytes rsa_oaep_decrypt(const RsaKeyPair& key, const Bytes& ciphertext) {
   if (ciphertext.size() != k) throw std::invalid_argument("rsa_oaep_decrypt: bad length");
   const BigInt c = bigint_from_bytes(ciphertext);
   if (c >= key.pub.n) throw std::invalid_argument("rsa_oaep_decrypt: ciphertext out of range");
-  const Bytes em = bigint_to_bytes(mod_pow(c, key.d, key.pub.n), k);
-  if (em[0] != 0x00) throw std::invalid_argument("rsa_oaep_decrypt: padding error");
+  const Bytes em = bigint_to_bytes(rsa_private_op(key, c), k);
 
   Bytes seed(em.begin() + 1, em.begin() + 1 + kHashLen);
   Bytes db(em.begin() + 1 + kHashLen, em.end());
   xor_into(seed, mgf1_sha256(db, kHashLen));
   xor_into(db, mgf1_sha256(seed, db.size()));
 
+  // Single-pass branchless validation: accumulate every padding defect into
+  // one flag and locate the 0x01 delimiter with masks, so the scan's timing
+  // is independent of the decrypted content. One public accept/reject
+  // decision happens at the end (OAEP rejects are protocol-visible anyway;
+  // what must not leak is *where* the padding check failed — that
+  // distinction is exactly the Manger attack).
   const Bytes lhash = Sha256::hash(Bytes{});
-  if (!ct_equal(Bytes(db.begin(), db.begin() + kHashLen), lhash)) {
-    throw std::invalid_argument("rsa_oaep_decrypt: padding error");
+  std::uint32_t bad = static_cast<std::uint32_t>(ct_eq_u8(em[0], 0x00) ^ 1);
+  bad |= ct_equal(Bytes(db.begin(), db.begin() + kHashLen), lhash) ? 0u : 1u;
+  std::size_t one_index = 0;
+  std::uint32_t looking = 1;
+  for (std::size_t j = kHashLen; j < db.size(); ++j) {
+    const std::uint32_t is_one = ct_eq_u8(db[j], 0x01);
+    const std::uint32_t is_zero = ct_eq_u8(db[j], 0x00);
+    one_index = ct_select_size(looking & is_one, j, one_index);
+    bad |= looking & ~is_one & ~is_zero & 1u;  // non-zero byte before the 0x01
+    looking &= ~is_one & 1u;
   }
-  std::size_t i = kHashLen;
-  while (i < db.size() && db[i] == 0x00) ++i;
-  if (i == db.size() || db[i] != 0x01) {
-    throw std::invalid_argument("rsa_oaep_decrypt: padding error");
-  }
-  return Bytes(db.begin() + static_cast<std::ptrdiff_t>(i) + 1, db.end());
+  bad |= looking;  // no 0x01 delimiter at all
+  if (bad != 0) throw std::invalid_argument("rsa_oaep_decrypt: padding error");
+  return Bytes(db.begin() + static_cast<std::ptrdiff_t>(one_index) + 1, db.end());
 }
 
 Bytes rsa_sign(const RsaKeyPair& key, const Bytes& message) {
@@ -124,7 +166,7 @@ Bytes rsa_sign(const RsaKeyPair& key, const Bytes& message) {
   em.resize(k - t.size() - 1, 0xff);
   em.push_back(0x00);
   em.insert(em.end(), t.begin(), t.end());
-  return bigint_to_bytes(mod_pow(bigint_from_bytes(em), key.d, key.pub.n), k);
+  return bigint_to_bytes(rsa_private_op(key, bigint_from_bytes(em)), k);
 }
 
 bool rsa_verify(const RsaPublicKey& pub, const Bytes& message, const Bytes& signature) {

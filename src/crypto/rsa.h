@@ -25,6 +25,13 @@ struct RsaKeyPair {
   RsaPublicKey pub;
   BigInt d;
 
+  RsaKeyPair() = default;
+  RsaKeyPair(const RsaKeyPair&) = default;
+  RsaKeyPair(RsaKeyPair&&) = default;
+  RsaKeyPair& operator=(const RsaKeyPair&) = default;
+  RsaKeyPair& operator=(RsaKeyPair&&) = default;
+  ~RsaKeyPair() { secure_zero(d); }
+
   /// Generate a fresh keypair with a `bits`-bit modulus (e = 65537).
   static RsaKeyPair generate(Rng& rng, int bits = 2048);
 };

@@ -76,6 +76,9 @@ class JubjubPoint {
   /// avoids the two field inversions per affine addition; one inversion at
   /// the end. Verified against the affine group law in tests.
   JubjubPoint operator*(const BigInt& scalar) const {
+    ct::branch(scalar,
+               "JubjubPoint::operator*: double-and-add is variable-time in the "
+               "scalar — use mul_blinded for secret scalars");
     if (scalar < 0) return (-*this) * (-scalar);
     if (scalar == 0) return identity();
 
@@ -115,6 +118,16 @@ class JubjubPoint {
     }
     const Fr zinv = acc.z.inverse();
     return JubjubPoint(acc.x * zinv, acc.y * zinv);
+  }
+
+  /// Scalar multiplication for *secret* scalars (the task decryption key):
+  /// ladder on scalar + t * l for a fresh 64-bit t — same point, fresh
+  /// add/no-add pattern every call. Only valid for points in the prime-order
+  /// subgroup (which epk/ephemeral points are, by construction).
+  JubjubPoint mul_blinded(const BigInt& scalar, Rng& rng) const {
+    BigInt masked = scalar + subgroup_order() * BigInt(rng.next_u64());
+    ct::declassify(masked);  // blinded: safe for the variable-time ladder
+    return *this * masked;
   }
 
   Bytes to_bytes() const { return concat({x.to_bytes(), y.to_bytes()}); }

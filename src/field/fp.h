@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/ct.h"
 #include "crypto/bigint.h"
 #include "crypto/bytes.h"
 #include "crypto/rng.h"
@@ -26,11 +27,16 @@ using Limbs = std::array<std::uint64_t, 4>;
 
 namespace detail {
 
+/// Constant-time a >= b: run the full-width subtraction and inspect only the
+/// final borrow — no early exit, no per-limb branching.
 constexpr bool limbs_geq(const Limbs& a, const Limbs& b) {
-  for (int i = 3; i >= 0; --i) {
-    if (a[i] != b[i]) return a[i] > b[i];
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 d =
+        static_cast<unsigned __int128>(a[i]) - b[i] - static_cast<std::uint64_t>(borrow);
+    borrow = (d >> 64) & 1;
   }
-  return true;
+  return borrow == 0;
 }
 
 /// a - b (mod 2^256), also reporting whether a borrow occurred.
@@ -41,9 +47,18 @@ constexpr Limbs limbs_sub(const Limbs& a, const Limbs& b, bool& borrow_out) {
     const unsigned __int128 d =
         static_cast<unsigned __int128>(a[i]) - b[i] - static_cast<std::uint64_t>(borrow);
     r[i] = static_cast<std::uint64_t>(d);
-    borrow = (d >> 64) ? 1 : 0;
+    borrow = (d >> 64) & 1;
   }
   borrow_out = borrow != 0;
+  return r;
+}
+
+/// select == 0 ? a : b, via a full-width mask instead of a branch. This is
+/// the only conditional the field arithmetic below ever takes on live data.
+constexpr Limbs limbs_select(const Limbs& a, const Limbs& b, std::uint64_t select) {
+  const std::uint64_t mask = 0 - select;  // 0 or all-ones
+  Limbs r{};
+  for (int i = 0; i < 4; ++i) r[i] = (a[i] & ~mask) | (b[i] & mask);
   return r;
 }
 
@@ -227,32 +242,45 @@ class Fp {
     return out.mont_mul(from_montgomery_raw(kR2));
   }
 
-  bool is_zero() const { return limbs_ == Limbs{0, 0, 0, 0}; }
+  /// Equality inspects the representation, i.e. it *decides* on the value;
+  /// under the CT harness comparing a tainted element is a violation (the
+  /// caller must declassify first — e.g. rejection sampling, public outputs).
+  bool is_zero() const {
+    ZL_CT_GUARD1(limbs_, "Fp::is_zero");
+    return limbs_ == Limbs{0, 0, 0, 0};
+  }
 
-  friend bool operator==(const Fp& a, const Fp& b) { return a.limbs_ == b.limbs_; }
+  friend bool operator==(const Fp& a, const Fp& b) {
+    ZL_CT_GUARD2(a.limbs_, b.limbs_, "Fp::operator==");
+    return a.limbs_ == b.limbs_;
+  }
   friend bool operator!=(const Fp& a, const Fp& b) { return !(a == b); }
 
   Fp operator+(const Fp& rhs) const {
     bool carry = false;
-    Limbs r = detail::limbs_add(limbs_, rhs.limbs_, carry);
-    if (carry || detail::limbs_geq(r, kModulus)) {
-      bool borrow = false;
-      r = detail::limbs_sub(r, kModulus, borrow);
-    }
+    const Limbs sum = detail::limbs_add(limbs_, rhs.limbs_, carry);
+    bool borrow = false;
+    const Limbs reduced = detail::limbs_sub(sum, kModulus, borrow);
+    // Reduce iff the add overflowed 2^256 or reached p. Both inputs are < p,
+    // so on overflow the wrapped subtraction still equals sum - p exactly.
+    // Selected by mask, not branch: operand-dependent control flow here would
+    // leak every secret that ever flows through the field.
+    const std::uint64_t need =
+        static_cast<std::uint64_t>(carry) | (static_cast<std::uint64_t>(borrow) ^ 1);
     Fp out;
-    out.limbs_ = r;
+    out.limbs_ = detail::limbs_select(sum, reduced, need);
+    ZL_CT_PROP2(out.limbs_, limbs_, rhs.limbs_);
     return out;
   }
 
   Fp operator-(const Fp& rhs) const {
     bool borrow = false;
-    Limbs r = detail::limbs_sub(limbs_, rhs.limbs_, borrow);
-    if (borrow) {
-      bool carry = false;
-      r = detail::limbs_add(r, kModulus, carry);
-    }
+    const Limbs diff = detail::limbs_sub(limbs_, rhs.limbs_, borrow);
+    bool carry = false;
+    const Limbs wrapped = detail::limbs_add(diff, kModulus, carry);
     Fp out;
-    out.limbs_ = r;
+    out.limbs_ = detail::limbs_select(diff, wrapped, static_cast<std::uint64_t>(borrow));
+    ZL_CT_PROP2(out.limbs_, limbs_, rhs.limbs_);
     return out;
   }
 
@@ -272,22 +300,26 @@ class Fp {
   /// representation: (aR)/2 mod p represents a/2. Used by the pairing
   /// engine's projective G2 line formulas.
   Fp halve() const {
-    Limbs r = limbs_;
-    std::uint64_t top = 0;
-    if (r[0] & 1) {
-      bool carry = false;
-      r = detail::limbs_add(r, kModulus, carry);
-      top = carry ? 1 : 0;
-    }
+    // Conditionally add p (masked, branch-free) when the value is odd, then
+    // shift right; the carry out of the masked add supplies the top bit.
+    const std::uint64_t odd = limbs_[0] & 1;
+    const Limbs masked_p = detail::limbs_select(Limbs{0, 0, 0, 0}, kModulus, odd);
+    bool carry = false;
+    Limbs r = detail::limbs_add(limbs_, masked_p, carry);
+    const std::uint64_t top = static_cast<std::uint64_t>(carry);
     for (int i = 0; i < 3; ++i) r[i] = (r[i] >> 1) | (r[i + 1] << 63);
     r[3] = (r[3] >> 1) | (top << 63);
     Fp out;
     out.limbs_ = r;
+    ZL_CT_PROP1(out.limbs_, limbs_);
     return out;
   }
 
-  /// Exponentiation by an arbitrary non-negative big integer.
+  /// Exponentiation by an arbitrary non-negative big integer. The bit scan
+  /// is variable-time in `e`: exponents here are public (modulus-derived
+  /// constants, verifier challenges), and the guard enforces that.
   Fp pow(const BigInt& e) const {
+    ct::branch(e, "Fp::pow: square-and-multiply is variable-time in the exponent");
     if (e < 0) throw std::invalid_argument("Fp::pow: negative exponent");
     Fp base = *this;
     Fp acc = one();
@@ -308,6 +340,13 @@ class Fp {
 
   /// Raw Montgomery limbs (for hashing/serialization-free comparisons).
   const Limbs& montgomery_limbs() const { return limbs_; }
+
+  /// Wipe the element in place (secret-key destructors route through this;
+  /// zl-lint's secret-zeroize rule checks for it).
+  void zeroize() {
+    secure_zero(&limbs_, sizeof(limbs_));
+    ct::unpoison(&limbs_, sizeof(limbs_));
+  }
 
   /// Canonical (non-Montgomery) little-endian limbs in [0, p). This is the
   /// fast path for scalar-digit extraction in windowed multiexp.
@@ -352,13 +391,15 @@ class Fp {
       t[4] = t[5] + static_cast<std::uint64_t>(cur >> 64);
     }
 
-    Limbs r{t[0], t[1], t[2], t[3]};
-    if (t[4] != 0 || detail::limbs_geq(r, kModulus)) {
-      bool borrow = false;
-      r = detail::limbs_sub(r, kModulus, borrow);
-    }
+    const Limbs r{t[0], t[1], t[2], t[3]};
+    bool borrow = false;
+    const Limbs reduced = detail::limbs_sub(r, kModulus, borrow);
+    // One conditional subtraction (t is < 2p after CIOS), mask-selected.
+    const std::uint64_t need = static_cast<std::uint64_t>(t[4] != 0) |
+                               (static_cast<std::uint64_t>(borrow) ^ 1);
     Fp out;
-    out.limbs_ = r;
+    out.limbs_ = detail::limbs_select(r, reduced, need);
+    ZL_CT_PROP2(out.limbs_, limbs_, rhs.limbs_);
     return out;
   }
 

@@ -225,7 +225,9 @@ Proof prove(const ProvingKey& pk, const ConstraintSystem& cs, const std::vector<
 }
 
 const Fq12& VerifyingKey::alpha_beta_gt() const {
-  if (!alpha_beta.has_value()) alpha_beta = pairing(beta_g2, alpha_g1);
+  // One-shot lazy cache populated at most once per key, never in a verify
+  // hot loop — the textbook path is fine here and saves a G2 preparation.
+  if (!alpha_beta.has_value()) alpha_beta = pairing(beta_g2, alpha_g1);  // zl-lint: allow(textbook-pairing)
   return *alpha_beta;
 }
 

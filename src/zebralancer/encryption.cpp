@@ -7,7 +7,8 @@ TaskEncKeyPair TaskEncKeyPair::generate(Rng& rng) {
   // Exactly kEskBits bits: top bit forced so the bit-width is fixed.
   key.esk = random_below(rng, BigInt(1) << (kEskBits - 1));
   mpz_setbit(key.esk.get_mpz_t(), kEskBits - 1);
-  key.epk = JubjubPoint::generator() * key.esk;
+  ct::poison(key.esk);  // harness hook; no-op outside a CT scope
+  key.epk = JubjubPoint::generator().mul_blinded(key.esk, rng);
   return key;
 }
 
@@ -16,15 +17,21 @@ Fr pad_from_shared(const JubjubPoint& shared) { return mimc_compress(shared.x, F
 }  // namespace
 
 AnswerCiphertext encrypt_answer(const JubjubPoint& epk, const Fr& answer, Rng& rng) {
+  // r is an ephemeral secret: leaking its bits through the ladder breaks
+  // exactly this ciphertext, so both multiplications run blinded.
   const BigInt r = 1 + random_below(rng, JubjubPoint::subgroup_order() - 1);
   AnswerCiphertext ct;
-  ct.ephemeral = JubjubPoint::generator() * r;
-  ct.payload = answer + pad_from_shared(epk * r);
+  ct.ephemeral = JubjubPoint::generator().mul_blinded(r, rng);
+  ct.payload = answer + pad_from_shared(epk.mul_blinded(r, rng));
   return ct;
 }
 
 Fr decrypt_answer(const BigInt& esk, const AnswerCiphertext& ct) {
-  return ct.payload - pad_from_shared(ct.ephemeral * esk);
+  // The decryption scalar is long-term secret; run the ladder blinded so its
+  // add/no-add pattern never mirrors esk's bits. The blinding factor comes
+  // from the ambient per-thread generator — decryption has no caller rng and
+  // must stay deterministic in its *result* (it is: l*R = O).
+  return ct.payload - pad_from_shared(ct.ephemeral.mul_blinded(esk, Rng::system()));
 }
 
 AnswerCiphertext placeholder_ciphertext(const Fr& sentinel) {

@@ -23,6 +23,13 @@ struct TaskEncKeyPair {
   BigInt esk;       // secret scalar, exactly kEskBits bits
   JubjubPoint epk;  // esk * G
 
+  TaskEncKeyPair() = default;
+  TaskEncKeyPair(const TaskEncKeyPair&) = default;
+  TaskEncKeyPair(TaskEncKeyPair&&) = default;
+  TaskEncKeyPair& operator=(const TaskEncKeyPair&) = default;
+  TaskEncKeyPair& operator=(TaskEncKeyPair&&) = default;
+  ~TaskEncKeyPair() { secure_zero(esk); }
+
   static TaskEncKeyPair generate(Rng& rng);
 };
 

@@ -1,0 +1,147 @@
+// Thread-pool stress test — the ThreadSanitizer leg's main course.
+//
+// The parallel proving engine shares one global pool across every caller.
+// This suite hammers that pool from many client threads at once (each running
+// full multiexp and FFT jobs), churns the target thread count while work is
+// in flight, and exercises exception recovery under contention. Results are
+// checked against serial baselines so a data race that corrupts arithmetic
+// (not just tripping TSan) is also caught functionally.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ec/bn254_groups.h"
+#include "ec/multiexp.h"
+#include "snark/domain.h"
+
+namespace zl {
+namespace {
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(num_threads()) {}
+  ~ThreadGuard() { set_num_threads(saved_); }
+
+ private:
+  unsigned saved_;
+};
+
+struct Workload {
+  std::vector<G1> points;
+  std::vector<Fr> scalars;
+  G1 multiexp_expected;
+  std::vector<Fr> poly;
+  std::vector<Fr> fft_expected;
+  snark::EvaluationDomain domain{1};
+
+  static Workload build(std::uint64_t seed, std::size_t n_points, std::size_t n_poly) {
+    Workload w;
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n_points; ++i) {
+      w.points.push_back(G1::generator() * Fr::random(rng));
+      w.scalars.push_back(Fr::random(rng));
+    }
+    for (std::size_t i = 0; i < n_poly; ++i) w.poly.push_back(Fr::random(rng));
+    w.domain = snark::EvaluationDomain(n_poly);
+
+    // Serial baselines: with one thread everything runs inline on the caller.
+    set_num_threads(1);
+    w.multiexp_expected = multiexp(w.points, w.scalars);
+    w.fft_expected = w.poly;
+    w.domain.fft(w.fft_expected);
+    return w;
+  }
+
+  /// One full iteration; returns false on any mismatch with the baseline.
+  bool run_once() const {
+    if (!(multiexp(points, scalars) == multiexp_expected)) return false;
+    std::vector<Fr> a = poly;
+    domain.fft(a);
+    if (a != fft_expected) return false;
+    domain.ifft(a);
+    return a == poly;
+  }
+};
+
+TEST(ThreadStress, ConcurrentClientsShareOnePool) {
+  ThreadGuard guard;
+  const Workload w = Workload::build(9001, /*n_points=*/600, /*n_poly=*/512);
+  set_num_threads(4);
+
+  constexpr int kClients = 6;
+  constexpr int kIters = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        if (!w.run_once()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadStress, ThreadCountChurnWhileWorkInFlight) {
+  ThreadGuard guard;
+  const Workload w = Workload::build(9002, /*n_points=*/300, /*n_poly=*/256);
+  set_num_threads(4);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!w.run_once()) failures.fetch_add(1);
+      }
+    });
+  }
+  // Resize the pool under load: grow, shrink, serial-fallback, grow again.
+  for (const unsigned n : {8u, 2u, 1u, 6u, 3u}) {
+    set_num_threads(n);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadStress, ExceptionRecoveryUnderContention) {
+  ThreadGuard guard;
+  const Workload w = Workload::build(9003, /*n_points=*/200, /*n_poly=*/128);
+  set_num_threads(4);
+
+  std::atomic<int> failures{0};
+  std::atomic<int> caught{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 6; ++i) {
+        if (c == 0) {
+          // One client keeps throwing from inside pool jobs; the pool must
+          // stay serviceable for everyone else.
+          try {
+            ThreadPool::instance().run(32, [](std::size_t chunk) {
+              if (chunk == 7) throw std::runtime_error("stress-boom");
+            });
+          } catch (const std::runtime_error&) {
+            caught.fetch_add(1);
+          }
+        } else if (!w.run_once()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(caught.load(), 0);
+}
+
+}  // namespace
+}  // namespace zl

@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# CI matrix runner: the secret-hygiene lint plus the sanitizer legs, each in
+# its own build tree so they never poison each other's object files.
+#
+#   lint    - build tools/zl_lint and run it over src/ (no test suite)
+#   asan    - AddressSanitizer build + full ctest run
+#   ubsan   - UndefinedBehaviorSanitizer build + full ctest run
+#   tsan    - ThreadSanitizer build + full ctest run
+#   ctcheck - ZL_CT_CHECK taint-harness build + full ctest run
+#
+# Usage: tools/check_all.sh [leg ...] [-- ctest args...]
+#   tools/check_all.sh                 # default matrix: lint asan ubsan tsan
+#   tools/check_all.sh lint            # just the checker
+#   tools/check_all.sh tsan -- -R ThreadStress
+#
+# Everything before `--` selects legs; everything after is forwarded to ctest
+# verbatim. Exits non-zero as soon as any leg fails.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+legs=""
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --) shift; break ;;
+    lint|asan|ubsan|tsan|ctcheck) legs="$legs $1"; shift ;;
+    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck)" >&2; exit 2 ;;
+  esac
+done
+[ -n "$legs" ] || legs="lint asan ubsan tsan"
+
+run_lint() {
+  build_dir="$repo_root/build-lint"
+  cmake -S "$repo_root" -B "$build_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" --target zl_lint
+  "$build_dir/tools/zl_lint/zl_lint" "$repo_root/src" \
+    --json "$build_dir/zl_lint_findings.json"
+}
+
+# $1 = leg name, $2 = extra cmake cache args, remaining = ctest args.
+run_suite() {
+  leg="$1"; cache="$2"; shift 2
+  build_dir="$repo_root/build-$leg"
+  # shellcheck disable=SC2086 -- $cache is deliberately word-split.
+  cmake -S "$repo_root" -B "$build_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release $cache
+  cmake --build "$build_dir"
+  ctest --test-dir "$build_dir" --output-on-failure "$@"
+}
+
+status=0
+for leg in $legs; do
+  echo "==== check_all: $leg ===="
+  case "$leg" in
+    lint)
+      run_lint || status=$? ;;
+    asan)
+      # halt/abort promote any report to a hard test failure.
+      ASAN_OPTIONS="detect_leaks=1:halt_on_error=1:abort_on_error=1" \
+        run_suite asan "-DZL_SANITIZE=address" "$@" || status=$? ;;
+    ubsan)
+      UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+        run_suite ubsan "-DZL_SANITIZE=undefined" "$@" || status=$? ;;
+    tsan)
+      run_suite tsan "-DZL_SANITIZE=thread" "$@" || status=$? ;;
+    ctcheck)
+      run_suite ctcheck "-DZL_CT_CHECK=ON" "$@" || status=$? ;;
+  esac
+  if [ "$status" -ne 0 ]; then
+    echo "==== check_all: $leg FAILED ====" >&2
+    exit "$status"
+  fi
+done
+echo "==== check_all: all legs passed ($legs ) ===="

@@ -1,18 +1,9 @@
 #!/usr/bin/env sh
-# CI gate: configure, build, and run the full test suite under
-# UndefinedBehaviorSanitizer. Equivalent to the "ubsan" CMake preset but
-# spelled out so it also works with pre-preset cmake versions.
+# Back-compat shim: the UBSan gate is now one leg of the full matrix runner.
+# Extra arguments are forwarded to ctest, as before.
 #
 # Usage: tools/check_ubsan.sh [extra ctest args...]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir="$repo_root/build-ubsan"
-
-cmake -S "$repo_root" -B "$build_dir" -G Ninja \
-  -DCMAKE_BUILD_TYPE=Release -DZL_SANITIZE=undefined
-cmake --build "$build_dir"
-
-# halt_on_error turns any UB report into a test failure instead of a log line.
-UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
-  ctest --test-dir "$build_dir" --output-on-failure "$@"
+exec "$repo_root/tools/check_all.sh" ubsan -- "$@"

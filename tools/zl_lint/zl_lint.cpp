@@ -1,0 +1,774 @@
+// zl-lint — the repository's secret-hygiene checker.
+//
+// A self-contained token-level static analyzer for the rules that generic
+// linters cannot know about this codebase:
+//
+//   insecure-rng      randomness outside zl::Rng (std engines, rand(),
+//                     direct /dev/urandom reads, #include <random>)
+//   secret-memcmp     memcmp / operator== on secret-tagged types (digest and
+//                     key comparison must route through zl::ct_equal)
+//   secret-zeroize    every type on the secret allowlist must have a
+//                     destructor that wipes (secure_zero / zeroize)
+//   nondet-iteration  iteration over unordered containers inside src/chain
+//                     (consensus-visible order must be deterministic)
+//   naked-new         raw new / delete (the codebase is RAII-only)
+//   textbook-pairing  pairing()/pairing_product() calls outside src/ec that
+//                     bypass the prepared (G2Prepared) fast path
+//
+// Suppression: append `// zl-lint: allow(<rule>[, <rule>...])` (or
+// `allow(all)`) on the offending line or the line directly above it. Every
+// suppression is a reviewed, documented exception — the escape hatch exists
+// so the gate can be strict by default.
+//
+// Usage: zl_lint <path>... [--json <report>] [--list-rules]
+// Exit:  0 clean, 1 findings, 2 usage/IO error.
+//
+// The tokenizer strips comments, strings and preprocessor directives (except
+// #include, which is recorded), so rules match code, not prose. This is a
+// heuristic tool: it aims for zero false positives on this codebase and
+// "good enough" recall, not full C++ parsing.
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+
+enum class TokKind { Identifier, Number, Punct, String, CharLit };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct IncludeDirective {
+  std::string header;
+  int line;
+};
+
+struct FileUnit {
+  std::string path;                             // as reported to the user
+  std::vector<Token> toks;
+  std::map<int, std::set<std::string>> allows;  // line -> suppressed rules
+  std::vector<IncludeDirective> includes;
+  bool in_chain = false;                        // under src/chain
+  bool is_rng = false;                          // crypto/rng.{h,cpp}
+  bool in_ec = false;                           // under src/ec
+};
+
+struct Finding {
+  std::string path;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Parse `zl-lint: allow(a, b)` directives out of a comment's text.
+void record_allows(FileUnit& unit, const std::string& comment, int line) {
+  const std::string tag = "zl-lint:";
+  std::size_t pos = comment.find(tag);
+  while (pos != std::string::npos) {
+    std::size_t open = comment.find('(', pos);
+    const std::size_t allow_kw = comment.find("allow", pos);
+    if (open == std::string::npos || allow_kw == std::string::npos || allow_kw > open) break;
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::string rules = comment.substr(open + 1, close - open - 1);
+    std::string cur;
+    std::istringstream ss(rules);
+    while (std::getline(ss, cur, ',')) {
+      cur.erase(std::remove_if(cur.begin(), cur.end(),
+                               [](char c) { return std::isspace(static_cast<unsigned char>(c)); }),
+                cur.end());
+      if (!cur.empty()) unit.allows[line].insert(cur);
+    }
+    pos = comment.find(tag, close);
+  }
+}
+
+// The multi-character punctuators the rules care about distinguishing
+// (mainly `::` vs `:` for range-for detection and `>>` for template depth).
+const char* kMultiPunct[] = {"->*", "<<=", ">>=", "...", "::", "->", "==", "!=", "<=",
+                             ">=",  "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=",
+                             "%=",  "&=", "|=", "^=", "++", "--"};
+
+void tokenize(FileUnit& unit, const std::string& src) {
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace so far on this line
+
+  auto newline = [&] {
+    ++line;
+    at_line_start = true;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      record_allows(unit, src.substr(i, end - i), line);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t end = src.find("*/", i + 2);
+      const std::size_t stop = (end == std::string::npos) ? n : end + 2;
+      const std::string body = src.substr(i, stop - i);
+      record_allows(unit, body, line);
+      for (std::size_t j = i; j < stop; ++j) {
+        if (src[j] == '\n') ++line;
+      }
+      i = stop;
+      continue;
+    }
+    // Preprocessor directive: record #include, swallow the rest.
+    if (c == '#' && at_line_start) {
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      std::size_t kw_end = j;
+      while (kw_end < n && ident_char(src[kw_end])) ++kw_end;
+      const std::string kw = src.substr(j, kw_end - j);
+      // Find the directive's end (honoring backslash continuations).
+      std::size_t end = i;
+      for (;;) {
+        std::size_t nl = src.find('\n', end);
+        if (nl == std::string::npos) {
+          end = n;
+          break;
+        }
+        std::size_t back = nl;
+        while (back > end && (src[back - 1] == ' ' || src[back - 1] == '\t')) --back;
+        if (back > end && src[back - 1] == '\\') {
+          end = nl + 1;
+          ++line;
+          continue;
+        }
+        end = nl;
+        break;
+      }
+      if (kw == "include") {
+        std::size_t open = src.find_first_of("<\"", kw_end);
+        if (open != std::string::npos && open < end) {
+          const char close_ch = (src[open] == '<') ? '>' : '"';
+          const std::size_t close = src.find(close_ch, open + 1);
+          if (close != std::string::npos && close < end) {
+            unit.includes.push_back({src.substr(open + 1, close - open - 1), line});
+          }
+        }
+      }
+      i = end;
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal (skip; contents are not code).
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      const std::size_t paren = src.find('(', i + 2);
+      if (paren != std::string::npos) {
+        const std::string delim = ")" + src.substr(i + 2, paren - i - 2) + "\"";
+        const std::size_t end = src.find(delim, paren + 1);
+        const std::size_t stop = (end == std::string::npos) ? n : end + delim.size();
+        for (std::size_t j = i; j < stop; ++j) {
+          if (src[j] == '\n') ++line;
+        }
+        unit.toks.push_back({TokKind::String, "", line});
+        i = stop;
+        continue;
+      }
+    }
+    // String literal.
+    if (c == '"') {
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) {
+          text.push_back(src[j + 1]);
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;
+        text.push_back(src[j]);
+        ++j;
+      }
+      unit.toks.push_back({TokKind::String, text, line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\' && j + 1 < n) {
+          j += 2;
+          continue;
+        }
+        ++j;
+      }
+      unit.toks.push_back({TokKind::CharLit, src.substr(i, j + 1 - i), line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      unit.toks.push_back({TokKind::Identifier, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Number (including hex and digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(src[j]) || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') && (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      unit.toks.push_back({TokKind::Number, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    std::string punct(1, c);
+    for (const char* mp : kMultiPunct) {
+      const std::size_t len = std::strlen(mp);
+      if (src.compare(i, len, mp) == 0) {
+        punct = mp;
+        break;
+      }
+    }
+    unit.toks.push_back({TokKind::Punct, punct, line});
+    i += punct.size();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token-walk helpers
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Index of the `)` matching toks[open] == "(", or kNpos.
+std::size_t match_paren(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Punct) continue;
+    if (t[i].text == "(") ++depth;
+    if (t[i].text == ")" && --depth == 0) return i;
+  }
+  return kNpos;
+}
+
+/// Index of the `}` matching toks[open] == "{", or kNpos.
+std::size_t match_brace(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Punct) continue;
+    if (t[i].text == "{") ++depth;
+    if (t[i].text == "}" && --depth == 0) return i;
+  }
+  return kNpos;
+}
+
+/// Index just past the `>` closing the template argument list whose `<` is at
+/// toks[open]; treats `<<`/`>>` as two brackets. Returns kNpos on failure.
+std::size_t match_angle(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Punct) continue;
+    if (t[i].text == "<") ++depth;
+    if (t[i].text == "<<") depth += 2;
+    if (t[i].text == ">") {
+      if (--depth == 0) return i;
+    }
+    if (t[i].text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i;
+    }
+    if (t[i].text == ";") return kNpos;  // statement boundary: not a template
+  }
+  return kNpos;
+}
+
+// ---------------------------------------------------------------------------
+// Rule definitions
+
+struct Rule {
+  const char* name;
+  const char* summary;
+};
+
+const Rule kRules[] = {
+    {"insecure-rng",
+     "all randomness must come from zl::Rng (src/crypto/rng.cpp); std engines, rand(), "
+     "<random>, and direct /dev/urandom reads are banned elsewhere"},
+    {"secret-memcmp",
+     "no memcmp/operator== on secret-tagged types; compare digests/MACs/keys with zl::ct_equal"},
+    {"secret-zeroize",
+     "types on the secret allowlist must wipe their key material in the destructor "
+     "(secure_zero/zeroize)"},
+    {"nondet-iteration",
+     "no iteration over std::unordered_{map,set} in src/chain — consensus-visible order must "
+     "be deterministic"},
+    {"naked-new", "no raw new/delete; use std::make_unique / containers (RAII only)"},
+    {"textbook-pairing",
+     "pairing()/pairing_product() outside src/ec must use the prepared (G2Prepared/pvk) fast "
+     "path or carry an explicit allow"},
+};
+
+/// Types whose instances hold long-term secrets. secret-zeroize requires a
+/// wiping destructor; secret-memcmp bans operator== over them.
+const std::set<std::string> kSecretTypes = {
+    "EcdsaKeyPair", "RsaKeyPair", "UserKey", "TaskEncKeyPair", "Rng",
+};
+
+const std::set<std::string> kBannedRngTypes = {
+    "mt19937",       "mt19937_64",    "minstd_rand",    "minstd_rand0",
+    "default_random_engine",          "random_device",  "knuth_b",
+    "ranlux24",      "ranlux48",      "ranlux24_base",  "ranlux48_base",
+    "linear_congruential_engine",     "mersenne_twister_engine",
+    "subtract_with_carry_engine",     "uniform_int_distribution",
+    "uniform_real_distribution",
+};
+
+const std::set<std::string> kBannedRngCalls = {
+    "rand", "srand", "drand48", "lrand48", "mrand48", "rand_r", "random_r", "srandom",
+};
+
+class Linter {
+ public:
+  void add_unit(FileUnit unit) { units_.push_back(std::move(unit)); }
+
+  std::vector<Finding> run() {
+    for (const auto& u : units_) {
+      collect_type_definitions(u);
+      collect_zeroizing_dtors(u);
+      if (u.in_chain) collect_unordered_names(u);
+    }
+    for (const auto& u : units_) {
+      rule_insecure_rng(u);
+      rule_secret_memcmp(u);
+      if (u.in_chain) rule_nondet_iteration(u);
+      rule_naked_new(u);
+      if (!u.in_ec) rule_textbook_pairing(u);
+    }
+    rule_secret_zeroize();
+    std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
+      if (a.path != b.path) return a.path < b.path;
+      if (a.line != b.line) return a.line < b.line;
+      return a.rule < b.rule;
+    });
+    return findings_;
+  }
+
+ private:
+  void report(const FileUnit& u, int line, const std::string& rule, std::string msg) {
+    for (const int l : {line, line - 1}) {
+      const auto it = u.allows.find(l);
+      if (it != u.allows.end() && (it->second.count(rule) || it->second.count("all"))) return;
+    }
+    findings_.push_back({u.path, line, rule, std::move(msg)});
+  }
+
+  // --- cross-file info ----------------------------------------------------
+
+  void collect_type_definitions(const FileUnit& u) {
+    const auto& t = u.toks;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier || (t[i].text != "struct" && t[i].text != "class")) {
+        continue;
+      }
+      if (i > 0 && t[i - 1].kind == TokKind::Identifier && t[i - 1].text == "friend") continue;
+      if (t[i + 1].kind != TokKind::Identifier || !kSecretTypes.count(t[i + 1].text)) continue;
+      // A definition is followed by `{`, `final`, or a base-clause `:`.
+      const Token& nxt = t[i + 2];
+      const bool is_def = (nxt.kind == TokKind::Punct && (nxt.text == "{" || nxt.text == ":")) ||
+                          (nxt.kind == TokKind::Identifier && nxt.text == "final");
+      if (is_def && !type_def_site_.count(t[i + 1].text)) {
+        type_def_site_[t[i + 1].text] = {u.path, t[i + 1].line};
+      }
+    }
+  }
+
+  void collect_zeroizing_dtors(const FileUnit& u) {
+    const auto& t = u.toks;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Punct || t[i].text != "~") continue;
+      if (t[i + 1].kind != TokKind::Identifier || !kSecretTypes.count(t[i + 1].text)) continue;
+      // Find the destructor body `{ ... }` within the next few tokens
+      // (`~T() { ... }`, `~T() noexcept { ... }`); a bare declaration
+      // (`~T();`) is resolved by the out-of-line definition elsewhere.
+      for (std::size_t j = i + 2; j < std::min(t.size(), i + 10); ++j) {
+        if (t[j].kind == TokKind::Punct && t[j].text == ";") break;
+        if (t[j].kind != TokKind::Punct || t[j].text != "{") continue;
+        const std::size_t close = match_brace(t, j);
+        if (close == kNpos) break;
+        for (std::size_t k = j + 1; k < close; ++k) {
+          if (t[k].kind == TokKind::Identifier &&
+              (t[k].text.find("secure_zero") != std::string::npos ||
+               t[k].text.find("zeroize") != std::string::npos)) {
+            zeroizing_dtor_.insert(t[i + 1].text);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  void collect_unordered_names(const FileUnit& u) {
+    const auto& t = u.toks;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier ||
+          (t[i].text != "unordered_map" && t[i].text != "unordered_set")) {
+        continue;
+      }
+      if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "<") continue;
+      std::size_t close = match_angle(t, i + 1);
+      if (close == kNpos) continue;
+      // Skip declarator decorations to the declared name.
+      std::size_t j = close + 1;
+      while (j < t.size() && t[j].kind == TokKind::Punct &&
+             (t[j].text == "&" || t[j].text == "*")) {
+        ++j;
+      }
+      if (j < t.size() && t[j].kind == TokKind::Identifier && t[j].text != "const") {
+        unordered_names_.insert(t[j].text);
+      }
+    }
+  }
+
+  // --- rules --------------------------------------------------------------
+
+  void rule_insecure_rng(const FileUnit& u) {
+    static const std::string rule = "insecure-rng";
+    if (u.is_rng) return;
+    for (const auto& inc : u.includes) {
+      if (inc.header == "random") {
+        report(u, inc.line, rule,
+               "#include <random>: std engines are banned; draw from zl::Rng instead");
+      }
+    }
+    const auto& t = u.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind == TokKind::String && t[i].text.find("urandom") != std::string::npos) {
+        report(u, t[i].line, rule,
+               "direct OS-entropy access: seed through zl::Rng::from_os_entropy() "
+               "(src/crypto/rng.cpp) instead");
+        continue;
+      }
+      if (t[i].kind != TokKind::Identifier) continue;
+      if (kBannedRngTypes.count(t[i].text)) {
+        report(u, t[i].line, rule,
+               "std randomness engine `" + t[i].text + "`: use zl::Rng (the audited DRBG)");
+        continue;
+      }
+      if (kBannedRngCalls.count(t[i].text) && i + 1 < t.size() &&
+          t[i + 1].kind == TokKind::Punct && t[i + 1].text == "(") {
+        // Skip member accesses (`x.rand(...)`) — only free/std calls count.
+        if (i > 0 && t[i - 1].kind == TokKind::Punct &&
+            (t[i - 1].text == "." || t[i - 1].text == "->")) {
+          continue;
+        }
+        report(u, t[i].line, rule,
+               "libc randomness `" + t[i].text + "()`: use zl::Rng (the audited DRBG)");
+      }
+    }
+  }
+
+  void rule_secret_memcmp(const FileUnit& u) {
+    static const std::string rule = "secret-memcmp";
+    const auto& t = u.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier) continue;
+      if (t[i].text == "memcmp" || t[i].text == "bcmp") {
+        report(u, t[i].line, rule,
+               t[i].text + " leaks the first differing byte through timing; use zl::ct_equal");
+        continue;
+      }
+      // operator==(... SecretType ...) definitions/declarations.
+      if (t[i].text == "operator" && i + 2 < t.size() && t[i + 1].kind == TokKind::Punct &&
+          t[i + 1].text == "==" && t[i + 2].kind == TokKind::Punct && t[i + 2].text == "(") {
+        const std::size_t close = match_paren(t, i + 2);
+        if (close == kNpos) continue;
+        for (std::size_t j = i + 3; j < close; ++j) {
+          if (t[j].kind == TokKind::Identifier && kSecretTypes.count(t[j].text)) {
+            report(u, t[i].line, rule,
+                   "operator== over secret type `" + t[j].text +
+                       "` compares key material byte-by-byte; use zl::ct_equal on "
+                       "canonical encodings");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void rule_nondet_iteration(const FileUnit& u) {
+    static const std::string rule = "nondet-iteration";
+    const auto& t = u.toks;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      // Range-for whose range expression mentions an unordered container.
+      if (t[i].kind == TokKind::Identifier && t[i].text == "for" &&
+          t[i + 1].kind == TokKind::Punct && t[i + 1].text == "(") {
+        const std::size_t close = match_paren(t, i + 1);
+        if (close == kNpos) continue;
+        std::size_t colon = kNpos;
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (t[j].kind == TokKind::Punct && t[j].text == ":") {
+            colon = j;
+            break;
+          }
+          if (t[j].kind == TokKind::Punct && t[j].text == ";") break;  // classic for
+        }
+        if (colon == kNpos) continue;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (t[j].kind == TokKind::Identifier && unordered_names_.count(t[j].text)) {
+            report(u, t[i].line, rule,
+                   "range-for over unordered container `" + t[j].text +
+                       "`: hash order is nondeterministic and would fork consensus; iterate "
+                       "a sorted view or use std::map");
+            break;
+          }
+        }
+        continue;
+      }
+      // Explicit iterator walk: name.begin() / name.cbegin().
+      if (t[i].kind == TokKind::Identifier && unordered_names_.count(t[i].text) &&
+          i + 3 < t.size() && t[i + 1].kind == TokKind::Punct && t[i + 1].text == "." &&
+          t[i + 2].kind == TokKind::Identifier &&
+          (t[i + 2].text == "begin" || t[i + 2].text == "cbegin") &&
+          t[i + 3].kind == TokKind::Punct && t[i + 3].text == "(") {
+        report(u, t[i].line, rule,
+               "iterator over unordered container `" + t[i].text +
+                   "`: hash order is nondeterministic and would fork consensus");
+      }
+    }
+  }
+
+  void rule_naked_new(const FileUnit& u) {
+    static const std::string rule = "naked-new";
+    const auto& t = u.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier) continue;
+      const auto prev_is = [&](const char* s) {
+        return i > 0 && t[i - 1].text == s;
+      };
+      if (t[i].text == "new") {
+        if (prev_is("operator")) continue;  // operator new overload
+        report(u, t[i].line, rule,
+               "raw `new`: ownership must be RAII-managed (std::make_unique, containers)");
+      } else if (t[i].text == "delete") {
+        if (prev_is("operator") || prev_is("=")) continue;  // =delete / operator delete
+        report(u, t[i].line, rule, "raw `delete`: ownership must be RAII-managed");
+      }
+    }
+  }
+
+  void rule_textbook_pairing(const FileUnit& u) {
+    static const std::string rule = "textbook-pairing";
+    const auto& t = u.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier) continue;
+      if (t[i].text == "pairing_textbook" || t[i].text == "pairing_product_textbook") {
+        report(u, t[i].line, rule,
+               "`" + t[i].text +
+                   "` is the benchmark baseline only; production paths use the prepared "
+                   "engine");
+        continue;
+      }
+      if ((t[i].text != "pairing" && t[i].text != "pairing_product") ||
+          i + 1 >= t.size() || t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") {
+        continue;
+      }
+      const std::size_t close = match_paren(t, i + 1);
+      if (close == kNpos || close == i + 2) continue;  // declaration with no args? flag anyway below
+      bool prepared = false;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (t[j].kind != TokKind::Identifier) continue;
+        const std::string& a = t[j].text;
+        if (a.find("repared") != std::string::npos || a.find("pvk") != std::string::npos) {
+          prepared = true;
+          break;
+        }
+      }
+      if (!prepared) {
+        report(u, t[i].line, rule,
+               "textbook `" + t[i].text +
+                   "(` call: pass a G2Prepared/pvk operand (amortizes the Miller schedule) "
+                   "or annotate why the one-shot path is acceptable");
+      }
+    }
+  }
+
+  void rule_secret_zeroize() {
+    static const std::string rule = "secret-zeroize";
+    for (const auto& [type, site] : type_def_site_) {
+      if (zeroizing_dtor_.count(type)) continue;
+      // Reported at the type's definition; allow-directives there apply.
+      for (const auto& u : units_) {
+        if (u.path != site.first) continue;
+        report(u, site.second, rule,
+               "secret type `" + type +
+                   "` has no destructor wiping its key material (call secure_zero/zeroize)");
+        break;
+      }
+    }
+  }
+
+  std::vector<FileUnit> units_;
+  std::vector<Finding> findings_;
+  std::map<std::string, std::pair<std::string, int>> type_def_site_;
+  std::set<std::string> zeroizing_dtor_;
+  std::set<std::string> unordered_names_;
+};
+
+// ---------------------------------------------------------------------------
+// Driver
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool interesting_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" || ext == ".cxx";
+}
+
+int usage() {
+  std::cerr << "usage: zl_lint <path>... [--json <report>] [--list-rules]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : kRules) std::cout << r.name << "\n    " << r.summary << "\n";
+      return 0;
+    }
+    if (arg == "--json") {
+      if (i + 1 >= argc) return usage();
+      json_path = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') return usage();
+    roots.push_back(arg);
+  }
+  if (roots.empty()) return usage();
+
+  Linter linter;
+  std::size_t scanned = 0;
+  for (const auto& root : roots) {
+    std::vector<fs::path> files;
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
+        if (entry.is_regular_file() && interesting_extension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "zl-lint: cannot open " << root << "\n";
+      return 2;
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files) {
+      std::ifstream in(f, std::ios::binary);
+      if (!in) {
+        std::cerr << "zl-lint: cannot read " << f << "\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      FileUnit unit;
+      unit.path = f.generic_string();
+      unit.in_chain = unit.path.find("/chain/") != std::string::npos;
+      unit.in_ec = unit.path.find("/ec/") != std::string::npos;
+      unit.is_rng = unit.path.size() >= 10 &&
+                    (unit.path.find("crypto/rng.cpp") != std::string::npos ||
+                     unit.path.find("crypto/rng.h") != std::string::npos);
+      tokenize(unit, ss.str());
+      linter.add_unit(std::move(unit));
+      ++scanned;
+    }
+  }
+
+  const std::vector<Finding> findings = linter.run();
+
+  for (const auto& f : findings) {
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  std::cout << "zl-lint: scanned " << scanned << " file(s), " << findings.size()
+            << " finding(s)\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "zl-lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << "{\n  \"tool\": \"zl-lint\",\n  \"files_scanned\": " << scanned
+        << ",\n  \"findings\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const auto& f = findings[i];
+      out << "    {\"file\": \"" << json_escape(f.path) << "\", \"line\": " << f.line
+          << ", \"rule\": \"" << json_escape(f.rule) << "\", \"message\": \""
+          << json_escape(f.message) << "\"}" << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+  return findings.empty() ? 0 : 1;
+}
