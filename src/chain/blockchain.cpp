@@ -4,6 +4,59 @@
 
 namespace zl::chain {
 
+namespace {
+
+// A checkpoint payload is everything needed to stand the node's canonical
+// view back up at a block: the world state plus every receipt accumulated on
+// the branch so far (receipts answer find_receipt / confirmation_block for
+// pre-checkpoint transactions, which mempool hygiene depends on).
+//
+//   frame(ChainState::snapshot_bytes)
+//   u32 n_receipts | n x (frame(tx hash) | u64 block_no | frame(receipt))
+//
+// Receipts are emitted in std::map order (hex tx hash), so the encoding is
+// deterministic and usable as a state fingerprint in tests.
+
+using ReceiptMap = std::map<std::string, std::pair<Receipt, std::uint64_t>>;
+
+std::optional<Bytes> encode_checkpoint(const ChainState& state, const ReceiptMap& receipts) {
+  std::optional<Bytes> state_bytes = state.snapshot_bytes();
+  if (!state_bytes.has_value()) return std::nullopt;  // some contract opted out
+  Bytes out;
+  append_frame(out, *state_bytes);
+  append_u32_be(out, static_cast<std::uint32_t>(receipts.size()));
+  for (const auto& [tx_hex, entry] : receipts) {
+    append_frame(out, from_hex(tx_hex));
+    append_u64_be(out, entry.second);
+    append_frame(out, entry.first.to_bytes());
+  }
+  return out;
+}
+
+void decode_checkpoint(const Bytes& payload, ChainState& state, ReceiptMap& receipts) {
+  std::size_t offset = 0;
+  const Bytes state_bytes = read_frame(payload, offset);
+  state = ChainState::from_snapshot(state_bytes);
+  receipts.clear();
+  const std::uint32_t n = read_u32_be(payload, offset);
+  offset += 4;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Bytes tx_hash = read_frame(payload, offset);
+    const std::uint64_t block_no = read_u64_be(payload, offset);
+    offset += 8;
+    const Receipt receipt = Receipt::from_bytes(read_frame(payload, offset));
+    receipts[to_hex(tx_hash)] = {receipt, block_no};
+  }
+  if (offset != payload.size()) throw std::invalid_argument("checkpoint: trailing bytes");
+}
+
+// In-memory restore points kept per process; old ones are evicted lowest
+// height first (a reorg deeper than the oldest retained checkpoint falls
+// back to genesis replay, which stays correct).
+constexpr std::size_t kMaxCheckpoints = 16;
+
+}  // namespace
+
 Block GenesisConfig::build() const {
   Block genesis;
   genesis.header.parent_hash = Bytes(32, 0x00);
@@ -13,16 +66,72 @@ Block GenesisConfig::build() const {
   return genesis;
 }
 
-Blockchain::Blockchain(const GenesisConfig& genesis) : genesis_(genesis) {
+Blockchain::Blockchain(const GenesisConfig& genesis, const store::OpenOptions& storage)
+    : genesis_(genesis), storage_(storage) {
   const Block g = genesis.build();
   head_hash_ = g.hash();
   blocks_[key(head_hash_)] = Entry{g, 0, false};
   for (const auto& [addr, amount] : genesis_.allocations) state_.credit(addr, amount);
+  if (storage_.durable()) open_durable();
+}
+
+void Blockchain::open_durable() {
+  store::Vfs& vfs = *storage_.vfs;
+  vfs.make_dirs(storage_.path);
+
+  store::Wal::Options wal_options;
+  wal_options.max_segment_bytes = storage_.max_segment_bytes;
+
+  // Phase 1: recover the journal; collect the raw block records it replays.
+  std::vector<Bytes> journaled;
+  journal_ = std::make_unique<store::BlockJournal>(
+      vfs, storage_.path + "/journal", wal_options,
+      [&journaled](const Bytes& block_bytes) { journaled.push_back(block_bytes); });
+  snapshots_ = std::make_unique<store::SnapshotStore>(vfs, storage_.path + "/snapshots");
+
+  // Phase 2: rebuild the block tree structurally (no transaction replay
+  // yet). Journal order guarantees parents precede children; a record that
+  // no longer links up (e.g. its parent fell to tail truncation) is skipped,
+  // matching how a live node treats an orphan.
+  for (const Bytes& raw : journaled) {
+    Block block;
+    try {
+      block = block_from_bytes(raw);
+    } catch (const std::exception&) {
+      continue;  // unreadable record: treat like a block we never received
+    }
+    insert_block(block, nullptr);
+  }
+
+  // Phase 3: seed state from the newest intact snapshot, if it names a block
+  // we actually have. Anything it doesn't cover is replayed by fork choice.
+  if (const std::optional<store::Snapshot> snap = snapshots_->load_newest()) {
+    const auto it = blocks_.find(key(snap->head_hash));
+    if (it != blocks_.end() && !it->second.invalid &&
+        it->second.block.header.number == snap->height) {
+      try {
+        ChainState restored;
+        ReceiptMap restored_receipts;
+        decode_checkpoint(snap->payload, restored, restored_receipts);
+        state_ = std::move(restored);
+        receipts_ = std::move(restored_receipts);
+        head_hash_ = snap->head_hash;
+        checkpoints_[key(snap->head_hash)] = Checkpoint{snap->height, snap->payload};
+      } catch (const std::exception&) {
+        // Undecodable payload (e.g. contract type from a different build):
+        // ignore the snapshot and replay the journal from genesis.
+      }
+    }
+  }
+
+  // Phase 4: fork choice replays from the nearest checkpoint (the snapshot
+  // we just restored, or genesis) up to the best journaled tip.
+  choose_best_tip();
 }
 
 const Block& Blockchain::head() const { return blocks_.at(key(head_hash_)).block; }
 
-bool Blockchain::add_block(const Block& block) {
+bool Blockchain::insert_block(const Block& block, Bytes* hash_out) {
   const Bytes hash = block.hash();
   if (blocks_.contains(key(hash))) return false;
   const auto parent_it = blocks_.find(key(block.header.parent_hash));
@@ -35,6 +144,20 @@ bool Blockchain::add_block(const Block& block) {
   entry.block = block;
   entry.total_difficulty = parent_it->second.total_difficulty + block.header.difficulty;
   blocks_[key(hash)] = std::move(entry);
+  if (hash_out != nullptr) *hash_out = hash;
+  return true;
+}
+
+bool Blockchain::add_block(const Block& block) {
+  Bytes hash;
+  if (!insert_block(block, &hash)) return false;
+  if (journal_ != nullptr) {
+    // Journal before fork choice: once add_block returns true the block is
+    // on disk (and fsync-acknowledged when sync_every_block), so a crash
+    // can never forget an acknowledged block.
+    journal_->append_block(hash, block_to_bytes(block));
+    if (storage_.sync_every_block) journal_->sync();
+  }
   choose_best_tip();
   return true;
 }
@@ -72,6 +195,7 @@ void Blockchain::choose_best_tip() {
       }
       if (ok) {
         head_hash_ = best_hash;
+        maybe_checkpoint();
         return;
       }
       // Partial application dirtied the state: blacklist and rebuild the
@@ -80,26 +204,39 @@ void Blockchain::choose_best_tip() {
       adopt_branch(head_hash_);
       continue;
     }
-    if (adopt_branch(best_hash)) return;
+    if (adopt_branch(best_hash)) {
+      maybe_checkpoint();
+      return;
+    }
     // adopt_branch blacklisted a block; retry with the next-best tip.
   }
 }
 
 bool Blockchain::adopt_branch(const Bytes& tip_hash) {
-  // Collect the branch from tip back to genesis.
+  // Walk the branch back from the tip until we hit a cached checkpoint (or
+  // genesis); only the gap gets replayed.
   std::vector<const Block*> branch;
   Bytes cursor = tip_hash;
+  const Bytes* base_payload = nullptr;
   while (true) {
+    if (const auto cp = checkpoints_.find(key(cursor)); cp != checkpoints_.end()) {
+      base_payload = &cp->second.payload;
+      break;
+    }
     const Entry& entry = blocks_.at(key(cursor));
     branch.push_back(&entry.block);
     if (entry.block.header.number == 0) break;
     cursor = entry.block.header.parent_hash;
   }
 
-  // Replay from genesis.
   ChainState fresh;
-  for (const auto& [addr, amount] : genesis_.allocations) fresh.credit(addr, amount);
-  std::map<Key, std::pair<Receipt, std::uint64_t>> fresh_receipts;
+  ReceiptMap fresh_receipts;
+  if (base_payload != nullptr) {
+    decode_checkpoint(*base_payload, fresh, fresh_receipts);
+  } else {
+    for (const auto& [addr, amount] : genesis_.allocations) fresh.credit(addr, amount);
+  }
+  const std::uint64_t interval = storage_.snapshot_interval;
   for (auto it = branch.rbegin(); it != branch.rend(); ++it) {
     const Block& block = **it;
     if (block.header.number == 0) continue;
@@ -112,12 +249,45 @@ bool Blockchain::adopt_branch(const Bytes& tip_hash) {
         return false;
       }
     }
+    // Leave restore points along the replayed stretch, so the next reorg
+    // onto this branch starts even closer to the fork point.
+    if (interval != 0 && block.header.number % interval == 0) {
+      if (const std::optional<Bytes> payload = encode_checkpoint(fresh, fresh_receipts)) {
+        record_checkpoint(block.hash(), block.header.number, *payload, /*persist=*/false);
+      }
+    }
   }
 
   state_ = std::move(fresh);
   receipts_ = std::move(fresh_receipts);
   head_hash_ = tip_hash;
   return true;
+}
+
+void Blockchain::maybe_checkpoint() {
+  const std::uint64_t interval = storage_.snapshot_interval;
+  if (interval == 0) return;
+  const std::uint64_t h = height();
+  if (h == 0 || h % interval != 0) return;
+  if (checkpoints_.contains(key(head_hash_))) return;
+  if (const std::optional<Bytes> payload = encode_checkpoint(state_, receipts_)) {
+    record_checkpoint(head_hash_, h, *payload, /*persist=*/true);
+  }
+}
+
+void Blockchain::record_checkpoint(const Bytes& block_hash, std::uint64_t number,
+                                   const Bytes& payload, bool persist) {
+  checkpoints_[key(block_hash)] = Checkpoint{number, payload};
+  while (checkpoints_.size() > kMaxCheckpoints) {
+    auto lowest = checkpoints_.begin();
+    for (auto it = checkpoints_.begin(); it != checkpoints_.end(); ++it) {
+      if (it->second.height < lowest->second.height) lowest = it;
+    }
+    checkpoints_.erase(lowest);
+  }
+  if (persist && snapshots_ != nullptr) {
+    snapshots_->save(store::Snapshot{number, block_hash, payload});
+  }
 }
 
 std::optional<Receipt> Blockchain::find_receipt(const Bytes& tx_hash) const {

@@ -1,15 +1,30 @@
 #pragma once
-// Block store with longest-(heaviest-)chain fork choice and full-replay
-// state derivation: the world state is always the result of replaying the
-// canonical branch from genesis, so every node that sees the same blocks
-// computes the same state — the "correct computation" property of the ideal
-// public ledger model (§III).
+// Block store with longest-(heaviest-)chain fork choice and state derivation
+// by replay: the world state is always the result of replaying the canonical
+// branch, so every node that sees the same blocks computes the same state —
+// the "correct computation" property of the ideal public ledger model (§III).
+//
+// Two additions over the naive replay-from-genesis design:
+//
+//  * Checkpoints. Every `snapshot_interval` canonical blocks the chain
+//    serializes (state, receipts) and caches it keyed by block hash. Fork
+//    switches restore from the nearest checkpoint on the new branch's
+//    ancestry and replay only the gap, instead of replaying from genesis.
+//
+//  * Durability. With OpenOptions.durable(), every accepted block is
+//    appended to a crash-consistent on-disk journal (fsync'd before
+//    add_block acknowledges it), checkpoints are additionally published as
+//    CRC-guarded snapshot files, and the constructor recovers the whole
+//    block tree + state from disk, replaying only what the newest intact
+//    snapshot doesn't cover.
 
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "chain/block.h"
 #include "chain/state.h"
+#include "store/store.h"
 
 namespace zl::chain {
 
@@ -22,11 +37,15 @@ struct GenesisConfig {
 
 class Blockchain {
  public:
-  explicit Blockchain(const GenesisConfig& genesis);
+  /// Default storage = in-memory (no vfs): the historical behaviour.
+  explicit Blockchain(const GenesisConfig& genesis, const store::OpenOptions& storage = {});
 
   /// Add a block. Returns true iff the block is new, well-formed and its
-  /// parent is known. Fork choice runs automatically; an invalid body
-  /// (non-applying transaction) blacklists the block.
+  /// parent is known. In durable mode the block is journaled (and fsync'd,
+  /// unless sync_every_block is off) before fork choice runs — a true
+  /// return is a durability acknowledgement. Fork choice runs
+  /// automatically; an invalid body (non-applying transaction) blacklists
+  /// the block.
   bool add_block(const Block& block);
 
   bool knows(const Bytes& block_hash) const { return blocks_.contains(key(block_hash)); }
@@ -55,6 +74,16 @@ class Blockchain {
   const GenesisConfig& genesis_config() const { return genesis_; }
   std::uint64_t difficulty() const { return genesis_.difficulty; }
 
+  bool durable() const { return journal_ != nullptr; }
+  const store::OpenOptions& storage_options() const { return storage_; }
+  /// Durable-mode internals, exposed for tests and tooling (nullptr when
+  /// in-memory).
+  const store::BlockJournal* journal() const { return journal_.get(); }
+  const store::SnapshotStore* snapshots() const { return snapshots_.get(); }
+
+  /// Number of cached in-memory checkpoints (reorg restore points).
+  std::size_t checkpoint_count() const { return checkpoints_.size(); }
+
  private:
   using Key = std::string;  // hex hash as map key
   static Key key(const Bytes& hash) { return to_hex(hash); }
@@ -65,16 +94,41 @@ class Blockchain {
     bool invalid = false;
   };
 
-  /// Re-derive state_ by replaying the branch ending at `tip_hash`.
-  /// Returns false (and blacklists the offending block) on invalid bodies.
+  struct Checkpoint {
+    std::uint64_t height = 0;
+    Bytes payload;  // encode_checkpoint() output
+  };
+
+  using ReceiptMap = std::map<Key, std::pair<Receipt, std::uint64_t>>;
+
+  /// Structural acceptance only: no journaling, no fork choice.
+  bool insert_block(const Block& block, Bytes* hash_out);
+
+  /// Re-derive state_ by replaying the branch ending at `tip_hash`,
+  /// starting from the nearest cached checkpoint on its ancestry (genesis
+  /// allocations if none). Returns false (and blacklists the offending
+  /// block) on invalid bodies.
   bool adopt_branch(const Bytes& tip_hash);
   void choose_best_tip();
 
+  /// Cache (and in durable mode persist) a checkpoint for the canonical
+  /// head if its height is a multiple of snapshot_interval.
+  void maybe_checkpoint();
+  void record_checkpoint(const Bytes& block_hash, std::uint64_t number, const Bytes& payload,
+                         bool persist);
+
+  /// Recover blocks_/state_/head from disk (durable mode constructor path).
+  void open_durable();
+
   GenesisConfig genesis_;
+  store::OpenOptions storage_;
   std::map<Key, Entry> blocks_;
   Bytes head_hash_;
   ChainState state_;
-  std::map<Key, std::pair<Receipt, std::uint64_t>> receipts_;  // tx hash -> (receipt, block no)
+  ReceiptMap receipts_;  // tx hash -> (receipt, block no)
+  std::map<Key, Checkpoint> checkpoints_;
+  std::unique_ptr<store::BlockJournal> journal_;
+  std::unique_ptr<store::SnapshotStore> snapshots_;
 };
 
 /// Consensus encoding of full blocks (for gossip).

@@ -11,6 +11,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -72,6 +74,18 @@ class Contract {
 
   virtual void on_deploy(CallContext& ctx, const Bytes& ctor_args) = 0;
   virtual void invoke(CallContext& ctx, const std::string& method, const Bytes& args) = 0;
+
+  /// Durable-state hooks. snapshot_state() returns a canonical, deterministic
+  /// encoding of ALL fields that invoke()/on_deploy() can mutate;
+  /// restore_state() rebuilds a freshly factory-created instance from those
+  /// bytes WITHOUT re-running any validation (the chain already validated the
+  /// history that produced them). Types that do not implement the pair
+  /// (returning nullopt) simply opt the whole state out of snapshotting —
+  /// the node then falls back to full journal replay, which stays correct.
+  virtual std::optional<Bytes> snapshot_state() const { return std::nullopt; }
+  virtual void restore_state(const Bytes& /*state*/) {
+    throw std::invalid_argument("contract type does not support snapshot restore");
+  }
 };
 
 class ContractRevert : public std::runtime_error {

@@ -2,22 +2,81 @@
 
 namespace zl::chain {
 
+OffChainStore::OffChainStore(store::Vfs& vfs, std::string dir)
+    : vfs_(&vfs), dir_(std::move(dir)) {
+  vfs_->make_dirs(dir_);
+  // Index what's already on disk. File names are hex digests; anything that
+  // doesn't parse (stray tmp file from a crash mid-publish) is ignored —
+  // get() re-verifies content anyway, so a bogus index entry could only
+  // ever degrade to "not found".
+  for (const std::string& name : vfs_->list(dir_)) {
+    Digest digest;
+    try {
+      digest = to_digest(from_hex(name));
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    const auto file = vfs_->open(dir_ + "/" + name, /*create=*/false);
+    const std::size_t bytes = file->size();
+    if (index_.emplace(digest, bytes).second) total_bytes_ += bytes;
+  }
+}
+
+OffChainStore::Digest OffChainStore::to_digest(const Bytes& digest) {
+  if (digest.size() != std::tuple_size_v<Digest>) {
+    throw std::invalid_argument("OffChainStore: digest must be 32 bytes");
+  }
+  Digest key;
+  std::copy(digest.begin(), digest.end(), key.begin());
+  return key;
+}
+
+std::string OffChainStore::blob_path(const Digest& digest) const {
+  return dir_ + "/" + to_hex(digest.data(), digest.size());
+}
+
 Bytes OffChainStore::put(const Bytes& content) {
   const Bytes digest = Sha256::hash(content);
-  const auto [it, inserted] = blobs_.emplace(to_hex(digest), content);
-  if (inserted) total_bytes_ += content.size();
+  const Digest key = to_digest(digest);
+  if (index_.contains(key)) return digest;  // content-addressed: same bytes
+  if (vfs_ != nullptr) {
+    store::atomic_write_file(*vfs_, blob_path(key), content);
+  } else {
+    blobs_.emplace(key, content);
+  }
+  index_.emplace(key, content.size());
+  total_bytes_ += content.size();
   return digest;
 }
 
 std::optional<Bytes> OffChainStore::get(const Bytes& digest) const {
-  const auto it = blobs_.find(to_hex(digest));
-  if (it == blobs_.end()) return std::nullopt;
-  if (!verify(digest, it->second)) return std::nullopt;  // corrupted replica
-  return it->second;
+  Digest key;
+  try {
+    key = to_digest(digest);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  if (!index_.contains(key)) return std::nullopt;
+  Bytes content;
+  if (vfs_ != nullptr) {
+    try {
+      content = store::read_file(*vfs_, dir_ + "/" + to_hex(digest));
+    } catch (const store::IoError&) {
+      return std::nullopt;  // replica lost
+    }
+  } else {
+    content = blobs_.at(key);
+  }
+  if (!verify(digest, content)) return std::nullopt;  // corrupted replica
+  return content;
 }
 
 bool OffChainStore::contains(const Bytes& digest) const {
-  return blobs_.contains(to_hex(digest));
+  try {
+    return index_.contains(to_digest(digest));
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
 }
 
 bool OffChainStore::verify(const Bytes& digest, const Bytes& content) {

@@ -54,8 +54,14 @@ bool SimNetwork::run_until_height(std::uint64_t height, std::uint64_t deadline_m
 }
 
 Node::Node(SimNetwork& network, const GenesisConfig& genesis)
-    : network_(network), chain_(genesis) {
+    : Node(network, genesis, store::OpenOptions{}) {}
+
+Node::Node(SimNetwork& network, const GenesisConfig& genesis, const store::OpenOptions& storage)
+    : network_(network), chain_(genesis, storage) {
   id_ = network.add_node(this);
+  // A chain recovered from disk already confirms transactions the mempool
+  // logic must treat as seen.
+  if (chain_.durable() && chain_.height() > 0) refresh_mempool();
 }
 
 void Node::submit_transaction(const Transaction& tx) { accept_transaction(tx, true); }

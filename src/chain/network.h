@@ -81,6 +81,9 @@ class SimNetwork {
 class Node {
  public:
   Node(SimNetwork& network, const GenesisConfig& genesis);
+  /// Durable node: chain state lives under `storage.path` on `storage.vfs`
+  /// and is recovered on construction (see store/store.h).
+  Node(SimNetwork& network, const GenesisConfig& genesis, const store::OpenOptions& storage);
   virtual ~Node() = default;
 
   /// Inject a transaction at this node (a client submitting via its peer).

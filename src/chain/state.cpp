@@ -1,6 +1,8 @@
 #include "chain/state.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "crypto/keccak.h"
 
@@ -70,12 +72,12 @@ std::uint64_t ChainState::nonce_of(const Address& addr) const {
 
 const Contract* ChainState::contract_at(const Address& addr) const {
   const auto it = contracts_.find(addr);
-  return it == contracts_.end() ? nullptr : it->second.get();
+  return it == contracts_.end() ? nullptr : it->second.instance.get();
 }
 
 Contract* ChainState::mutable_contract_at(const Address& addr) {
   const auto it = contracts_.find(addr);
-  return it == contracts_.end() ? nullptr : it->second.get();
+  return it == contracts_.end() ? nullptr : it->second.instance.get();
 }
 
 bool ChainState::move_balance(const Address& from, const Address& to, std::uint64_t amount) {
@@ -119,14 +121,14 @@ Receipt ChainState::apply_transaction(const Transaction& tx, std::uint64_t block
       value_moved = tx.value;
       CallContext ctx{contract_addr, tx.from, tx.value, block_number, &gas, this, &receipt.logs};
       contract->on_deploy(ctx, tx.payload);
-      contracts_[contract_addr] = std::move(contract);
+      contracts_[contract_addr] = Deployed{tx.method, std::move(contract)};
       receipt.created_contract = contract_addr;
     } else if (const auto it = contracts_.find(tx.to); it != contracts_.end()) {
       if (!move_balance(tx.from, tx.to, tx.value)) throw ContractRevert("value");
       value_recipient = tx.to;
       value_moved = tx.value;
       CallContext ctx{tx.to, tx.from, tx.value, block_number, &gas, this, &receipt.logs};
-      it->second->invoke(ctx, tx.method, tx.payload);
+      it->second.instance->invoke(ctx, tx.method, tx.payload);
     } else {
       // Plain value transfer.
       if (!move_balance(tx.from, tx.to, tx.value)) throw ContractRevert("value");
@@ -149,6 +151,104 @@ Receipt ChainState::apply_transaction(const Transaction& tx, std::uint64_t block
   accounts_[tx.from].balance += gas.remaining();
   accounts_[miner].balance += receipt.gas_used;
   return receipt;
+}
+
+Bytes Receipt::to_bytes() const {
+  Bytes out;
+  out.push_back(success ? 1 : 0);
+  append_u64_be(out, gas_used);
+  append_frame(out, zl::to_bytes(error));
+  append_frame(out, created_contract.to_bytes());
+  append_u32_be(out, static_cast<std::uint32_t>(logs.size()));
+  for (const std::string& line : logs) append_frame(out, zl::to_bytes(line));
+  return out;
+}
+
+Receipt Receipt::from_bytes(const Bytes& bytes) {
+  if (bytes.empty()) throw std::invalid_argument("Receipt: empty encoding");
+  Receipt r;
+  r.success = bytes[0] != 0;
+  std::size_t offset = 1;
+  r.gas_used = read_u64_be(bytes, offset);
+  offset += 8;
+  const Bytes error = read_frame(bytes, offset);
+  r.error.assign(error.begin(), error.end());
+  r.created_contract = Address::from_bytes(read_frame(bytes, offset));
+  const std::uint32_t n_logs = read_u32_be(bytes, offset);
+  offset += 4;
+  r.logs.reserve(n_logs);
+  for (std::uint32_t i = 0; i < n_logs; ++i) {
+    const Bytes line = read_frame(bytes, offset);
+    r.logs.emplace_back(line.begin(), line.end());
+  }
+  if (offset != bytes.size()) throw std::invalid_argument("Receipt: trailing bytes");
+  return r;
+}
+
+std::optional<Bytes> ChainState::snapshot_bytes() const {
+  // Collect then sort: the encoding must be byte-identical on every node, so
+  // we never emit in hash-map order.
+  std::vector<std::pair<Address, Account>> accounts;
+  accounts.reserve(accounts_.size());
+  for (const auto& [addr, acct] : accounts_) {  // zl-lint: allow(nondet-iteration)
+    accounts.emplace_back(addr, acct);
+  }
+  std::sort(accounts.begin(), accounts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<std::pair<Address, const Deployed*>> contracts;
+  contracts.reserve(contracts_.size());
+  for (const auto& [addr, deployed] : contracts_) {  // zl-lint: allow(nondet-iteration)
+    contracts.emplace_back(addr, &deployed);
+  }
+  std::sort(contracts.begin(), contracts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  Bytes out;
+  append_u32_be(out, static_cast<std::uint32_t>(accounts.size()));
+  for (const auto& [addr, acct] : accounts) {
+    append_frame(out, addr.to_bytes());
+    append_u64_be(out, acct.balance);
+    append_u64_be(out, acct.nonce);
+  }
+  append_u32_be(out, static_cast<std::uint32_t>(contracts.size()));
+  for (const auto& [addr, deployed] : contracts) {
+    const std::optional<Bytes> state = deployed->instance->snapshot_state();
+    if (!state.has_value()) return std::nullopt;  // contract opted out
+    append_frame(out, addr.to_bytes());
+    append_frame(out, zl::to_bytes(deployed->type));
+    append_frame(out, *state);
+  }
+  return out;
+}
+
+ChainState ChainState::from_snapshot(const Bytes& bytes) {
+  ChainState state;
+  std::size_t offset = 0;
+  const std::uint32_t n_accounts = read_u32_be(bytes, offset);
+  offset += 4;
+  for (std::uint32_t i = 0; i < n_accounts; ++i) {
+    const Address addr = Address::from_bytes(read_frame(bytes, offset));
+    Account acct;
+    acct.balance = read_u64_be(bytes, offset);
+    offset += 8;
+    acct.nonce = read_u64_be(bytes, offset);
+    offset += 8;
+    state.accounts_[addr] = acct;
+  }
+  const std::uint32_t n_contracts = read_u32_be(bytes, offset);
+  offset += 4;
+  for (std::uint32_t i = 0; i < n_contracts; ++i) {
+    const Address addr = Address::from_bytes(read_frame(bytes, offset));
+    const Bytes type_bytes = read_frame(bytes, offset);
+    const std::string type(type_bytes.begin(), type_bytes.end());
+    const Bytes contract_state = read_frame(bytes, offset);
+    std::unique_ptr<Contract> instance = ContractFactory::instance().create(type);
+    instance->restore_state(contract_state);
+    state.contracts_[addr] = Deployed{type, std::move(instance)};
+  }
+  if (offset != bytes.size()) throw std::invalid_argument("ChainState: trailing snapshot bytes");
+  return state;
 }
 
 }  // namespace zl::chain

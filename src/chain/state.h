@@ -21,6 +21,11 @@ struct Receipt {
   std::string error;
   Address created_contract;  // non-zero on successful deployment
   std::vector<std::string> logs;
+
+  /// Canonical encoding (stored inside state snapshots so a node restored
+  /// from disk can still serve receipt queries for pre-snapshot blocks).
+  Bytes to_bytes() const;
+  static Receipt from_bytes(const Bytes& bytes);
 };
 
 class ChainState {
@@ -55,9 +60,30 @@ class ChainState {
   /// Mutable contract access for cross-contract calls (runtime internal).
   Contract* mutable_contract_at(const Address& addr);
 
+  // --- snapshots -----------------------------------------------------------
+  //
+  // A snapshot is a canonical byte encoding of the whole world state:
+  // accounts (sorted by address) and contracts (sorted by address, each as
+  // factory type name + Contract::snapshot_state()). Deterministic across
+  // nodes, checksummed and persisted by the storage engine, and also used
+  // in-memory as reorg checkpoints. Returns nullopt if any deployed
+  // contract opts out of snapshotting (see Contract::snapshot_state).
+
+  std::optional<Bytes> snapshot_bytes() const;
+
+  /// Rebuild a state from snapshot_bytes() output. Contract instances come
+  /// from the global ContractFactory. Throws std::invalid_argument on
+  /// malformed input or unknown contract types.
+  static ChainState from_snapshot(const Bytes& bytes);
+
  private:
+  struct Deployed {
+    std::string type;  // ContractFactory name the instance was created from
+    std::unique_ptr<Contract> instance;
+  };
+
   std::unordered_map<Address, Account> accounts_;
-  std::unordered_map<Address, std::unique_ptr<Contract>> contracts_;
+  std::unordered_map<Address, Deployed> contracts_;
 };
 
 }  // namespace zl::chain

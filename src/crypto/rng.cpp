@@ -27,7 +27,9 @@ Rng::~Rng() {
 
 Rng Rng::from_os_entropy() {
   Bytes seed(48);
-  FILE* f = std::fopen("/dev/urandom", "rb");
+  // Entropy seeding reads the OS device directly on purpose: it must work
+  // before any Vfs exists and never touches node-owned durable state.
+  FILE* f = std::fopen("/dev/urandom", "rb");  // zl-lint: allow(raw-file-io)
   if (f == nullptr || std::fread(seed.data(), 1, seed.size(), f) != seed.size()) {
     if (f != nullptr) std::fclose(f);
     throw std::runtime_error("Rng: cannot read /dev/urandom");

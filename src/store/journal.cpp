@@ -1,0 +1,35 @@
+#include "store/journal.h"
+
+#include "crypto/bytes.h"
+
+namespace zl::store {
+
+// Record payload layout: 32-byte block hash || consensus block bytes. The
+// hash is stored (not recomputed) so the journal layer stays agnostic of the
+// chain's hash function; the CRC in the WAL record guards both fields.
+BlockJournal::BlockJournal(Vfs& vfs, const std::string& dir, const Wal::Options& options,
+                           const BlockFn& on_block)
+    : wal_(vfs, dir, options,
+           [this, &on_block](std::uint8_t type, const Bytes& payload, std::uint64_t segment) {
+             if (type != kBlockRecord || payload.size() < 32) return;  // foreign record: skip
+             const Bytes hash(payload.begin(), payload.begin() + 32);
+             index_[to_hex(hash)] = Position{segment, sequence_++};
+             on_block(Bytes(payload.begin() + 32, payload.end()));
+           }) {}
+
+void BlockJournal::append_block(const Bytes& block_hash, const Bytes& block_bytes) {
+  if (block_hash.size() != 32) throw IoError("journal: block hash must be 32 bytes");
+  if (index_.contains(to_hex(block_hash))) return;  // already journaled
+  Bytes payload;
+  payload.reserve(32 + block_bytes.size());
+  payload.insert(payload.end(), block_hash.begin(), block_hash.end());
+  payload.insert(payload.end(), block_bytes.begin(), block_bytes.end());
+  wal_.append(kBlockRecord, payload);
+  index_[to_hex(block_hash)] = Position{wal_.segment_index(), sequence_++};
+}
+
+bool BlockJournal::contains(const Bytes& block_hash) const {
+  return index_.contains(to_hex(block_hash));
+}
+
+}  // namespace zl::store

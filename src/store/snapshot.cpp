@@ -1,0 +1,104 @@
+#include "store/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace zl::store {
+
+namespace {
+
+constexpr std::uint8_t kMagic[8] = {'Z', 'L', 'S', 'N', 'A', 'P', '1', '\n'};
+constexpr std::size_t kMagicSize = sizeof kMagic;
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(Vfs& vfs, std::string dir) : vfs_(vfs), dir_(std::move(dir)) {
+  vfs_.make_dirs(dir_);
+}
+
+std::string SnapshotStore::path_for(std::uint64_t height) const {
+  char name[40];
+  std::snprintf(name, sizeof name, "snap-%020llu.zls", static_cast<unsigned long long>(height));
+  return dir_ + "/" + name;
+}
+
+void SnapshotStore::save(const Snapshot& snapshot, std::size_t keep) {
+  // Body = height | frame(head hash) | frame(payload); CRC guards the body.
+  Bytes body;
+  append_u64_be(body, snapshot.height);
+  append_frame(body, snapshot.head_hash);
+  append_frame(body, snapshot.payload);
+
+  Bytes file;
+  file.reserve(kMagicSize + 4 + body.size());
+  for (const std::uint8_t b : kMagic) file.push_back(b);
+  append_u32(file, crc32(body));
+  file.insert(file.end(), body.begin(), body.end());
+
+  atomic_write_file(vfs_, path_for(snapshot.height), file);
+
+  // Retention: newest `keep` stay, the rest go. A crash between the rename
+  // above and these removals only leaves extra (valid) snapshots behind.
+  const std::vector<std::uint64_t> all = heights();
+  if (all.size() > keep) {
+    for (std::size_t i = 0; i + keep < all.size(); ++i) vfs_.remove(path_for(all[i]));
+    vfs_.sync_dir(dir_);
+  }
+}
+
+std::vector<std::uint64_t> SnapshotStore::heights() const {
+  std::vector<std::uint64_t> out;
+  for (const std::string& name : vfs_.list(dir_)) {
+    unsigned long long height = 0;
+    if (std::sscanf(name.c_str(), "snap-%020llu.zls", &height) == 1) out.push_back(height);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<Snapshot> SnapshotStore::load_newest() const {
+  std::vector<std::uint64_t> all = heights();
+  std::reverse(all.begin(), all.end());
+  for (const std::uint64_t height : all) {
+    Bytes file;
+    try {
+      file = read_file(vfs_, path_for(height));
+    } catch (const IoError&) {
+      continue;
+    }
+    if (file.size() < kMagicSize + 4 ||
+        // Public file-format magic, not secret. zl-lint: allow(secret-memcmp)
+        std::memcmp(file.data(), kMagic, kMagicSize) != 0) {
+      continue;
+    }
+    const std::uint32_t stored = (std::uint32_t(file[kMagicSize]) << 24) |
+                                 (std::uint32_t(file[kMagicSize + 1]) << 16) |
+                                 (std::uint32_t(file[kMagicSize + 2]) << 8) |
+                                 std::uint32_t(file[kMagicSize + 3]);
+    const Bytes body(file.begin() + kMagicSize + 4, file.end());
+    if (crc32(body) != stored) continue;  // torn or rotted: fall back to older
+    try {
+      Snapshot snap;
+      std::size_t off = 0;
+      snap.height = read_u64_be(body, off);
+      off += 8;
+      snap.head_hash = read_frame(body, off);
+      snap.payload = read_frame(body, off);
+      if (off != body.size()) continue;
+      return snap;
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace zl::store

@@ -1,0 +1,179 @@
+#include "store/vfs.h"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace zl::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  const int err = errno;
+  if (err == ENOSPC || err == EDQUOT) throw NoSpace(what);
+  throw IoError(what + ": " + std::strerror(err));
+}
+
+class RealFile final : public VfsFile {
+ public:
+  explicit RealFile(int fd) : fd_(fd) {}
+  ~RealFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  RealFile(const RealFile&) = delete;
+  RealFile& operator=(const RealFile&) = delete;
+
+  std::size_t read(std::uint64_t offset, std::uint8_t* out, std::size_t n) override {
+    const ssize_t got = ::pread(fd_, out, n, static_cast<off_t>(offset));
+    if (got < 0) throw_errno("pread");
+    return static_cast<std::size_t>(got);
+  }
+
+  void write(std::uint64_t offset, const std::uint8_t* data, std::size_t n) override {
+    std::size_t done = 0;
+    while (done < n) {
+      const ssize_t put =
+          ::pwrite(fd_, data + done, n - done, static_cast<off_t>(offset + done));
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("pwrite");
+      }
+      done += static_cast<std::size_t>(put);
+    }
+  }
+
+  std::uint64_t size() const override {
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) throw_errno("fstat");
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+  void truncate(std::uint64_t new_size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) throw_errno("ftruncate");
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) throw_errno("fsync");
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::unique_ptr<VfsFile> RealVfs::open(const std::string& path, bool create) {
+  int flags = O_RDWR | O_CLOEXEC;
+  if (create) flags |= O_CREAT;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) throw_errno("open " + path);
+  return std::make_unique<RealFile>(fd);
+}
+
+bool RealVfs::exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+void RealVfs::remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) throw_errno("unlink " + path);
+}
+
+void RealVfs::rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) throw_errno("rename " + from + " -> " + to);
+}
+
+std::vector<std::string> RealVfs::list(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) throw_errno("opendir " + dir);
+  std::vector<std::string> names;
+  for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    std::error_code ec;
+    if (fs::is_regular_file(fs::path(dir) / name, ec)) names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void RealVfs::make_dirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) throw IoError("mkdir " + path + ": " + ec.message());
+}
+
+void RealVfs::sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open dir " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_errno("fsync dir " + dir);
+}
+
+// --- helpers ---------------------------------------------------------------
+
+std::size_t read_exact(VfsFile& file, std::uint64_t offset, std::uint8_t* out, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t got = file.read(offset + done, out + done, n - done);
+    if (got == 0) break;  // EOF
+    done += got;
+  }
+  return done;
+}
+
+Bytes read_file(Vfs& vfs, const std::string& path) {
+  const std::unique_ptr<VfsFile> f = vfs.open(path, /*create=*/false);
+  Bytes out(f->size());
+  const std::size_t got = read_exact(*f, 0, out.data(), out.size());
+  out.resize(got);
+  return out;
+}
+
+void atomic_write_file(Vfs& vfs, const std::string& path, const Bytes& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    const std::unique_ptr<VfsFile> f = vfs.open(tmp, /*create=*/true);
+    f->truncate(0);
+    if (!content.empty()) f->write(0, content.data(), content.size());
+    f->sync();
+  }
+  vfs.rename(tmp, path);
+  vfs.sync_dir(parent_dir(path));
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n, std::uint32_t seed) {
+  // Table-driven CRC-32 (IEEE 802.3 polynomial, reflected). Built once.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+std::uint32_t crc32(const Bytes& data) { return crc32(data.data(), data.size()); }
+
+}  // namespace zl::store

@@ -1,0 +1,130 @@
+#pragma once
+// Virtual file system — the single chokepoint for every durable byte the
+// node writes. All storage layers (WAL, block journal, snapshots, the
+// disk-backed off-chain store) speak this interface, so the same code runs
+// against a real POSIX directory (RealVfs) and against the deterministic
+// fault-injecting in-memory disk (FaultVfs) that the crash-recovery torture
+// tests drive. zl-lint's raw-file-io rule forbids direct fopen/ofstream/
+// open(2) anywhere in src/ outside this directory, which is what makes the
+// chokepoint real.
+//
+// Semantics are the POSIX subset a crash-consistent store needs:
+//   - write(offset, ...) is NOT durable until sync() returns.
+//   - A new file's directory entry is NOT durable until sync_dir(parent).
+//   - rename() atomically replaces the destination (never observed torn),
+//     but the rename itself is durable only after sync_dir(parent).
+//   - read() may return fewer bytes than asked (short read); callers loop.
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.h"
+
+namespace zl::store {
+
+/// Any I/O failure the store must surface (disk gone, permission, ...).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error("io: " + what) {}
+};
+
+/// write() past the device capacity — callers may treat the operation as
+/// never having happened (the WAL relies on this to stay recoverable).
+class NoSpace : public IoError {
+ public:
+  explicit NoSpace(const std::string& what) : IoError("ENOSPC: " + what) {}
+};
+
+/// A simulated power cut injected by FaultVfs. Everything not fsync-durable
+/// is gone; all handles from before the cut are dead. Real deployments never
+/// see this exception — they see the recovery path on the next boot instead.
+class PowerCut : public std::runtime_error {
+ public:
+  explicit PowerCut(std::uint64_t at_op)
+      : std::runtime_error("power cut at op " + std::to_string(at_op)) {}
+};
+
+/// An open file handle. Offsets are explicit (pread/pwrite style) so the
+/// handle carries no cursor state that a crash could make ambiguous.
+class VfsFile {
+ public:
+  virtual ~VfsFile() = default;
+
+  /// Read up to `n` bytes at `offset`; returns the count actually read
+  /// (0 at EOF). Short reads are legal — use read_exact for framing code.
+  virtual std::size_t read(std::uint64_t offset, std::uint8_t* out, std::size_t n) = 0;
+
+  /// Write `n` bytes at `offset`, extending the file if needed. Volatile
+  /// until sync(). Throws NoSpace/IoError.
+  virtual void write(std::uint64_t offset, const std::uint8_t* data, std::size_t n) = 0;
+
+  virtual std::uint64_t size() const = 0;
+
+  /// Shrink (or extend with zeros) to `new_size`. Volatile until sync().
+  virtual void truncate(std::uint64_t new_size) = 0;
+
+  /// Flush this file's data to stable storage (fsync).
+  virtual void sync() = 0;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Open `path`, creating it empty if absent and `create` is set. Throws
+  /// IoError if absent and `create` is false.
+  virtual std::unique_ptr<VfsFile> open(const std::string& path, bool create) = 0;
+
+  virtual bool exists(const std::string& path) = 0;
+  virtual void remove(const std::string& path) = 0;
+
+  /// Atomic replace: after rename, `to` has `from`'s content and `from` is
+  /// gone. Durable after sync_dir of the parent directory.
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  /// Sorted file names (not paths) directly under `dir`.
+  virtual std::vector<std::string> list(const std::string& dir) = 0;
+
+  /// mkdir -p.
+  virtual void make_dirs(const std::string& path) = 0;
+
+  /// Make `dir`'s current entries (creations, renames, removals) durable.
+  virtual void sync_dir(const std::string& dir) = 0;
+};
+
+/// Production VFS over the local file system.
+class RealVfs final : public Vfs {
+ public:
+  std::unique_ptr<VfsFile> open(const std::string& path, bool create) override;
+  bool exists(const std::string& path) override;
+  void remove(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  void make_dirs(const std::string& path) override;
+  void sync_dir(const std::string& dir) override;
+};
+
+// --- helpers shared by every storage layer --------------------------------
+
+/// Loop over short reads until `n` bytes or EOF; returns bytes read.
+std::size_t read_exact(VfsFile& file, std::uint64_t offset, std::uint8_t* out, std::size_t n);
+
+/// Whole-file read (tolerates short reads).
+Bytes read_file(Vfs& vfs, const std::string& path);
+
+/// Crash-safe whole-file publish: write `path + ".tmp"`, fsync it, rename
+/// over `path`, fsync the parent directory. A crash at any point leaves
+/// either the old complete file or the new complete file, never a mix.
+void atomic_write_file(Vfs& vfs, const std::string& path, const Bytes& content);
+
+/// Parent directory of a path ("" if none).
+std::string parent_dir(const std::string& path);
+
+/// CRC-32 (IEEE, reflected) — guards every WAL record and snapshot body.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n, std::uint32_t seed = 0);
+std::uint32_t crc32(const Bytes& data);
+
+}  // namespace zl::store

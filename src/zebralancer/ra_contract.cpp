@@ -19,6 +19,20 @@ void RaRegistryContract::on_deploy(CallContext& ctx, const Bytes& ctor_args) {
   root_ = Fr::from_bytes(ctor_args);
 }
 
+std::optional<Bytes> RaRegistryContract::snapshot_state() const {
+  Bytes out;
+  append_frame(out, owner_.to_bytes());
+  append_frame(out, root_.to_bytes());
+  return out;
+}
+
+void RaRegistryContract::restore_state(const Bytes& state) {
+  std::size_t off = 0;
+  owner_ = chain::Address::from_bytes(read_frame(state, off));
+  root_ = Fr::from_bytes(read_frame(state, off));
+  if (off != state.size()) throw std::invalid_argument("RaRegistry: trailing snapshot data");
+}
+
 void RaRegistryContract::invoke(CallContext& ctx, const std::string& method, const Bytes& args) {
   if (method != "update_root") throw ContractRevert("unknown method");
   if (ctx.sender != owner_) throw ContractRevert("only the RA may update the root");

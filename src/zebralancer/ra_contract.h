@@ -17,6 +17,9 @@ class RaRegistryContract : public chain::Contract {
   void on_deploy(chain::CallContext& ctx, const Bytes& ctor_args) override;
   void invoke(chain::CallContext& ctx, const std::string& method, const Bytes& args) override;
 
+  std::optional<Bytes> snapshot_state() const override;
+  void restore_state(const Bytes& state) override;
+
   const Fr& registry_root() const { return root_; }
   const chain::Address& owner() const { return owner_; }
 

@@ -45,6 +45,45 @@ void ReputationRegistryContract::invoke(CallContext& ctx, const std::string& met
   }
 }
 
+std::optional<Bytes> ReputationRegistryContract::snapshot_state() const {
+  // Both maps are std::map (ordered), so iteration is already deterministic.
+  Bytes out;
+  append_frame(out, owner_.to_bytes());
+  append_u32_be(out, static_cast<std::uint32_t>(authorized_.size()));
+  for (const auto& [addr, enabled] : authorized_) {
+    append_frame(out, addr.to_bytes());
+    out.push_back(enabled ? 1 : 0);
+  }
+  append_u32_be(out, static_cast<std::uint32_t>(scores_.size()));
+  for (const auto& [digest_hex, value] : scores_) {
+    append_frame(out, from_hex(digest_hex));
+    append_u64_be(out, static_cast<std::uint64_t>(value));
+  }
+  return out;
+}
+
+void ReputationRegistryContract::restore_state(const Bytes& state) {
+  std::size_t off = 0;
+  owner_ = chain::Address::from_bytes(read_frame(state, off));
+  authorized_.clear();
+  scores_.clear();
+  const std::uint32_t n_auth = read_u32_be(state, off);
+  off += 4;
+  for (std::uint32_t i = 0; i < n_auth; ++i) {
+    const chain::Address addr = chain::Address::from_bytes(read_frame(state, off));
+    if (off >= state.size()) throw std::invalid_argument("Reputation: truncated snapshot");
+    authorized_[addr] = state[off++] != 0;
+  }
+  const std::uint32_t n_scores = read_u32_be(state, off);
+  off += 4;
+  for (std::uint32_t i = 0; i < n_scores; ++i) {
+    const Bytes digest = read_frame(state, off);
+    scores_[to_hex(digest)] = static_cast<std::int64_t>(read_u64_be(state, off));
+    off += 8;
+  }
+  if (off != state.size()) throw std::invalid_argument("Reputation: trailing snapshot data");
+}
+
 std::int64_t ReputationRegistryContract::score(const Bytes& identity_digest) const {
   const auto it = scores_.find(to_hex(identity_digest));
   return it == scores_.end() ? 0 : it->second;

@@ -25,6 +25,9 @@ class ReputationRegistryContract : public chain::Contract {
   void on_deploy(chain::CallContext& ctx, const Bytes& ctor_args) override;
   void invoke(chain::CallContext& ctx, const std::string& method, const Bytes& args) override;
 
+  std::optional<Bytes> snapshot_state() const override;
+  void restore_state(const Bytes& state) override;
+
   /// Current score for an identity digest (0 if never seen).
   std::int64_t score(const Bytes& identity_digest) const;
   const chain::Address& owner() const { return owner_; }

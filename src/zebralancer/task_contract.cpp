@@ -112,6 +112,70 @@ void TaskContract::on_deploy(CallContext& ctx, const Bytes& ctor_args) {
           " policy=" + params_.policy_name);
 }
 
+std::optional<Bytes> TaskContract::snapshot_state() const {
+  // Every field invoke()/on_deploy() can touch, in declaration order. The
+  // attestation frame is empty in classic mode (where submissions carry a
+  // certified public key instead); the proof frame is empty until rewarded.
+  Bytes out;
+  append_frame(out, params_.to_bytes());
+  append_u32_be(out, static_cast<std::uint32_t>(submissions_.size()));
+  for (const Submission& s : submissions_) {
+    append_frame(out, s.worker_address.to_bytes());
+    append_frame(out, params_.auth_mode == AuthMode::kAnonymous ? s.attestation.to_bytes()
+                                                                : Bytes{});
+    append_frame(out, s.classic_pk);
+    append_frame(out, s.ciphertext.to_bytes());
+  }
+  append_u64_be(out, deploy_block_);
+  append_u64_be(out, collection_end_block_);
+  out.push_back(finalized_ ? 1 : 0);
+  out.push_back(rewarded_ ? 1 : 0);
+  append_u32_be(out, static_cast<std::uint32_t>(rewards_.size()));
+  for (const std::uint64_t r : rewards_) append_u64_be(out, r);
+  append_frame(out, rewarded_ ? reward_proof_.to_bytes() : Bytes{});
+  return out;
+}
+
+void TaskContract::restore_state(const Bytes& state) {
+  std::size_t off = 0;
+  params_ = TaskParams::from_bytes(read_frame(state, off));
+  if (params_.auth_mode == AuthMode::kAnonymous) {
+    auth_vk_ = snark::VerifyingKey::from_bytes(params_.auth_vk);
+  }
+  reward_vk_ = snark::VerifyingKey::from_bytes(params_.reward_vk);
+  const std::uint32_t n_subs = read_u32_be(state, off);
+  off += 4;
+  submissions_.clear();
+  submissions_.reserve(n_subs);
+  for (std::uint32_t i = 0; i < n_subs; ++i) {
+    Submission s;
+    s.worker_address = chain::Address::from_bytes(read_frame(state, off));
+    const Bytes att = read_frame(state, off);
+    if (!att.empty()) s.attestation = auth::Attestation::from_bytes(att);
+    s.classic_pk = read_frame(state, off);
+    s.ciphertext = AnswerCiphertext::from_bytes(read_frame(state, off));
+    submissions_.push_back(std::move(s));
+  }
+  deploy_block_ = read_u64_be(state, off);
+  off += 8;
+  collection_end_block_ = read_u64_be(state, off);
+  off += 8;
+  if (off + 2 > state.size()) throw std::invalid_argument("TaskContract: truncated snapshot");
+  finalized_ = state[off++] != 0;
+  rewarded_ = state[off++] != 0;
+  const std::uint32_t n_rewards = read_u32_be(state, off);
+  off += 4;
+  rewards_.clear();
+  rewards_.reserve(n_rewards);
+  for (std::uint32_t i = 0; i < n_rewards; ++i) {
+    rewards_.push_back(read_u64_be(state, off));
+    off += 8;
+  }
+  const Bytes proof = read_frame(state, off);
+  if (!proof.empty()) reward_proof_ = snark::Proof::from_bytes(proof);
+  if (off != state.size()) throw std::invalid_argument("TaskContract: trailing snapshot data");
+}
+
 std::uint64_t TaskContract::instruction_deadline() const {
   const std::uint64_t collection_end =
       collection_end_block_ != 0 ? collection_end_block_ : collection_deadline();

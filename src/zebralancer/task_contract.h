@@ -80,6 +80,10 @@ class TaskContract : public chain::Contract {
   void on_deploy(chain::CallContext& ctx, const Bytes& ctor_args) override;
   void invoke(chain::CallContext& ctx, const std::string& method, const Bytes& args) override;
 
+  /// Durable-state hooks (chain snapshots / crash recovery).
+  std::optional<Bytes> snapshot_state() const override;
+  void restore_state(const Bytes& state) override;
+
   // --- transparent on-chain state (readable by anyone, §III transparency) ---
   const TaskParams& params() const { return params_; }
   const std::vector<Submission>& submissions() const { return submissions_; }

@@ -33,6 +33,18 @@ class CounterContract : public Contract {
   }
   std::uint64_t count() const { return count_; }
 
+  // Snapshot hooks so chain tests exercise the checkpoint-restore fast path.
+  std::optional<Bytes> snapshot_state() const override {
+    Bytes out;
+    append_u64_be(out, initial_);
+    append_u64_be(out, count_);
+    return out;
+  }
+  void restore_state(const Bytes& state) override {
+    initial_ = read_u64_be(state, 0);
+    count_ = read_u64_be(state, 8);
+  }
+
  private:
   std::uint64_t initial_ = 0;
   std::uint64_t count_ = 0;
@@ -280,6 +292,99 @@ TEST(Blockchain, ForkChoiceAdoptsLongerBranch) {
   EXPECT_EQ(chain.head_hash(), b2.hash());
   EXPECT_EQ(chain.height(), 2u);
   EXPECT_EQ(chain.canonical_chain().size(), 3u);
+}
+
+TEST(Blockchain, DeepReorgMatchesFullReplay) {
+  // Two long branches off genesis with different transaction histories;
+  // switching onto each (both directions) must yield exactly the state a
+  // fresh node replaying only that branch computes — even though the
+  // checkpoint cache lets the reorg skip most of the replay.
+  Rng rng(314);
+  Wallet alice(rng), bob(rng), sink(rng);
+  const GenesisConfig genesis = make_genesis({alice.address(), bob.address()});
+
+  const auto mine = [&](const Bytes& parent, std::uint64_t number, std::uint64_t stamp,
+                        std::vector<Transaction> txs) {
+    Block b;
+    b.header.parent_hash = parent;
+    b.header.number = number;
+    b.header.difficulty = genesis.difficulty;
+    b.header.timestamp = stamp;
+    b.transactions = std::move(txs);
+    b.header.tx_root = Block::compute_tx_root(b.transactions);
+    while (!proof_of_work_valid(b.header)) ++b.header.nonce;
+    return b;
+  };
+
+  Blockchain chain(genesis);
+
+  // Branch A: deploy a counter at height 1, then 31 increment blocks.
+  std::vector<Block> branch_a;
+  {
+    Bytes parent = chain.head_hash();
+    Block deploy_block = mine(
+        parent, 1, 1000,
+        {alice.make_transaction(Address(), 0, 200000, "counter", Bytes{7})});
+    branch_a.push_back(deploy_block);
+    parent = deploy_block.hash();
+    const Address counter = Address::for_contract(alice.address(), 0);
+    for (std::uint64_t n = 2; n <= 32; ++n) {
+      Block b = mine(parent, n, 1000 + n,
+                     {alice.make_transaction(counter, 0, 100000, "increment", {})});
+      branch_a.push_back(b);
+      parent = b.hash();
+    }
+  }
+  // Branch B: 33 plain-transfer blocks (heavier than A).
+  std::vector<Block> branch_b;
+  {
+    Bytes parent = chain.head_hash();
+    for (std::uint64_t n = 1; n <= 33; ++n) {
+      Block b = mine(parent, n, 2000 + n,
+                     {bob.make_transaction(sink.address(), 10, 21000, "", {})});
+      branch_b.push_back(b);
+      parent = b.hash();
+    }
+  }
+
+  for (const Block& b : branch_a) ASSERT_TRUE(chain.add_block(b));
+  ASSERT_EQ(chain.head_hash(), branch_a.back().hash());
+  EXPECT_GT(chain.checkpoint_count(), 0u) << "interval checkpoints must accumulate";
+
+  // A -> B: the longer branch wins.
+  for (const Block& b : branch_b) ASSERT_TRUE(chain.add_block(b));
+  ASSERT_EQ(chain.head_hash(), branch_b.back().hash());
+  {
+    Blockchain replay(genesis);
+    for (const Block& b : branch_b) ASSERT_TRUE(replay.add_block(b));
+    ASSERT_EQ(replay.head_hash(), chain.head_hash());
+    EXPECT_EQ(chain.state().snapshot_bytes(), replay.state().snapshot_bytes());
+    EXPECT_EQ(chain.state().balance_of(sink.address()), 330u);
+  }
+
+  // B -> A: extend A past B and switch back.
+  {
+    Bytes parent = branch_a.back().hash();
+    const Address counter = Address::for_contract(alice.address(), 0);
+    for (std::uint64_t n = 33; n <= 35; ++n) {
+      Block b = mine(parent, n, 3000 + n,
+                     {alice.make_transaction(counter, 0, 100000, "increment", {})});
+      branch_a.push_back(b);
+      parent = b.hash();
+    }
+    ASSERT_TRUE(chain.add_block(branch_a[branch_a.size() - 3]));
+    ASSERT_TRUE(chain.add_block(branch_a[branch_a.size() - 2]));
+    ASSERT_TRUE(chain.add_block(branch_a.back()));
+    ASSERT_EQ(chain.head_hash(), branch_a.back().hash());
+
+    Blockchain replay(genesis);
+    for (const Block& b : branch_a) ASSERT_TRUE(replay.add_block(b));
+    ASSERT_EQ(replay.head_hash(), chain.head_hash());
+    EXPECT_EQ(chain.state().snapshot_bytes(), replay.state().snapshot_bytes());
+    const Address counter_addr = Address::for_contract(alice.address(), 0);
+    ASSERT_NE(chain.state().contract_as<CounterContract>(counter_addr), nullptr);
+    EXPECT_EQ(chain.state().contract_as<CounterContract>(counter_addr)->count(), 7u + 34u);
+  }
 }
 
 TEST(Blockchain, InvalidBodyBlacklisted) {

@@ -7,6 +7,9 @@
 #   ubsan   - UndefinedBehaviorSanitizer build + full ctest run
 #   tsan    - ThreadSanitizer build + full ctest run
 #   ctcheck - ZL_CT_CHECK taint-harness build + full ctest run
+#   store   - targeted ASan run of the storage engine: the crash-recovery
+#             torture test, WAL/snapshot/VFS invariants, and the chain
+#             durability tests (fast; the full asan leg also covers them)
 #
 # Usage: tools/check_all.sh [leg ...] [-- ctest args...]
 #   tools/check_all.sh                 # default matrix: lint asan ubsan tsan
@@ -23,8 +26,8 @@ legs=""
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --) shift; break ;;
-    lint|asan|ubsan|tsan|ctcheck) legs="$legs $1"; shift ;;
-    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck)" >&2; exit 2 ;;
+    lint|asan|ubsan|tsan|ctcheck|store) legs="$legs $1"; shift ;;
+    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store)" >&2; exit 2 ;;
   esac
 done
 [ -n "$legs" ] || legs="lint asan ubsan tsan"
@@ -35,6 +38,16 @@ run_lint() {
   cmake --build "$build_dir" --target zl_lint
   "$build_dir/tools/zl_lint/zl_lint" "$repo_root/src" \
     --json "$build_dir/zl_lint_findings.json"
+}
+
+# Storage-only leg: builds just the two chain/store test binaries under ASan
+# and runs the storage suites (including the crash-point torture test).
+run_store() {
+  build_dir="$repo_root/build-store"
+  cmake -S "$repo_root" -B "$build_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release -DZL_SANITIZE=address
+  cmake --build "$build_dir" --target test_store test_chain
+  ctest --test-dir "$build_dir" --output-on-failure \
+    -R '^(FaultVfs|Wal|SnapshotStore|OffChainStore|DurableChain|Torture|Blockchain)\.' "$@"
 }
 
 # $1 = leg name, $2 = extra cmake cache args, remaining = ctest args.
@@ -64,6 +77,9 @@ for leg in $legs; do
       run_suite tsan "-DZL_SANITIZE=thread" "$@" || status=$? ;;
     ctcheck)
       run_suite ctcheck "-DZL_CT_CHECK=ON" "$@" || status=$? ;;
+    store)
+      ASAN_OPTIONS="detect_leaks=1:halt_on_error=1:abort_on_error=1" \
+        run_store "$@" || status=$? ;;
   esac
   if [ "$status" -ne 0 ]; then
     echo "==== check_all: $leg FAILED ====" >&2

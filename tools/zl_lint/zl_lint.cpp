@@ -14,6 +14,9 @@
 //   naked-new         raw new / delete (the codebase is RAII-only)
 //   textbook-pairing  pairing()/pairing_product() calls outside src/ec that
 //                     bypass the prepared (G2Prepared) fast path
+//   raw-file-io       fopen / std::ofstream / open(2) in src/ outside
+//                     src/store — durable bytes must go through the Vfs so
+//                     crash-consistency (and FaultVfs testing) stays real
 //
 // Suppression: append `// zl-lint: allow(<rule>[, <rule>...])` (or
 // `allow(all)`) on the offending line or the line directly above it. Every
@@ -68,6 +71,8 @@ struct FileUnit {
   bool in_chain = false;                        // under src/chain
   bool is_rng = false;                          // crypto/rng.{h,cpp}
   bool in_ec = false;                           // under src/ec
+  bool in_src = false;                          // under src/
+  bool in_store = false;                        // under src/store
 };
 
 struct Finding {
@@ -341,6 +346,10 @@ const Rule kRules[] = {
     {"textbook-pairing",
      "pairing()/pairing_product() outside src/ec must use the prepared (G2Prepared/pvk) fast "
      "path or carry an explicit allow"},
+    {"raw-file-io",
+     "no fopen/std::ofstream/open(2) in src/ outside src/store — every durable byte goes "
+     "through the Vfs chokepoint (store/vfs.h) so crash-consistency holds and FaultVfs can "
+     "test it"},
 };
 
 /// Types whose instances hold long-term secrets. secret-zeroize requires a
@@ -378,6 +387,7 @@ class Linter {
       if (u.in_chain) rule_nondet_iteration(u);
       rule_naked_new(u);
       if (!u.in_ec) rule_textbook_pairing(u);
+      if (u.in_src && !u.in_store) rule_raw_file_io(u);
     }
     rule_secret_zeroize();
     std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
@@ -628,6 +638,48 @@ class Linter {
     }
   }
 
+  void rule_raw_file_io(const FileUnit& u) {
+    static const std::string rule = "raw-file-io";
+    static const std::set<std::string> banned_calls = {"fopen", "freopen", "fdopen"};
+    static const std::set<std::string> banned_types = {"ofstream", "ifstream", "fstream"};
+    static const std::set<std::string> banned_syscalls = {"open", "openat", "creat"};
+    for (const auto& inc : u.includes) {
+      if (inc.header == "fstream") {
+        report(u, inc.line, rule,
+               "#include <fstream>: durable writes must go through the Vfs (store/vfs.h)");
+      }
+    }
+    const auto& t = u.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier) continue;
+      const bool called = i + 1 < t.size() && t[i + 1].kind == TokKind::Punct &&
+                          t[i + 1].text == "(";
+      const bool member = i > 0 && t[i - 1].kind == TokKind::Punct &&
+                          (t[i - 1].text == "." || t[i - 1].text == "->");
+      if (banned_types.count(t[i].text)) {
+        report(u, t[i].line, rule,
+               "std::" + t[i].text +
+                   " bypasses the Vfs chokepoint; open files through store::Vfs so "
+                   "FaultVfs-backed crash tests cover this path");
+        continue;
+      }
+      if (!called || member) continue;
+      if (banned_calls.count(t[i].text)) {
+        report(u, t[i].line, rule,
+               t[i].text + "() bypasses the Vfs chokepoint; use store::Vfs::open instead");
+        continue;
+      }
+      // The open(2)/creat(2) syscall family, only when written `::open(`
+      // (a plain `open(` is far too common as a method name).
+      if (banned_syscalls.count(t[i].text) && i > 0 && t[i - 1].kind == TokKind::Punct &&
+          t[i - 1].text == "::" &&
+          (i < 2 || t[i - 2].kind != TokKind::Identifier)) {
+        report(u, t[i].line, rule,
+               "::" + t[i].text + "() bypasses the Vfs chokepoint; use store::Vfs::open instead");
+      }
+    }
+  }
+
   void rule_secret_zeroize() {
     static const std::string rule = "secret-zeroize";
     for (const auto& [type, site] : type_def_site_) {
@@ -736,6 +788,8 @@ int main(int argc, char** argv) {
       unit.path = f.generic_string();
       unit.in_chain = unit.path.find("/chain/") != std::string::npos;
       unit.in_ec = unit.path.find("/ec/") != std::string::npos;
+      unit.in_src = unit.path.find("src/") != std::string::npos;
+      unit.in_store = unit.path.find("src/store/") != std::string::npos;
       unit.is_rng = unit.path.size() >= 10 &&
                     (unit.path.find("crypto/rng.cpp") != std::string::npos ||
                      unit.path.find("crypto/rng.h") != std::string::npos);
