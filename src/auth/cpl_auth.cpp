@@ -7,22 +7,17 @@
 
 namespace zl::auth {
 
-namespace {
-
-/// Build the circuit for L_T. Statement wires (public inputs, in order):
-/// t1, t2, p, m, root. Witness: sk + Merkle path. Deterministic structure,
-/// so the same function serves setup (dummy witness) and proving.
 void build_auth_circuit(snark::CircuitBuilder& b, unsigned depth, const Fr& t1, const Fr& t2,
                         const Fr& p, const Fr& m, const Fr& root, const Fr& sk,
                         const MerkleTree::Path& path) {
   using namespace snark;
-  const Wire w_t1 = b.input(t1);
-  const Wire w_t2 = b.input(t2);
-  const Wire w_p = b.input(p);
-  const Wire w_m = b.input(m);
-  const Wire w_root = b.input(root);
+  const Wire w_t1 = b.input(t1, "t1");
+  const Wire w_t2 = b.input(t2, "t2");
+  const Wire w_p = b.input(p, "p");
+  const Wire w_m = b.input(m, "m");
+  const Wire w_root = b.input(root, "root");
 
-  const Wire w_sk = b.witness(sk);
+  const Wire w_sk = b.witness(sk, "sk");
   // pair(pk, sk): pk = MiMC(sk, 0).
   const Wire w_pk = mimc_compress_gadget(b, w_sk, Wire::zero());
   // CertVrfy: pk is in the RA registry.
@@ -32,6 +27,8 @@ void build_auth_circuit(snark::CircuitBuilder& b, unsigned depth, const Fr& t1, 
   b.enforce_equal(mimc_compress_gadget(b, w_p, w_sk), w_t1);
   b.enforce_equal(mimc_compress_gadget(b, w_m, w_sk), w_t2);
 }
+
+namespace {
 
 MerkleTree::Path dummy_path(unsigned depth) {
   MerkleTree::Path p;

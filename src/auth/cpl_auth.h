@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "crypto/merkle.h"
+#include "snark/gadgets/builder.h"
 #include "snark/groth16.h"
 
 namespace zl::auth {
@@ -74,6 +75,14 @@ struct AuthParams {
 
 /// Setup(1^λ): establish the SNARK for L_T at a given registry capacity.
 AuthParams auth_setup(unsigned merkle_depth, Rng& rng);
+
+/// Build the circuit for L_T into `b`. Statement wires (public inputs, in
+/// order): t1, t2, p, m, root. Witness: sk + Merkle path. Deterministic
+/// structure, so the same function serves setup (dummy witness), proving,
+/// and the circuit auditor (tools/circuit_audit).
+void build_auth_circuit(snark::CircuitBuilder& b, unsigned depth, const Fr& t1, const Fr& t2,
+                        const Fr& p, const Fr& m, const Fr& root, const Fr& sk,
+                        const MerkleTree::Path& path);
 
 /// The registration authority: verifies unique identities off-line and
 /// appends certified public keys to the Merkle registry whose root is the

@@ -1,0 +1,120 @@
+#pragma once
+// Circuit auditor: static under-constraint analysis plus witness-mutation
+// soundness fuzzing for R1CS circuits built through CircuitBuilder.
+//
+// The SNARK is only as sound as its constraint system: an allocated wire no
+// constraint touches, or a wire the constraints leave undetermined, lets a
+// malicious prover swap in any value while every honest-witness test keeps
+// passing. The auditor attacks that blind spot from two sides:
+//
+//   Static engine (analyze_static)
+//     a. unconstrained-wire   witness variables appearing in no constraint
+//     b. free-linear-wire     witness variables whose every occurrence is in
+//                             a linear position and whose column is not a
+//                             pivot of the induced linear system — freely
+//                             assignable regardless of the other wires
+//                             (Gaussian rank/propagation from the public
+//                             inputs; see DESIGN.md §10 for the documented
+//                             incompleteness of the heuristic)
+//     c. missing-booleanity   wires a gadget claimed boolean (mark_boolean)
+//                             without any k*(w^2 - w) = 0 constraint
+//     d. dangling-input       public inputs no constraint ever touches
+//
+//   Dynamic engine (fuzz_mutations)
+//     Takes the builder's satisfying assignment, perturbs witness wires one
+//     at a time and in small random subsets, and re-checks satisfiability
+//     incrementally. A surviving mutation is a machine-checkable soundness
+//     hole: two distinct witnesses for one statement.
+//
+// Findings are matched against a reviewed allowlist (intentional free wires
+// such as is_zero's inverse helper); anything unreviewed fails the audit.
+// Both engines are deterministic given the seed: two runs emit byte-equal
+// JSON reports.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "snark/gadgets/builder.h"
+
+namespace zl::snark::audit {
+
+struct Finding {
+  std::string check;           // one of the check names above
+  std::string label;           // variable label(s); '+'-joined for subsets
+  std::vector<VarIndex> vars;  // the variable indices involved, ascending
+  std::string detail;
+  bool allowed = false;        // matched a reviewed allowlist entry
+  std::string justification;   // the matching entry's justification
+};
+
+struct Report {
+  std::string circuit;
+  std::size_t num_constraints = 0;
+  std::size_t num_variables = 0;
+  std::size_t num_inputs = 0;
+  std::uint64_t seed = 0;
+  std::vector<Finding> findings;
+  std::vector<std::string> notes;  // analysis caveats (e.g. skipped pieces)
+
+  std::size_t unreviewed() const;
+};
+
+struct Options {
+  bool run_static = true;
+  bool run_fuzz = true;
+  std::uint64_t seed = 42;        // fuzzer DRBG seed
+  std::size_t subset_rounds = 64; // random small-subset mutation rounds
+  std::size_t max_subset = 4;     // largest subset size (>= 2)
+};
+
+/// Static engine over a finished builder. Deterministic; no randomness.
+std::vector<Finding> analyze_static(const CircuitBuilder& b, std::vector<std::string>* notes);
+
+/// Dynamic engine: seeded witness-mutation fuzzing. The builder's
+/// assignment must satisfy its constraint system (throws otherwise — an
+/// unsatisfied honest witness is a harness bug, not a soundness finding).
+std::vector<Finding> fuzz_mutations(const CircuitBuilder& b, const Options& opts);
+
+/// Run both engines and assemble a report. Findings are sorted
+/// (check, vars, label) for stable output.
+Report audit_circuit(const std::string& name, const CircuitBuilder& b, const Options& opts = {});
+
+/// One reviewed exception: glob patterns ('*' matches any run of
+/// characters) over circuit name, check, and wire label, plus a mandatory
+/// human justification.
+struct AllowEntry {
+  std::string circuit_glob;
+  std::string check_glob;
+  std::string label_glob;
+  std::string justification;
+};
+
+struct Allowlist {
+  std::vector<AllowEntry> entries;
+
+  /// Parse the allowlist format: blank lines and `#` comments skipped;
+  /// otherwise `<circuit-glob> <check-glob> <label-glob> <justification>`.
+  /// Throws std::invalid_argument on a malformed or unjustified entry.
+  static Allowlist parse(std::istream& in);
+  static Allowlist load(const std::string& path);
+};
+
+/// '*'-wildcard match (no other metacharacters).
+bool glob_match(const std::string& pattern, const std::string& text);
+
+/// Mark findings covered by the allowlist. A subset mutation-survives
+/// finding is allowed only if every component label is individually
+/// covered.
+void apply_allowlist(Report& report, const Allowlist& allowlist);
+
+/// Human-readable one-liner for a finding.
+std::string format_finding(const Report& report, const Finding& f);
+
+/// Deterministic JSON for a batch of reports: byte-identical across runs
+/// with identical circuits and seed.
+std::string reports_to_json(const std::vector<Report>& reports, std::uint64_t seed);
+
+}  // namespace zl::snark::audit

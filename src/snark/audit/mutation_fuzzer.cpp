@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "snark/audit/audit.h"
+
+namespace zl::snark::audit {
+
+namespace {
+
+/// One (A,B,C) evaluation against the (mutated) assignment.
+bool constraint_holds(const Constraint& c, const std::vector<Fr>& z) {
+  return c.a.evaluate(z) * c.b.evaluate(z) == c.c.evaluate(z);
+}
+
+Fr random_nonzero(Rng& rng) {
+  for (;;) {
+    const Fr x = Fr::random(rng);
+    if (!x.is_zero()) return x;
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> fuzz_mutations(const CircuitBuilder& b, const Options& opts) {
+  const ConstraintSystem& cs = b.constraint_system();
+  std::vector<Fr> z = b.assignment();
+  if (!cs.is_satisfied(z)) {
+    throw std::invalid_argument(
+        "fuzz_mutations: the builder's assignment does not satisfy its own constraints "
+        "(harness bug — the fuzzer needs an honest witness as its starting point)");
+  }
+
+  // var -> indices of the constraints that mention it (dedup per constraint).
+  std::vector<std::vector<std::size_t>> touching(cs.num_variables);
+  for (std::size_t i = 0; i < cs.constraints.size(); ++i) {
+    std::set<VarIndex> vars;
+    const Constraint& c = cs.constraints[i];
+    for (const LinearCombination* lc : {&c.a, &c.b, &c.c}) {
+      for (const auto& t : lc->terms()) {
+        if (t.index != 0 && !t.coeff.is_zero()) vars.insert(t.index);
+      }
+    }
+    for (const VarIndex v : vars) touching[v].push_back(i);
+  }
+
+  // Re-check only the constraints a mutation can affect: constraints not
+  // mentioning a mutated variable evaluate identically, so this is exact.
+  const auto survives = [&](const std::vector<VarIndex>& mutated) {
+    std::set<std::size_t> ids;
+    for (const VarIndex v : mutated) ids.insert(touching[v].begin(), touching[v].end());
+    for (const std::size_t i : ids) {
+      if (!constraint_holds(cs.constraints[i], z)) return false;
+    }
+    return true;
+  };
+
+  std::vector<Finding> findings;
+  Rng rng(opts.seed);
+  std::set<VarIndex> flagged;
+
+  // ---- single-wire mutations ---------------------------------------------
+  for (VarIndex v = cs.num_inputs + 1; v < cs.num_variables; ++v) {
+    const Fr original = z[v];
+    const Fr deltas[2] = {Fr::one(), random_nonzero(rng)};
+    for (const Fr& delta : deltas) {
+      z[v] = original + delta;
+      const bool ok = survives({v});
+      z[v] = original;
+      if (!ok) continue;
+      Finding f;
+      f.check = "mutation-survives";
+      f.label = b.var_label(v);
+      f.vars = {v};
+      f.detail =
+          "perturbing this witness wire leaves every constraint satisfied: the statement "
+          "admits a second, prover-chosen witness";
+      findings.push_back(std::move(f));
+      flagged.insert(v);
+      break;
+    }
+  }
+
+  // ---- small random-subset mutations -------------------------------------
+  // Individually free wires are excluded — any subset containing one would
+  // trivially survive and drown the signal.
+  std::vector<VarIndex> pool;
+  for (VarIndex v = cs.num_inputs + 1; v < cs.num_variables; ++v) {
+    if (!flagged.count(v)) pool.push_back(v);
+  }
+  const std::size_t max_subset = std::max<std::size_t>(2, opts.max_subset);
+  std::set<std::vector<VarIndex>> reported;
+  if (pool.size() >= 2) {
+    for (std::size_t round = 0; round < opts.subset_rounds; ++round) {
+      const std::size_t want =
+          2 + static_cast<std::size_t>(rng.uniform(static_cast<std::uint64_t>(
+                  std::min(max_subset, pool.size()) - 1)));
+      std::set<VarIndex> subset;
+      while (subset.size() < want) {
+        subset.insert(pool[static_cast<std::size_t>(
+            rng.uniform(static_cast<std::uint64_t>(pool.size())))]);
+      }
+      const std::vector<VarIndex> vars(subset.begin(), subset.end());
+      std::vector<Fr> saved;
+      saved.reserve(vars.size());
+      for (const VarIndex v : vars) {
+        saved.push_back(z[v]);
+        z[v] += random_nonzero(rng);
+      }
+      const bool ok = survives(vars);
+      for (std::size_t i = 0; i < vars.size(); ++i) z[vars[i]] = saved[i];
+      if (!ok || !reported.insert(vars).second) continue;
+      Finding f;
+      f.check = "mutation-survives";
+      f.vars = vars;
+      for (const VarIndex v : vars) {
+        if (!f.label.empty()) f.label += "+";
+        f.label += b.var_label(v);
+      }
+      f.detail =
+          "jointly perturbing this witness-wire subset leaves every constraint satisfied";
+      findings.push_back(std::move(f));
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace zl::snark::audit

@@ -1,0 +1,232 @@
+#include <algorithm>
+#include <cstdio>
+// Read-only allowlist config for the audit tool; nothing durable is
+// written, so the Vfs crash-consistency chokepoint does not apply.
+// zl-lint: allow(raw-file-io)
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "snark/audit/audit.h"
+
+namespace zl::snark::audit {
+
+std::size_t Report::unreviewed() const {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (!f.allowed) ++n;
+  }
+  return n;
+}
+
+Report audit_circuit(const std::string& name, const CircuitBuilder& b, const Options& opts) {
+  Report report;
+  report.circuit = name;
+  report.num_constraints = b.constraint_system().constraints.size();
+  report.num_variables = b.constraint_system().num_variables;
+  report.num_inputs = b.constraint_system().num_inputs;
+  report.seed = opts.seed;
+  if (opts.run_static) {
+    auto found = analyze_static(b, &report.notes);
+    report.findings.insert(report.findings.end(), std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+  }
+  if (opts.run_fuzz) {
+    auto found = fuzz_mutations(b, opts);
+    report.findings.insert(report.findings.end(), std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& x, const Finding& y) {
+              if (x.check != y.check) return x.check < y.check;
+              if (x.vars != y.vars) return x.vars < y.vars;
+              return x.label < y.label;
+            });
+  return report;
+}
+
+// ---- allowlist -------------------------------------------------------------
+
+Allowlist Allowlist::parse(std::istream& in) {
+  Allowlist list;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    AllowEntry entry;
+    if (!(fields >> entry.circuit_glob)) continue;  // blank / comment-only
+    if (!(fields >> entry.check_glob >> entry.label_glob)) {
+      throw std::invalid_argument("allowlist line " + std::to_string(lineno) +
+                                  ": expected <circuit> <check> <label> <justification>");
+    }
+    std::getline(fields, entry.justification);
+    const auto first = entry.justification.find_first_not_of(" \t");
+    entry.justification =
+        first == std::string::npos ? std::string() : entry.justification.substr(first);
+    while (!entry.justification.empty() &&
+           (entry.justification.back() == ' ' || entry.justification.back() == '\t' ||
+            entry.justification.back() == '\r')) {
+      entry.justification.pop_back();
+    }
+    if (entry.justification.empty()) {
+      throw std::invalid_argument("allowlist line " + std::to_string(lineno) +
+                                  ": every entry needs a justification");
+    }
+    list.entries.push_back(std::move(entry));
+  }
+  return list;
+}
+
+Allowlist Allowlist::load(const std::string& path) {
+  std::ifstream in(path);  // zl-lint: allow(raw-file-io) read-only tool config
+  if (!in) throw std::invalid_argument("allowlist: cannot open " + path);
+  return parse(in);
+}
+
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative '*' matcher with single-backtrack point (classic greedy glob).
+  std::size_t p = 0, t = 0, star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+/// Split a '+'-joined subset label back into component labels.
+std::vector<std::string> split_labels(const std::string& label) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const auto plus = label.find('+', start);
+    out.push_back(label.substr(start, plus - start));
+    if (plus == std::string::npos) return out;
+    start = plus + 1;
+  }
+}
+
+const AllowEntry* find_entry(const Allowlist& allowlist, const std::string& circuit,
+                             const std::string& check, const std::string& label) {
+  for (const AllowEntry& e : allowlist.entries) {
+    if (glob_match(e.circuit_glob, circuit) && glob_match(e.check_glob, check) &&
+        glob_match(e.label_glob, label)) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void apply_allowlist(Report& report, const Allowlist& allowlist) {
+  for (Finding& f : report.findings) {
+    // A joint mutation finding is reviewed only when every component wire
+    // is individually covered — one free wire must not launder a subset.
+    const AllowEntry* matched = nullptr;
+    bool all = true;
+    for (const std::string& label : split_labels(f.label)) {
+      const AllowEntry* e = find_entry(allowlist, report.circuit, f.check, label);
+      if (!e) {
+        all = false;
+        break;
+      }
+      matched = e;
+    }
+    if (all && matched) {
+      f.allowed = true;
+      f.justification = matched->justification;
+    }
+  }
+}
+
+std::string format_finding(const Report& report, const Finding& f) {
+  std::string out = report.circuit + ": [" + f.check + "] " + f.label + " (";
+  for (std::size_t i = 0; i < f.vars.size(); ++i) {
+    if (i) out += ",";
+    out += "v" + std::to_string(f.vars[i]);
+  }
+  out += ") " + f.detail;
+  if (f.allowed) out += " [allowed: " + f.justification + "]";
+  return out;
+}
+
+// ---- JSON ------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string reports_to_json(const std::vector<Report>& reports, std::uint64_t seed) {
+  std::ostringstream out;
+  std::size_t total_unreviewed = 0;
+  for (const Report& r : reports) total_unreviewed += r.unreviewed();
+  out << "{\n  \"seed\": " << seed << ",\n  \"unreviewed\": " << total_unreviewed
+      << ",\n  \"circuits\": [";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Report& r = reports[i];
+    out << (i ? "," : "") << "\n    {\n      \"circuit\": \"" << json_escape(r.circuit)
+        << "\",\n      \"constraints\": " << r.num_constraints
+        << ",\n      \"variables\": " << r.num_variables
+        << ",\n      \"inputs\": " << r.num_inputs << ",\n      \"notes\": [";
+    for (std::size_t j = 0; j < r.notes.size(); ++j) {
+      out << (j ? "," : "") << "\"" << json_escape(r.notes[j]) << "\"";
+    }
+    out << "],\n      \"findings\": [";
+    for (std::size_t j = 0; j < r.findings.size(); ++j) {
+      const Finding& f = r.findings[j];
+      out << (j ? "," : "") << "\n        {\"check\": \"" << json_escape(f.check)
+          << "\", \"label\": \"" << json_escape(f.label) << "\", \"vars\": [";
+      for (std::size_t k = 0; k < f.vars.size(); ++k) {
+        out << (k ? "," : "") << f.vars[k];
+      }
+      out << "], \"allowed\": " << (f.allowed ? "true" : "false") << ", \"detail\": \""
+          << json_escape(f.detail) << "\"";
+      if (f.allowed) out << ", \"justification\": \"" << json_escape(f.justification) << "\"";
+      out << "}";
+    }
+    out << (r.findings.empty() ? "]" : "\n      ]") << "\n    }";
+  }
+  out << (reports.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+}  // namespace zl::snark::audit

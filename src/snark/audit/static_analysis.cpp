@@ -1,0 +1,214 @@
+#include <map>
+#include <set>
+
+#include "snark/audit/audit.h"
+
+namespace zl::snark::audit {
+
+namespace {
+
+// Occurrence classification per variable. A *linear* occurrence is one
+// where the variable enters the constraint additively: anywhere in C, or in
+// A (resp. B) when the opposite factor is constant. A *nonlinear*
+// occurrence multiplies the variable by another variable-dependent factor.
+constexpr std::uint8_t kLinear = 1;
+constexpr std::uint8_t kNonlinear = 2;
+
+/// Nonzero-coefficient variable terms (index > 0) of a combination.
+/// (Merged term lists can retain zero coefficients after cancellation.)
+std::vector<LinearCombination::Term> var_terms(const LinearCombination& lc) {
+  std::vector<LinearCombination::Term> out;
+  for (const auto& t : lc.terms()) {
+    if (t.index != 0 && !t.coeff.is_zero()) out.push_back(t);
+  }
+  return out;
+}
+
+Fr constant_term(const LinearCombination& lc) {
+  for (const auto& t : lc.terms()) {
+    if (t.index == 0) return t.coeff;
+  }
+  return Fr::zero();
+}
+
+/// Is `c` (some scaling of) the booleanity constraint v*(v-1) = 0 for v?
+/// Writing A = a1 v + a0, B = b1 v + b0, C = c1 v + c0 (any other variable
+/// disqualifies), A*B = C reads  a1 b1 v^2 + (a1 b0 + a0 b1 - c1) v +
+/// (a0 b0 - c0) = 0,  which pins v to {0,1} iff it equals k (v^2 - v) with
+/// k = a1 b1 != 0 and the constant part vanishes.
+bool is_booleanity_for(const Constraint& c, VarIndex v) {
+  Fr coef[3] = {Fr::zero(), Fr::zero(), Fr::zero()};  // v-coefficients of A, B, C
+  const LinearCombination* lcs[3] = {&c.a, &c.b, &c.c};
+  for (int i = 0; i < 3; ++i) {
+    for (const auto& t : var_terms(*lcs[i])) {
+      if (t.index != v) return false;
+      coef[i] += t.coeff;
+    }
+  }
+  const Fr a1 = coef[0], b1 = coef[1], c1 = coef[2];
+  const Fr a0 = constant_term(c.a), b0 = constant_term(c.b), c0 = constant_term(c.c);
+  const Fr k = a1 * b1;
+  if (k.is_zero()) return false;
+  return a1 * b0 + a0 * b1 - c1 == -k && a0 * b0 == c0;
+}
+
+/// Sparse row of the linear subsystem, keyed by column variable.
+using Row = std::map<VarIndex, Fr>;
+
+void accumulate(Row& row, const LinearCombination& lc, const Fr& scale,
+                const std::vector<std::uint8_t>& is_column) {
+  for (const auto& t : lc.terms()) {
+    if (t.index == 0 || t.coeff.is_zero() || !is_column[t.index]) continue;
+    const Fr add = t.coeff * scale;
+    auto [it, inserted] = row.emplace(t.index, add);
+    if (!inserted) it->second += add;
+  }
+}
+
+void drop_zeros(Row& row) {
+  for (auto it = row.begin(); it != row.end();) {
+    it = it->second.is_zero() ? row.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> analyze_static(const CircuitBuilder& b, std::vector<std::string>* notes) {
+  const ConstraintSystem& cs = b.constraint_system();
+  const std::size_t n = cs.num_variables;
+  std::vector<Finding> findings;
+
+  // ---- occurrence classification -----------------------------------------
+  std::vector<std::uint8_t> occurs(n, 0);
+  for (const Constraint& c : cs.constraints) {
+    const auto a_vars = var_terms(c.a);
+    const auto b_vars = var_terms(c.b);
+    const bool a_const = a_vars.empty();
+    const bool b_const = b_vars.empty();
+    for (const auto& t : a_vars) occurs[t.index] |= b_const ? kLinear : kNonlinear;
+    for (const auto& t : b_vars) occurs[t.index] |= a_const ? kLinear : kNonlinear;
+    for (const auto& t : var_terms(c.c)) occurs[t.index] |= kLinear;
+  }
+
+  const auto add = [&](const char* check, VarIndex v, std::string detail) {
+    Finding f;
+    f.check = check;
+    f.label = b.var_label(v);
+    f.vars = {v};
+    f.detail = std::move(detail);
+    findings.push_back(std::move(f));
+  };
+
+  // ---- (a) unconstrained witness wires, (d) dangling public inputs -------
+  for (VarIndex v = 1; v < n; ++v) {
+    if (occurs[v] != 0) continue;
+    if (v <= cs.num_inputs) {
+      add("dangling-input", v,
+          "public input appears in no constraint: the statement value is never bound to the "
+          "witness and carries no meaning");
+    } else {
+      add("unconstrained-wire", v,
+          "allocated witness appears in no constraint: any value satisfies the circuit");
+    }
+  }
+
+  // ---- (c) claimed booleans without a booleanity constraint --------------
+  // A vouch_boolean from the constructing gadget (boolean-by-construction
+  // wires such as is_zero's out) satisfies the claim; the vouch is that
+  // gadget's reviewed obligation.
+  for (const VarIndex v : b.boolean_claims()) {
+    if (b.vouched_booleans().count(v)) continue;
+    bool found = false;
+    for (const Constraint& c : cs.constraints) {
+      if (is_booleanity_for(c, v)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      add("missing-booleanity", v,
+          "wire is consumed as a boolean (mark_boolean) but no constraint enforces "
+          "w*(w-1) = 0; values outside {0,1} reach the consuming gadget");
+    }
+  }
+
+  // ---- (b) rank/propagation analysis over only-linear witness wires ------
+  //
+  // Columns: witness variables whose every occurrence is linear. Relative
+  // to the rest of the assignment (public inputs and every nonlinearly
+  // occurring variable treated as fixed) the constraints restricted to
+  // these columns form a linear system; a non-pivot column after Gaussian
+  // elimination is a free parameter of the solution space, i.e. freely
+  // assignable by the prover. The heuristic is documented in DESIGN.md §10:
+  // it treats quadratically occurring wires as pinned elsewhere, which the
+  // mutation fuzzer complements concretely.
+  std::vector<std::uint8_t> is_column(n, 0);
+  std::vector<VarIndex> columns;
+  for (VarIndex v = cs.num_inputs + 1; v < n; ++v) {
+    if (occurs[v] == kLinear) {
+      is_column[v] = 1;
+      columns.push_back(v);
+    }
+  }
+  constexpr std::size_t kMaxColumns = 1 << 14;
+  if (columns.size() > kMaxColumns) {
+    if (notes) {
+      notes->push_back("free-linear-wire analysis skipped: " + std::to_string(columns.size()) +
+                       " only-linear wires exceed the elimination bound");
+    }
+  } else if (!columns.empty()) {
+    std::map<VarIndex, Row> pivots;  // pivot column -> normalized row
+    for (const Constraint& c : cs.constraints) {
+      Row row;
+      const auto a_vars = var_terms(c.a);
+      const auto b_vars = var_terms(c.b);
+      if (a_vars.empty() || b_vars.empty()) {
+        // Product is linear: fold the constant side in. (If both sides are
+        // constant only C contributes, which is still correct.)
+        if (a_vars.empty() && !b_vars.empty()) accumulate(row, c.b, constant_term(c.a), is_column);
+        if (b_vars.empty() && !a_vars.empty()) accumulate(row, c.a, constant_term(c.b), is_column);
+      }
+      // Nonlinear products never involve column variables by construction;
+      // C always contributes linearly.
+      accumulate(row, c.c, -Fr::one(), is_column);
+      drop_zeros(row);
+      // Reduce against existing pivots until no column of the row has a
+      // pivot, then install a new pivot if any support remains. Each
+      // reduction removes one pivot column and can only introduce columns
+      // at or above it (a pivot is the smallest column of its normalized
+      // row), so the loop terminates.
+      for (bool reduced = true; reduced;) {
+        reduced = false;
+        for (const auto& [col, coeff] : row) {
+          const auto p = pivots.find(col);
+          if (p == pivots.end()) continue;
+          const Fr factor = coeff;
+          for (const auto& [pcol, pcoeff] : p->second) {
+            auto [rit, inserted] = row.emplace(pcol, -factor * pcoeff);
+            if (!inserted) rit->second -= factor * pcoeff;
+          }
+          drop_zeros(row);
+          reduced = true;
+          break;  // map mutated; rescan from the start
+        }
+      }
+      if (row.empty()) continue;
+      const VarIndex pivot_col = row.begin()->first;
+      const Fr inv = row.begin()->second.inverse();
+      Row normalized;
+      for (const auto& [col, coeff] : row) normalized[col] = coeff * inv;
+      pivots.emplace(pivot_col, std::move(normalized));
+    }
+    for (const VarIndex v : columns) {
+      if (pivots.count(v)) continue;
+      add("free-linear-wire", v,
+          "every occurrence is linear and the wire is a non-pivot column of the induced "
+          "linear system: the prover can shift it (with other free columns) without "
+          "violating any constraint");
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace zl::snark::audit

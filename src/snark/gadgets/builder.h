@@ -7,8 +7,18 @@
 // deterministically (no value-dependent structure), so the same builder
 // code serves both the trusted setup (structure only, dummy values) and
 // the prover (real witness).
+//
+// Beyond allocation and constraints the builder records an *intent trace*
+// for the circuit auditor (src/snark/audit): named gadget scopes label each
+// allocated variable, and `mark_boolean` lets a gadget declare that it
+// assumes a wire is boolean — the auditor then checks that some constraint
+// actually enforces w*(w-1) = 0. The trace costs a few strings and set
+// inserts per allocation and changes nothing about the constraint system.
 
+#include <set>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 #include "snark/r1cs.h"
 
@@ -34,27 +44,40 @@ struct Wire {
   Wire operator-() const { return *this * (-Fr::one()); }
   Wire operator+(const Fr& c) const { return *this + constant(c); }
   Wire operator-(const Fr& c) const { return *this - constant(c); }
+
+  /// The variable index when this wire is a plain single variable with
+  /// coefficient one (the form allocation returns), else 0 (the constant
+  /// ONE index, never a witness). Used by the intent-annotation APIs.
+  VarIndex plain_variable() const {
+    const auto& ts = lc.terms();
+    if (ts.size() == 1 && ts[0].index != 0 && ts[0].coeff == Fr::one()) return ts[0].index;
+    return 0;
+  }
 };
 
 class CircuitBuilder {
  public:
   /// Allocate a public input wire. All inputs must be allocated before any
   /// witness variable (R1CS convention: inputs occupy indices 1..n).
-  Wire input(const Fr& value) {
+  /// `name` (optional) labels the variable in audit reports.
+  Wire input(const Fr& value, std::string_view name = {}) {
     if (witnesses_allocated_) {
       throw std::logic_error("CircuitBuilder: inputs must be allocated before witnesses");
     }
     const VarIndex idx = cs_.allocate_variable();
     ++cs_.num_inputs;
     assignment_.push_back(value);
+    labels_.push_back(make_label(name, idx));
     return Wire(LinearCombination::variable(idx), value);
   }
 
-  /// Allocate a private witness wire holding `value`.
-  Wire witness(const Fr& value) {
+  /// Allocate a private witness wire holding `value`. `name` (optional)
+  /// labels the variable in audit reports and allowlists.
+  Wire witness(const Fr& value, std::string_view name = {}) {
     witnesses_allocated_ = true;
     const VarIndex idx = cs_.allocate_variable();
     assignment_.push_back(value);
+    labels_.push_back(make_label(name, idx));
     return Wire(LinearCombination::variable(idx), value);
   }
 
@@ -83,13 +106,77 @@ class CircuitBuilder {
     return out;
   }
 
+  /// Intent annotation: the calling gadget relies on `w` being boolean.
+  /// Records the claim when `w` is a plain variable (compound linear
+  /// combinations are boolean-by-construction or checked where their parts
+  /// are allocated); the auditor verifies every claimed variable carries a
+  /// w*(w-1) = 0 constraint. Adds no constraints.
+  void mark_boolean(const Wire& w) {
+    const VarIndex idx = w.plain_variable();
+    if (idx == 0) return;
+    if (boolean_claim_set_.insert(idx).second) boolean_claims_.push_back(idx);
+  }
+
+  /// The constructing gadget vouches that its defining constraints already
+  /// pin `w` to {0,1} without a literal w*(w-1) = 0 — e.g. is_zero's `out`
+  /// (forced by w*out = 0 and w*inv = 1-out) or the product of two boolean
+  /// operands. A vouched wire satisfies downstream mark_boolean claims in
+  /// the audit; the vouch itself is a reviewed obligation of the gadget
+  /// that makes it (code review of the constructing gadget, not the
+  /// auditor, carries the proof).
+  void vouch_boolean(const Wire& w) {
+    const VarIndex idx = w.plain_variable();
+    if (idx != 0) vouched_booleans_.insert(idx);
+  }
+
+  /// Variables covered by vouch_boolean.
+  const std::set<VarIndex>& vouched_booleans() const { return vouched_booleans_; }
+
+  /// RAII gadget scope: variables allocated while a Scope is alive are
+  /// labeled "<outer>/<name>/...", giving audit findings stable,
+  /// human-reviewable names.
+  class Scope {
+   public:
+    Scope(CircuitBuilder& b, std::string_view name) : b_(b), saved_(b.scope_) {
+      b_.scope_ = saved_.empty() ? std::string(name) : saved_ + "/" + std::string(name);
+    }
+    ~Scope() { b_.scope_ = std::move(saved_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    CircuitBuilder& b_;
+    std::string saved_;
+  };
+
   const ConstraintSystem& constraint_system() const { return cs_; }
   const std::vector<Fr>& assignment() const { return assignment_; }
   std::size_t num_constraints() const { return cs_.constraints.size(); }
 
+  /// Variables claimed boolean via mark_boolean, in claim order.
+  const std::vector<VarIndex>& boolean_claims() const { return boolean_claims_; }
+
+  /// Audit label of a variable ("scope/name" or "scope/w<idx>"); "one" for
+  /// index 0.
+  std::string var_label(VarIndex idx) const {
+    if (idx == 0) return "one";
+    if (idx < 1 + labels_.size()) return labels_[idx - 1];
+    return "w" + std::to_string(idx);
+  }
+
  private:
+  std::string make_label(std::string_view name, VarIndex idx) const {
+    std::string leaf = name.empty() ? "w" + std::to_string(idx) : std::string(name);
+    return scope_.empty() ? leaf : scope_ + "/" + leaf;
+  }
+
   ConstraintSystem cs_;
   std::vector<Fr> assignment_ = {Fr::one()};
+  std::vector<std::string> labels_;  // labels_[i] labels variable i+1
+  std::vector<VarIndex> boolean_claims_;
+  std::set<VarIndex> boolean_claim_set_;
+  std::set<VarIndex> vouched_booleans_;
+  std::string scope_;
   bool witnesses_allocated_ = false;
 };
 

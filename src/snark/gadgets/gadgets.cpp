@@ -3,6 +3,7 @@
 namespace zl::snark {
 
 void enforce_boolean(CircuitBuilder& b, const Wire& w) {
+  b.mark_boolean(w);
   b.enforce(w, w - Fr::one(), Wire::zero());
 }
 
@@ -35,16 +36,27 @@ Wire bits_to_wire(const std::vector<Wire>& bits) {
 }
 
 Wire select(CircuitBuilder& b, const Wire& bit, const Wire& t, const Wire& f) {
+  b.mark_boolean(bit);
   // f + bit * (t - f)
   return f + b.mul(bit, t - f);
 }
 
 Wire is_zero(CircuitBuilder& b, const Wire& w) {
+  const CircuitBuilder::Scope scope(b, "is_zero");
   // Witness inv = w^-1 (or 0); out = 1 - w*inv; enforce w*out == 0.
-  const Wire inv = b.witness(w.value.is_zero() ? Fr::zero() : w.value.inverse());
-  const Wire out = b.witness(w.value.is_zero() ? Fr::one() : Fr::zero());
+  //
+  // `inv` is a deliberately free wire when w == 0: the first constraint
+  // degenerates to 0 * inv = 1 - out, which pins out = 1 but leaves inv
+  // unconstrained. Soundness is unaffected — out is forced either way — so
+  // the circuit auditor's allowlist carries `is_zero/inv` with this
+  // justification rather than a constraint being added to pin it.
+  const Wire inv = b.witness(w.value.is_zero() ? Fr::zero() : w.value.inverse(), "inv");
+  const Wire out = b.witness(w.value.is_zero() ? Fr::one() : Fr::zero(), "out");
   b.enforce(w, inv, Wire::one() - out);
   b.enforce(w, out, Wire::zero());
+  // out is boolean by construction: w != 0 forces out = 0 (second
+  // constraint), w == 0 forces out = 1 (first constraint).
+  b.vouch_boolean(out);
   return out;
 }
 
@@ -65,10 +77,20 @@ Wire less_than(CircuitBuilder& b, const Wire& a, const Wire& b_wire, unsigned nb
   return bool_not(less_or_equal(b, b_wire, a, nbits));
 }
 
-Wire bool_and(CircuitBuilder& b, const Wire& x, const Wire& y) { return b.mul(x, y); }
+Wire bool_and(CircuitBuilder& b, const Wire& x, const Wire& y) {
+  b.mark_boolean(x);
+  b.mark_boolean(y);
+  const Wire out = b.mul(x, y);
+  b.vouch_boolean(out);  // product of booleans is boolean
+  return out;
+}
 
 Wire bool_or(CircuitBuilder& b, const Wire& x, const Wire& y) {
-  return x + y - b.mul(x, y);
+  b.mark_boolean(x);
+  b.mark_boolean(y);
+  const Wire xy = b.mul(x, y);
+  b.vouch_boolean(xy);  // product of booleans is boolean
+  return x + y - xy;
 }
 
 Wire bool_not(const Wire& x) { return Wire::one() - x; }
@@ -78,16 +100,20 @@ Wire bits_less_than_constant(CircuitBuilder& b, const std::vector<Wire>& bits, c
   // already decided value < c; `eq` is 1 iff the examined prefix equals c's.
   Wire lt = Wire::zero();
   Wire eq = Wire::one();
+  for (const Wire& bit : bits) b.mark_boolean(bit);
   for (std::size_t i = bits.size(); i-- > 0;) {
     const bool c_bit = mpz_tstbit(c.get_mpz_t(), i) != 0;
     if (c_bit) {
       // value bit 0 while c bit 1 decides "less" (if still equal so far).
-      lt = lt + b.mul(eq, bool_not(bits[i]));
+      const Wire decided = b.mul(eq, bool_not(bits[i]));
+      b.vouch_boolean(decided);  // product of booleans is boolean
+      lt = lt + decided;
       eq = b.mul(eq, bits[i]);
     } else {
       // value bit 1 while c bit 0 decides "greater": equality prefix dies.
       eq = b.mul(eq, bool_not(bits[i]));
     }
+    b.vouch_boolean(eq);
   }
   return lt;
 }

@@ -3,7 +3,11 @@
 namespace zl::snark {
 
 PointWires allocate_point(CircuitBuilder& b, const JubjubPoint& p) {
-  return {b.witness(p.x), b.witness(p.y)};
+  // The curve check is deliberately the caller's obligation (see header):
+  // callers either enforce_on_curve or derive constraints that pin both
+  // coordinates.
+  return {b.witness(p.x, "point.x"),   // zl-lint: allow(unchecked-allocate)
+          b.witness(p.y, "point.y")};  // zl-lint: allow(unchecked-allocate)
 }
 
 void enforce_on_curve(CircuitBuilder& b, const PointWires& p) {
@@ -37,6 +41,7 @@ PointWires point_add(CircuitBuilder& b, const PointWires& p, const PointWires& q
 }
 
 PointWires point_select_or_identity(CircuitBuilder& b, const Wire& bit, const PointWires& p) {
+  b.mark_boolean(bit);
   // (bit*x, 1 + bit*(y-1))
   const Wire sx = b.mul(bit, p.x);
   const Wire sy = Wire::one() + b.mul(bit, p.y - Fr::one());

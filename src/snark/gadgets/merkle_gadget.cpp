@@ -8,8 +8,11 @@ MerklePathWires allocate_merkle_path(CircuitBuilder& b, const MerkleTree::Path& 
     throw std::invalid_argument("allocate_merkle_path: depth mismatch");
   }
   MerklePathWires wires;
+  const CircuitBuilder::Scope scope(b, "merkle");
   for (unsigned i = 0; i < depth; ++i) {
-    wires.siblings.push_back(b.witness(path.siblings[i]));
+    // Siblings are constrained by the caller's merkle_root_gadget hash
+    // chain, not here.  // zl-lint: allow(unchecked-allocate)
+    wires.siblings.push_back(b.witness(path.siblings[i], "sib" + std::to_string(i)));
     wires.index_bits.push_back(boolean_witness(b, ((path.leaf_index >> i) & 1) != 0));
   }
   return wires;
@@ -20,6 +23,7 @@ Wire merkle_root_gadget(CircuitBuilder& b, const Wire& leaf, const MerklePathWir
   for (std::size_t i = 0; i < path.siblings.size(); ++i) {
     const Wire& sib = path.siblings[i];
     const Wire& bit = path.index_bits[i];
+    b.mark_boolean(bit);
     // bit == 0: (cur, sib); bit == 1: (sib, cur). One shared mux product.
     const Wire diff = b.mul(bit, sib - cur);
     const Wire left = cur + diff;

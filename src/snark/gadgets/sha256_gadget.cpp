@@ -39,6 +39,8 @@ std::uint32_t word_value(const WordWires& w) {
 WordWires word_xor(CircuitBuilder& b, const WordWires& x, const WordWires& y) {
   WordWires out;
   for (unsigned i = 0; i < 32; ++i) {
+    b.mark_boolean(x[i]);
+    b.mark_boolean(y[i]);
     // a xor b = a + b - 2ab; stays boolean by construction.
     out[i] = x[i] + y[i] - b.mul(x[i], y[i]) * Fr::from_u64(2);
   }
@@ -60,6 +62,7 @@ WordWires word_shr(const WordWires& w, unsigned n) {
 WordWires word_ch(CircuitBuilder& b, const WordWires& e, const WordWires& f, const WordWires& g) {
   WordWires out;
   for (unsigned i = 0; i < 32; ++i) {
+    b.mark_boolean(e[i]);
     // e ? f : g  =  g + e (f - g)
     out[i] = g[i] + b.mul(e[i], f[i] - g[i]);
   }
@@ -70,6 +73,9 @@ WordWires word_maj(CircuitBuilder& b, const WordWires& x, const WordWires& y,
                    const WordWires& z) {
   WordWires out;
   for (unsigned i = 0; i < 32; ++i) {
+    b.mark_boolean(x[i]);
+    b.mark_boolean(y[i]);
+    b.mark_boolean(z[i]);
     // maj = xy + xz + yz - 2xyz = t + z (x + y - 2t) with t = xy.
     const Wire t = b.mul(x[i], y[i]);
     out[i] = t + b.mul(z[i], x[i] + y[i] - t * Fr::from_u64(2));

@@ -5,6 +5,7 @@
 // with z[0] == 1 by convention. Variables [1 .. num_inputs] are the public
 // inputs (the SNARK statement ~x); the rest are private witnesses (~w).
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,14 @@ namespace zl::snark {
 using VarIndex = std::size_t;
 
 /// Sparse linear combination sum_i coeff_i * z[index_i].
+///
+/// Terms are kept sorted by variable index: accumulation is a binary-search
+/// merge instead of a linear scan, so building a k-term combination costs
+/// O(k log k) rather than O(k^2). Every consumer (QAP reduction, constraint
+/// evaluation) sums over terms in exact field arithmetic, so the reordering
+/// relative to the historical insertion-ordered representation is
+/// bit-invisible in keys and proofs (pinned by test_snark's
+/// SortedTermOrderIsBitInvisible).
 class LinearCombination {
  public:
   struct Term {
@@ -33,26 +42,18 @@ class LinearCombination {
 
   void add_term(VarIndex index, const Fr& coeff) {
     if (coeff.is_zero()) return;
-    for (Term& t : terms_) {
-      if (t.index == index) {
-        t.coeff += coeff;
-        return;
-      }
+    const auto it = std::lower_bound(
+        terms_.begin(), terms_.end(), index,
+        [](const Term& t, VarIndex i) { return t.index < i; });
+    if (it != terms_.end() && it->index == index) {
+      it->coeff += coeff;
+      return;
     }
-    terms_.push_back({index, coeff});
+    terms_.insert(it, {index, coeff});
   }
 
-  LinearCombination operator+(const LinearCombination& rhs) const {
-    LinearCombination out = *this;
-    for (const Term& t : rhs.terms_) out.add_term(t.index, t.coeff);
-    return out;
-  }
-
-  LinearCombination operator-(const LinearCombination& rhs) const {
-    LinearCombination out = *this;
-    for (const Term& t : rhs.terms_) out.add_term(t.index, -t.coeff);
-    return out;
-  }
+  LinearCombination operator+(const LinearCombination& rhs) const { return merged(rhs, false); }
+  LinearCombination operator-(const LinearCombination& rhs) const { return merged(rhs, true); }
 
   LinearCombination operator*(const Fr& s) const {
     LinearCombination out;
@@ -69,6 +70,29 @@ class LinearCombination {
   const std::vector<Term>& terms() const { return terms_; }
 
  private:
+  /// Index-sorted linear merge of two sorted term lists, O(n + m).
+  LinearCombination merged(const LinearCombination& rhs, bool negate_rhs) const {
+    LinearCombination out;
+    out.terms_.reserve(terms_.size() + rhs.terms_.size());
+    std::size_t i = 0, j = 0;
+    while (i < terms_.size() || j < rhs.terms_.size()) {
+      if (j == rhs.terms_.size() ||
+          (i < terms_.size() && terms_[i].index < rhs.terms_[j].index)) {
+        out.terms_.push_back(terms_[i++]);
+      } else if (i == terms_.size() || rhs.terms_[j].index < terms_[i].index) {
+        const Term& t = rhs.terms_[j++];
+        out.terms_.push_back({t.index, negate_rhs ? -t.coeff : t.coeff});
+      } else {
+        const Fr sum =
+            negate_rhs ? terms_[i].coeff - rhs.terms_[j].coeff : terms_[i].coeff + rhs.terms_[j].coeff;
+        out.terms_.push_back({terms_[i].index, sum});
+        ++i;
+        ++j;
+      }
+    }
+    return out;
+  }
+
   std::vector<Term> terms_;
 };
 

@@ -1,0 +1,169 @@
+#include "zebralancer/audit_targets.h"
+
+#include "auth/cpl_auth.h"
+#include "crypto/merkle.h"
+#include "crypto/mimc.h"
+#include "crypto/sha256.h"
+#include "snark/gadgets/gadgets.h"
+#include "snark/gadgets/jubjub_gadget.h"
+#include "snark/gadgets/merkle_gadget.h"
+#include "snark/gadgets/mimc_gadget.h"
+#include "snark/gadgets/sha256_gadget.h"
+#include "zebralancer/encryption.h"
+#include "zebralancer/reward_circuit.h"
+
+namespace zl::zebralancer {
+
+using snark::CircuitBuilder;
+using snark::PointWires;
+using snark::Wire;
+
+namespace {
+
+/// Core arithmetic gadgets, each output pinned to a public input so every
+/// statement wire is load-bearing. x == x2 on purpose: is_equal routes
+/// through is_zero on a zero-valued difference, whose `inv` helper is the
+/// one deliberately free wire of the gadget library (allowlisted).
+void build_gadgets_core(CircuitBuilder& b) {
+  const Wire x = b.input(Fr::from_u64(5), "x");
+  const Wire y = b.input(Fr::from_u64(7), "y");
+  const Wire x2 = b.input(Fr::from_u64(5), "x2");
+
+  const std::vector<Wire> bits = snark::bit_decompose(b, x, 8);
+  const Wire lt = snark::less_than(b, x, y, 8);
+  b.enforce_equal(lt, Wire::one());
+  const Wire nz = snark::is_zero(b, x - y);
+  b.enforce_equal(nz, Wire::zero());
+  const Wire eq = snark::is_equal(b, x, x2);
+  b.enforce_equal(eq, Wire::one());
+  const Wire sel = snark::select(b, lt, x, y);
+  b.enforce_equal(sel, x);
+  b.enforce_equal(snark::bool_and(b, lt, eq), Wire::one());
+  b.enforce_equal(snark::bool_or(b, nz, eq), Wire::one());
+  b.enforce_equal(snark::bits_less_than_constant(b, bits, BigInt(6)), Wire::one());
+}
+
+void build_mimc_hash(CircuitBuilder& b) {
+  const std::vector<Fr> msgs = {Fr::from_u64(11), Fr::from_u64(22), Fr::from_u64(33)};
+  const Wire digest = b.input(mimc_hash(msgs), "digest");
+  std::vector<Wire> wires;
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    wires.push_back(b.witness(msgs[i], "msg" + std::to_string(i)));
+  }
+  b.enforce_equal(snark::mimc_hash_gadget(b, wires), digest);
+}
+
+void build_merkle(CircuitBuilder& b) {
+  constexpr unsigned kDepth = 4;
+  MerkleTree tree(kDepth);
+  for (std::uint64_t i = 0; i < 5; ++i) tree.append(Fr::from_u64(100 + i));
+  const std::size_t leaf_index = 2;
+  const Wire root = b.input(tree.root(), "root");
+  const Wire leaf = b.witness(Fr::from_u64(102), "leaf");
+  const snark::MerklePathWires path = allocate_merkle_path(b, tree.path(leaf_index), kDepth);
+  b.enforce_equal(merkle_root_gadget(b, leaf, path), root);
+}
+
+void build_jubjub_scalar_mul(CircuitBuilder& b) {
+  constexpr std::uint64_t kScalar = 0xB7;
+  constexpr unsigned kBits = 8;
+  const JubjubPoint base = JubjubPoint::generator();
+  const JubjubPoint expected = base * BigInt(kScalar);
+  const Wire out_x = b.input(expected.x, "out.x");
+  const Wire out_y = b.input(expected.y, "out.y");
+
+  const PointWires base_wires = allocate_point(b, base);
+  enforce_on_curve(b, base_wires);
+  std::vector<Wire> bits;
+  for (unsigned i = 0; i < kBits; ++i) {
+    bits.push_back(snark::boolean_witness(b, ((kScalar >> i) & 1) != 0));
+  }
+  const PointWires result = snark::scalar_mul(b, bits, base_wires);
+  b.enforce_equal(result.x, out_x);
+  b.enforce_equal(result.y, out_y);
+}
+
+void build_sha256_block(CircuitBuilder& b) {
+  const std::uint32_t words[2] = {0x6a09e667u, 0xdeadbeefu};
+  Bytes message;
+  for (const std::uint32_t w : words) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      message.push_back(static_cast<std::uint8_t>(w >> shift));
+    }
+  }
+  const Bytes digest = Sha256::hash(message);
+  std::vector<Wire> digest_inputs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::uint32_t d = 0;
+    for (std::size_t j = 0; j < 4; ++j) d = (d << 8) | digest[4 * i + j];
+    digest_inputs.push_back(b.input(Fr::from_u64(d), "digest" + std::to_string(i)));
+  }
+  std::vector<snark::WordWires> message_wires;
+  for (const std::uint32_t w : words) message_wires.push_back(snark::word_witness(b, w));
+  const std::array<snark::WordWires, 8> out = snark::sha256_digest_gadget(b, message_wires);
+  for (std::size_t i = 0; i < 8; ++i) {
+    b.enforce_equal(snark::word_to_wire(out[i]), digest_inputs[i]);
+  }
+}
+
+void build_auth(CircuitBuilder& b) {
+  constexpr unsigned kDepth = 4;
+  Rng rng(0x5EED0001u);
+  auth::RegistrationAuthority ra(kDepth);
+  const auth::UserKey alice = auth::UserKey::generate(rng);
+  ra.register_identity("alice", alice.pk);
+  const auth::UserKey bob = auth::UserKey::generate(rng);
+  const auth::Certificate cert = ra.register_identity("bob", bob.pk);
+
+  const Bytes prefix = to_bytes("task-0xA1");
+  const Bytes rest = to_bytes("submit");
+  const Fr p = fr_from_bytes_sha(prefix);
+  const Fr m = fr_from_bytes_sha(concat({prefix, rest}));
+  const Fr t1 = mimc_compress(p, bob.sk);
+  const Fr t2 = mimc_compress(m, bob.sk);
+  auth::build_auth_circuit(b, kDepth, t1, t2, p, m, ra.registry_root(), bob.sk, cert.path);
+}
+
+void build_reward(CircuitBuilder& b, const std::string& policy_name,
+                  const std::vector<std::uint64_t>& raw_answers) {
+  RewardCircuitSpec spec;
+  spec.num_answers = raw_answers.size();
+  spec.policy_name = policy_name;
+  const std::unique_ptr<IncentivePolicy> policy = IncentivePolicy::by_name(policy_name);
+
+  Rng rng(0x5EED0002u);
+  const TaskEncKeyPair enc_key = TaskEncKeyPair::generate(rng);
+  std::vector<Fr> answers;
+  std::vector<AnswerCiphertext> ciphertexts;
+  for (const std::uint64_t a : raw_answers) {
+    answers.push_back(Fr::from_u64(a));
+    ciphertexts.push_back(encrypt_answer(enc_key.epk, answers.back(), rng));
+  }
+  constexpr std::uint64_t kShare = 1000;
+  const std::vector<std::uint64_t> rewards = policy->rewards(answers, kShare);
+  const std::vector<Fr> statement = reward_statement(enc_key.epk, kShare, ciphertexts, rewards);
+  build_reward_circuit(b, spec, statement, enc_key.esk);
+}
+
+}  // namespace
+
+std::vector<AuditTarget> audit_targets() {
+  return {
+      {"gadgets-core", build_gadgets_core},
+      {"mimc-hash", build_mimc_hash},
+      {"merkle", build_merkle},
+      {"jubjub-scalar-mul", build_jubjub_scalar_mul},
+      {"sha256-block", build_sha256_block},
+      {"auth", build_auth},
+      // Two answers agree, one dissents: exercises both branches of the
+      // per-pair equality tests inside the vote/threshold policies.
+      {"reward-majority-vote",
+       [](CircuitBuilder& b) { build_reward(b, "majority-vote:4", {2, 2, 1}); }},
+      {"reward-threshold",
+       [](CircuitBuilder& b) { build_reward(b, "threshold:4:2", {3, 0, 3}); }},
+      {"reward-uniform", [](CircuitBuilder& b) { build_reward(b, "uniform:4", {0, 1, 2}); }},
+      {"reward-auction", [](CircuitBuilder& b) { build_reward(b, "auction:1", {40, 17, 23}); }},
+  };
+}
+
+}  // namespace zl::zebralancer

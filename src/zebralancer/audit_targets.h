@@ -1,0 +1,27 @@
+#pragma once
+// Production-circuit registry for the circuit auditor (tools/circuit_audit
+// and tests/test_circuit_audit). Each target instantiates one deployed
+// constraint system — core gadget library, hash gadgets, Merkle membership,
+// Jubjub scalar multiplication, the CPL authentication circuit, and the
+// reward circuit under every shipped incentive policy — with a real,
+// consistent witness so the mutation fuzzer starts from a satisfying
+// assignment. All values derive from fixed literal seeds: two audit runs
+// build bit-identical circuits.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "snark/gadgets/builder.h"
+
+namespace zl::zebralancer {
+
+struct AuditTarget {
+  std::string name;
+  std::function<void(snark::CircuitBuilder&)> build;
+};
+
+/// Every production circuit, in fixed order.
+std::vector<AuditTarget> audit_targets();
+
+}  // namespace zl::zebralancer

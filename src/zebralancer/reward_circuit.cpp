@@ -9,10 +9,6 @@ using snark::CircuitBuilder;
 using snark::PointWires;
 using snark::Wire;
 
-namespace {
-
-/// Build the full reward circuit. Values must already be consistent when
-/// proving; for setup any placeholder values produce the same structure.
 void build_reward_circuit(CircuitBuilder& b, const RewardCircuitSpec& spec,
                           const std::vector<Fr>& statement, const BigInt& esk) {
   const std::unique_ptr<IncentivePolicy> policy = IncentivePolicy::by_name(spec.policy_name);
@@ -23,19 +19,22 @@ void build_reward_circuit(CircuitBuilder& b, const RewardCircuitSpec& spec,
 
   // Public inputs.
   std::size_t pos = 0;
-  const Wire epk_x = b.input(statement[pos++]);
-  const Wire epk_y = b.input(statement[pos++]);
-  const Wire share = b.input(statement[pos++]);
+  const Wire epk_x = b.input(statement[pos++], "epk.x");
+  const Wire epk_y = b.input(statement[pos++], "epk.y");
+  const Wire share = b.input(statement[pos++], "share");
   std::vector<PointWires> ephemerals;
   std::vector<Wire> payloads;
   for (std::size_t j = 0; j < n; ++j) {
-    const Wire rx = b.input(statement[pos++]);
-    const Wire ry = b.input(statement[pos++]);
+    const std::string tag = std::to_string(j);
+    const Wire rx = b.input(statement[pos++], "R" + tag + ".x");
+    const Wire ry = b.input(statement[pos++], "R" + tag + ".y");
     ephemerals.push_back({rx, ry});
-    payloads.push_back(b.input(statement[pos++]));
+    payloads.push_back(b.input(statement[pos++], "c" + tag));
   }
   std::vector<Wire> reward_inputs;
-  for (std::size_t j = 0; j < n; ++j) reward_inputs.push_back(b.input(statement[pos++]));
+  for (std::size_t j = 0; j < n; ++j) {
+    reward_inputs.push_back(b.input(statement[pos++], "reward" + std::to_string(j)));
+  }
 
   // Witness: esk bits.
   std::vector<Wire> esk_bits;
@@ -62,8 +61,6 @@ void build_reward_circuit(CircuitBuilder& b, const RewardCircuitSpec& spec,
   const std::vector<Wire> computed = policy->rewards_gadget(b, answers, share);
   for (std::size_t j = 0; j < n; ++j) b.enforce_equal(computed[j], reward_inputs[j]);
 }
-
-}  // namespace
 
 std::size_t reward_statement_size(const RewardCircuitSpec& spec) {
   return 3 + 4 * spec.num_answers;

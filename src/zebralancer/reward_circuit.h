@@ -13,6 +13,7 @@
 // The circuit is fixed per (n, policy); the requester proves, the task
 // contract verifies via the snark_verify precompile.
 
+#include "snark/gadgets/builder.h"
 #include "snark/groth16.h"
 #include "zebralancer/encryption.h"
 #include "zebralancer/policy.h"
@@ -28,6 +29,14 @@ struct RewardCircuitSpec {
 std::vector<Fr> reward_statement(const JubjubPoint& epk, std::uint64_t share,
                                  const std::vector<AnswerCiphertext>& ciphertexts,
                                  const std::vector<std::uint64_t>& rewards);
+
+/// Build the full reward circuit into `b`. Exposed so the circuit auditor
+/// (tools/circuit_audit) can analyze the production constraint system; the
+/// prover/setup paths below go through it too. Values must already be
+/// consistent when proving; for setup any placeholder values produce the
+/// same structure.
+void build_reward_circuit(snark::CircuitBuilder& b, const RewardCircuitSpec& spec,
+                          const std::vector<Fr>& statement, const BigInt& esk);
 
 /// Trusted setup for the reward circuit of a given spec (offline, once per
 /// task shape — the paper's "establishments of zk-SNARKs (off-line)").

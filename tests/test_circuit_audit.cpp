@@ -1,0 +1,287 @@
+// Circuit-auditor tests: a planted-bug corpus the auditor must flag 100% of,
+// clean (or allowlisted) audits of every production circuit, allowlist and
+// glob semantics, and byte-identical JSON across seeded runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "snark/audit/audit.h"
+#include "zebralancer/audit_targets.h"
+
+namespace zl::snark::audit {
+namespace {
+
+using zebralancer::AuditTarget;
+using zebralancer::audit_targets;
+
+std::vector<const Finding*> with_check(const Report& r, const std::string& check) {
+  std::vector<const Finding*> out;
+  for (const Finding& f : r.findings) {
+    if (f.check == check) out.push_back(&f);
+  }
+  return out;
+}
+
+bool has_finding(const Report& r, const std::string& check, const std::string& label) {
+  for (const Finding& f : r.findings) {
+    if (f.check == check && f.label == label) return true;
+  }
+  return false;
+}
+
+Options fast_options() {
+  Options opts;
+  opts.seed = 42;
+  opts.subset_rounds = 16;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Planted-bug corpus. Each circuit reproduces a classic under-constraint
+// mistake; the auditor must flag every one.
+
+TEST(CircuitAuditPlanted, MissingBooleanity) {
+  CircuitBuilder b;
+  const Wire s = b.input(Fr::one(), "s");
+  // The gadget treats `bit` as boolean (mark_boolean) but the author forgot
+  // enforce_boolean: nothing pins it to {0, 1}.
+  const Wire bit = b.witness(Fr::one(), "bit");
+  b.mark_boolean(bit);
+  b.enforce_equal(bit, s);
+  const Report r = audit_circuit("planted-missing-booleanity", b, fast_options());
+  EXPECT_TRUE(has_finding(r, "missing-booleanity", "bit"));
+  EXPECT_GT(r.unreviewed(), 0u);
+}
+
+TEST(CircuitAuditPlanted, FullyUnconstrainedWire) {
+  CircuitBuilder b;
+  const Wire x = b.input(Fr::from_u64(2), "x");
+  const Wire used = b.witness(Fr::from_u64(2), "used");
+  b.enforce_equal(used, x);
+  const Wire orphan = b.witness(Fr::from_u64(7), "orphan");
+  (void)orphan;
+  const Report r = audit_circuit("planted-unconstrained", b, fast_options());
+  // Both engines catch it: statically (no occurrence at all) and
+  // dynamically (every mutation of it survives vacuously).
+  EXPECT_TRUE(has_finding(r, "unconstrained-wire", "orphan"));
+  EXPECT_TRUE(has_finding(r, "mutation-survives", "orphan"));
+  EXPECT_FALSE(has_finding(r, "unconstrained-wire", "used"));
+}
+
+TEST(CircuitAuditPlanted, DanglingPublicInput) {
+  CircuitBuilder b;
+  const Wire a = b.input(Fr::one(), "a");
+  const Wire ghost = b.input(Fr::from_u64(5), "ghost");
+  (void)ghost;
+  const Wire w = b.witness(Fr::one(), "w");
+  b.enforce_equal(w, a);
+  const Report r = audit_circuit("planted-dangling-input", b, fast_options());
+  EXPECT_TRUE(has_finding(r, "dangling-input", "ghost"));
+  EXPECT_FALSE(has_finding(r, "dangling-input", "a"));
+}
+
+TEST(CircuitAuditPlanted, AliasedOutput) {
+  CircuitBuilder b;
+  // The gadget computes `real`, constrains it against the statement — and
+  // then returns `alias`, which the author believed was the same wire. The
+  // copy is never bound: the prover can put anything on it.
+  const Wire pub = b.input(Fr::from_u64(3), "pub");
+  const Wire real = b.witness(Fr::from_u64(3), "real");
+  const Wire alias = b.witness(Fr::from_u64(3), "alias");
+  (void)alias;
+  b.enforce_equal(real, pub);
+  const Report r = audit_circuit("planted-aliased-output", b, fast_options());
+  EXPECT_TRUE(has_finding(r, "unconstrained-wire", "alias"));
+  EXPECT_TRUE(has_finding(r, "mutation-survives", "alias"));
+}
+
+TEST(CircuitAuditPlanted, UnderDeterminedLinearPair) {
+  CircuitBuilder b;
+  // u + v = out pins the sum, not the split: one of the pair is a free
+  // column of the linear system. Single-wire mutation does NOT survive
+  // (changing u alone breaks the sum), so only the rank analysis sees it.
+  const Wire out = b.input(Fr::from_u64(10), "out");
+  const Wire u = b.witness(Fr::from_u64(4), "u");
+  const Wire v = b.witness(Fr::from_u64(6), "v");
+  b.enforce_equal(u + v, out);
+  const Report r = audit_circuit("planted-linear-pair", b, fast_options());
+  EXPECT_EQ(with_check(r, "free-linear-wire").size(), 1u);
+  EXPECT_FALSE(has_finding(r, "mutation-survives", "u"));
+  EXPECT_FALSE(has_finding(r, "mutation-survives", "v"));
+}
+
+// A fully determined circuit audits clean — no false positives on the
+// shapes the planted bugs are variations of.
+TEST(CircuitAuditPlanted, DeterminedCircuitIsClean) {
+  CircuitBuilder b;
+  const Wire out = b.input(Fr::from_u64(35), "out");
+  const Wire x = b.witness(Fr::from_u64(3), "x");
+  const Wire x2 = b.mul(x, x);
+  const Wire x3 = b.mul(x2, x);
+  b.enforce_equal(x3 + x + Fr::from_u64(5), out);
+  const Report r = audit_circuit("determined-cubic", b, fast_options());
+  EXPECT_TRUE(r.findings.empty()) << reports_to_json({r}, 42);
+}
+
+// ---------------------------------------------------------------------------
+// Production circuits: every registry target audits clean modulo the
+// reviewed allowlist shipped with the tool.
+
+TEST(CircuitAuditProduction, AllTargetsCleanUnderAllowlist) {
+  const Allowlist allowlist = Allowlist::load(std::string(ZL_SOURCE_DIR) +
+                                              "/tools/circuit_audit/allowlist.txt");
+  Options opts = fast_options();
+  for (const AuditTarget& target : audit_targets()) {
+    CircuitBuilder b;
+    target.build(b);
+    Report r = audit_circuit(target.name, b, opts);
+    apply_allowlist(r, allowlist);
+    EXPECT_EQ(r.unreviewed(), 0u) << target.name << ":\n" << reports_to_json({r}, opts.seed);
+    for (const std::string& note : r.notes) {
+      ADD_FAILURE() << target.name << " analysis degraded: " << note;
+    }
+  }
+}
+
+// The one intentional free wire really is exercised: is_zero on a zero
+// operand leaves `inv` free, and the fuzzer proves it concretely.
+TEST(CircuitAuditProduction, IsZeroInvIsTheKnownFreeWire) {
+  for (const AuditTarget& target : audit_targets()) {
+    if (target.name != "gadgets-core") continue;
+    CircuitBuilder b;
+    target.build(b);
+    const Report r = audit_circuit(target.name, b, fast_options());
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].check, "mutation-survives");
+    EXPECT_EQ(r.findings[0].label, "is_zero/inv");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine mechanics.
+
+TEST(CircuitAuditFuzzer, RejectsUnsatisfiedStartingWitness) {
+  CircuitBuilder b;
+  const Wire x = b.input(Fr::from_u64(2), "x");
+  const Wire w = b.witness(Fr::one(), "w");
+  b.enforce_equal(w, x);  // 1 != 2: harness bug, not a soundness finding
+  EXPECT_THROW(fuzz_mutations(b, Options{}), std::invalid_argument);
+}
+
+TEST(CircuitAuditFuzzer, DeterministicAcrossRuns) {
+  const auto run = [] {
+    CircuitBuilder b;
+    audit_targets()[0].build(b);  // gadgets-core
+    return reports_to_json({audit_circuit("gadgets-core", b, fast_options())}, 42);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(CircuitAuditFuzzer, SeedChangesSubsetExploration) {
+  // Different seeds must still find the same single-wire survivors (those
+  // are exhaustive, not sampled).
+  const auto survivors = [](std::uint64_t seed) {
+    CircuitBuilder b;
+    audit_targets()[0].build(b);
+    Options opts = fast_options();
+    opts.seed = seed;
+    std::vector<std::string> labels;
+    for (const Finding& f : fuzz_mutations(b, opts)) {
+      if (f.vars.size() == 1) labels.push_back(f.label);
+    }
+    return labels;
+  };
+  EXPECT_EQ(survivors(42), survivors(1234567));
+}
+
+TEST(CircuitAuditAllowlist, ParseAndMatch) {
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "gadgets-* mutation-survives is_zero/inv dead branch when w == 0\n"
+      "reward-* * merkle/sib* path wires bound by the root hash chain\n");
+  const Allowlist list = Allowlist::parse(in);
+  ASSERT_EQ(list.entries.size(), 2u);
+  EXPECT_EQ(list.entries[0].circuit_glob, "gadgets-*");
+  EXPECT_EQ(list.entries[0].justification, "dead branch when w == 0");
+
+  Report r;
+  r.circuit = "gadgets-core";
+  Finding f;
+  f.check = "mutation-survives";
+  f.label = "is_zero/inv";
+  r.findings.push_back(f);
+  apply_allowlist(r, list);
+  EXPECT_TRUE(r.findings[0].allowed);
+  EXPECT_EQ(r.unreviewed(), 0u);
+
+  r.circuit = "auth";  // no entry matches the auth circuit
+  r.findings[0].allowed = false;
+  apply_allowlist(r, list);
+  EXPECT_FALSE(r.findings[0].allowed);
+}
+
+TEST(CircuitAuditAllowlist, JustificationIsMandatory) {
+  std::istringstream missing("circuit check label\n");
+  EXPECT_THROW(Allowlist::parse(missing), std::invalid_argument);
+  std::istringstream short_line("circuit check\n");
+  EXPECT_THROW(Allowlist::parse(short_line), std::invalid_argument);
+}
+
+TEST(CircuitAuditAllowlist, SubsetFindingNeedsEveryComponentCovered) {
+  Allowlist list;
+  list.entries.push_back({"*", "*", "is_zero/inv", "reviewed"});
+  Report r;
+  r.circuit = "c";
+  Finding joint;
+  joint.check = "mutation-survives";
+  joint.label = "is_zero/inv+other";  // `other` is NOT reviewed
+  r.findings.push_back(joint);
+  apply_allowlist(r, list);
+  EXPECT_FALSE(r.findings[0].allowed);
+
+  list.entries.push_back({"*", "*", "other", "also reviewed"});
+  apply_allowlist(r, list);
+  EXPECT_TRUE(r.findings[0].allowed);
+}
+
+TEST(CircuitAuditAllowlist, GlobSemantics) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("is_zero/*", "is_zero/inv"));
+  EXPECT_TRUE(glob_match("*inv", "is_zero/inv"));
+  EXPECT_TRUE(glob_match("a*b*c", "a-x-b-y-c"));
+  EXPECT_FALSE(glob_match("a*b*c", "a-x-c"));
+  EXPECT_FALSE(glob_match("is_zero/*", "merkle/sib0"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(CircuitAuditBuilder, LabelsScopesAndBooleanClaims) {
+  CircuitBuilder b;
+  const Wire x = b.input(Fr::one(), "x");
+  (void)x;
+  EXPECT_EQ(b.var_label(1), "x");
+  {
+    const CircuitBuilder::Scope outer(b, "outer");
+    const Wire w = b.witness(Fr::one(), "w");
+    EXPECT_EQ(b.var_label(w.plain_variable()), "outer/w");
+    {
+      const CircuitBuilder::Scope inner(b, "inner");
+      const Wire u = b.witness(Fr::zero());
+      EXPECT_EQ(b.var_label(u.plain_variable()), "outer/inner/w3");
+    }
+    b.mark_boolean(w);
+    b.mark_boolean(w);  // deduped
+    EXPECT_EQ(b.boolean_claims().size(), 1u);
+  }
+  const Wire after = b.witness(Fr::zero(), "after");
+  EXPECT_EQ(b.var_label(after.plain_variable()), "after");
+  // Compound linear combinations have no plain variable to claim.
+  const Wire sum = after + after;
+  b.mark_boolean(sum);
+  EXPECT_EQ(b.boolean_claims().size(), 1u);
+  EXPECT_EQ(b.var_label(0), "one");
+}
+
+}  // namespace
+}  // namespace zl::snark::audit

@@ -66,6 +66,58 @@ TEST(R1cs, LinearCombinationAlgebra) {
   EXPECT_EQ(cancel.evaluate(z), Fr::zero());
 }
 
+// Pin for the index-sorted LinearCombination representation (r1cs.h):
+// term order after any construction order is the sorted order, and the
+// sorted representation is bit-invisible downstream — the same circuit
+// written with commuted `+` chains yields byte-identical keys and proofs.
+TEST(R1cs, SortedTermOrderIsBitInvisible) {
+  using LC = LinearCombination;
+
+  // Commuted construction orders collapse to one canonical representation.
+  const LC fwd = LC::variable(1) + LC::variable(3) + LC::variable(2) + LC::constant(Fr::one());
+  const LC rev = LC::constant(Fr::one()) + LC::variable(2) + LC::variable(3) + LC::variable(1);
+  ASSERT_EQ(fwd.terms().size(), rev.terms().size());
+  for (std::size_t i = 0; i < fwd.terms().size(); ++i) {
+    EXPECT_EQ(fwd.terms()[i].index, rev.terms()[i].index);
+    EXPECT_EQ(fwd.terms()[i].coeff, rev.terms()[i].coeff);
+    if (i > 0) {
+      EXPECT_LT(fwd.terms()[i - 1].index, fwd.terms()[i].index);
+    }
+  }
+
+  // The cubic circuit with the third constraint's A-side commuted: setup
+  // and proving from the same seeds must emit byte-identical artifacts.
+  const auto make_cubic = [](bool commuted) {
+    ConstraintSystem cs;
+    cs.num_inputs = 1;
+    const VarIndex out = cs.allocate_variable();
+    const VarIndex x = cs.allocate_variable();
+    const VarIndex x_sq = cs.allocate_variable();
+    const VarIndex x_cu = cs.allocate_variable();
+    cs.add_constraint(LC::variable(x), LC::variable(x), LC::variable(x_sq));
+    cs.add_constraint(LC::variable(x_sq), LC::variable(x), LC::variable(x_cu));
+    const Fr five = Fr::from_u64(5);
+    const LC a = commuted ? LC::constant(five) + LC::variable(x) + LC::variable(x_cu)
+                          : LC::variable(x_cu) + LC::variable(x) + LC::constant(five);
+    cs.add_constraint(a, LC::constant(Fr::one()), LC::variable(out));
+    return cs;
+  };
+  const ConstraintSystem cs_a = make_cubic(false);
+  const ConstraintSystem cs_b = make_cubic(true);
+  const std::vector<Fr> z = CubicCircuit().assignment(3);
+
+  Rng setup_a(99), setup_b(99);
+  const Keypair kp_a = setup(cs_a, setup_a);
+  const Keypair kp_b = setup(cs_b, setup_b);
+  EXPECT_EQ(kp_a.vk.to_bytes(), kp_b.vk.to_bytes());
+
+  Rng prove_a(7), prove_b(7);
+  const Proof pf_a = prove(kp_a.pk, cs_a, z, prove_a);
+  const Proof pf_b = prove(kp_b.pk, cs_b, z, prove_b);
+  EXPECT_EQ(pf_a.to_bytes(), pf_b.to_bytes());
+  EXPECT_TRUE(verify(kp_a.vk, {z[1]}, pf_b));
+}
+
 TEST(Domain, FftRoundTrip) {
   Rng rng(61);
   EvaluationDomain d(13);  // rounds up to 16

@@ -10,9 +10,12 @@
 #   store   - targeted ASan run of the storage engine: the crash-recovery
 #             torture test, WAL/snapshot/VFS invariants, and the chain
 #             durability tests (fast; the full asan leg also covers them)
+#   circuit-audit - build tools/circuit_audit and run the under-constraint
+#             audit (static + seeded mutation fuzzing) over every production
+#             circuit against the reviewed allowlist
 #
 # Usage: tools/check_all.sh [leg ...] [-- ctest args...]
-#   tools/check_all.sh                 # default matrix: lint asan ubsan tsan
+#   tools/check_all.sh                 # default matrix: lint circuit-audit asan ubsan tsan
 #   tools/check_all.sh lint            # just the checker
 #   tools/check_all.sh tsan -- -R ThreadStress
 #
@@ -26,11 +29,11 @@ legs=""
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --) shift; break ;;
-    lint|asan|ubsan|tsan|ctcheck|store) legs="$legs $1"; shift ;;
-    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store)" >&2; exit 2 ;;
+    lint|asan|ubsan|tsan|ctcheck|store|circuit-audit) legs="$legs $1"; shift ;;
+    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store|circuit-audit)" >&2; exit 2 ;;
   esac
 done
-[ -n "$legs" ] || legs="lint asan ubsan tsan"
+[ -n "$legs" ] || legs="lint circuit-audit asan ubsan tsan"
 
 run_lint() {
   build_dir="$repo_root/build-lint"
@@ -38,6 +41,18 @@ run_lint() {
   cmake --build "$build_dir" --target zl_lint
   "$build_dir/tools/zl_lint/zl_lint" "$repo_root/src" \
     --json "$build_dir/zl_lint_findings.json"
+}
+
+# Circuit-audit leg: static under-constraint analysis plus seeded witness-
+# mutation fuzzing over every production circuit. The deterministic-seed env
+# hook pins the ambient RNG so the emitted JSON is byte-identical run-to-run.
+run_circuit_audit() {
+  build_dir="$repo_root/build-lint"
+  cmake -S "$repo_root" -B "$build_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" --target circuit_audit
+  ZL_TEST_DETERMINISTIC_SEED=42 "$build_dir/tools/circuit_audit/circuit_audit" \
+    --allowlist "$repo_root/tools/circuit_audit/allowlist.txt" --seed 42 \
+    --json "$build_dir/circuit_audit_report.json"
 }
 
 # Storage-only leg: builds just the two chain/store test binaries under ASan
@@ -66,6 +81,8 @@ for leg in $legs; do
   case "$leg" in
     lint)
       run_lint || status=$? ;;
+    circuit-audit)
+      run_circuit_audit || status=$? ;;
     asan)
       # halt/abort promote any report to a hard test failure.
       ASAN_OPTIONS="detect_leaks=1:halt_on_error=1:abort_on_error=1" \

@@ -1,0 +1,121 @@
+// circuit_audit — audit every production circuit for under-constraint bugs.
+//
+// Runs the static engine (unconstrained wires, free linear wires, missing
+// booleanity, dangling inputs) and the seeded witness-mutation fuzzer over
+// each circuit in the registry (src/zebralancer/audit_targets.h), matches
+// findings against a reviewed allowlist, and exits nonzero if anything
+// unreviewed remains. `--json` emits a machine-readable report that is
+// byte-identical across runs with the same seed.
+//
+// Usage:
+//   circuit_audit [--allowlist FILE] [--json [FILE]] [--seed N]
+//                 [--circuit NAME] [--no-fuzz] [--list]
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "snark/audit/audit.h"
+#include "zebralancer/audit_targets.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--allowlist FILE] [--json [FILE]] [--seed N] [--circuit NAME]"
+               " [--no-fuzz] [--list]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zl;
+  using namespace zl::snark::audit;
+
+  std::string allowlist_path;
+  bool emit_json = false;
+  std::string json_path;  // empty = stdout
+  std::string only_circuit;
+  Options opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--json") {
+      emit_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--circuit" && i + 1 < argc) {
+      only_circuit = argv[++i];
+    } else if (arg == "--no-fuzz") {
+      opts.run_fuzz = false;
+    } else if (arg == "--list") {
+      for (const auto& t : zebralancer::audit_targets()) std::cout << t.name << "\n";
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  Allowlist allowlist;
+  if (!allowlist_path.empty()) {
+    try {
+      allowlist = Allowlist::load(allowlist_path);
+    } catch (const std::exception& e) {
+      std::cerr << "circuit_audit: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<Report> reports;
+  bool matched = false;
+  for (const auto& target : zebralancer::audit_targets()) {
+    if (!only_circuit.empty() && target.name != only_circuit) continue;
+    matched = true;
+    zl::snark::CircuitBuilder b;
+    target.build(b);
+    Report report = audit_circuit(target.name, b, opts);
+    apply_allowlist(report, allowlist);
+    reports.push_back(std::move(report));
+  }
+  if (!matched) {
+    std::cerr << "circuit_audit: no circuit named '" << only_circuit << "' (see --list)\n";
+    return 2;
+  }
+
+  std::size_t unreviewed = 0, allowed = 0;
+  for (const Report& r : reports) {
+    for (const auto& f : r.findings) (f.allowed ? allowed : unreviewed) += 1;
+  }
+
+  if (emit_json) {
+    const std::string json = reports_to_json(reports, opts.seed);
+    if (json_path.empty()) {
+      std::cout << json;
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "circuit_audit: cannot write " << json_path << "\n";
+        return 2;
+      }
+      out << json;
+    }
+  }
+
+  // Human summary on stderr so --json on stdout stays clean.
+  for (const Report& r : reports) {
+    std::cerr << r.circuit << ": " << r.num_constraints << " constraints, "
+              << r.num_variables << " variables, " << r.findings.size() << " finding(s)\n";
+    for (const auto& note : r.notes) std::cerr << "  note: " << note << "\n";
+    for (const auto& f : r.findings) std::cerr << "  " << format_finding(r, f) << "\n";
+  }
+  std::cerr << "circuit_audit: " << reports.size() << " circuit(s), " << allowed
+            << " reviewed finding(s), " << unreviewed << " unreviewed\n";
+  return unreviewed == 0 ? 0 : 1;
+}

@@ -17,6 +17,11 @@
 //   raw-file-io       fopen / std::ofstream / open(2) in src/ outside
 //                     src/store — durable bytes must go through the Vfs so
 //                     crash-consistency (and FaultVfs testing) stays real
+//   unchecked-allocate  b.witness(...) in circuit-layer code (src/snark/
+//                     gadgets, src/zebralancer, src/auth) with no enforce*
+//                     constraint later in the same function — the classic
+//                     under-constrained-wire bug shape the circuit auditor
+//                     (tools/circuit_audit) hunts dynamically
 //
 // Suppression: append `// zl-lint: allow(<rule>[, <rule>...])` (or
 // `allow(all)`) on the offending line or the line directly above it. Every
@@ -73,6 +78,7 @@ struct FileUnit {
   bool in_ec = false;                           // under src/ec
   bool in_src = false;                          // under src/
   bool in_store = false;                        // under src/store
+  bool in_circuit_layer = false;                // gadget/circuit-building code
 };
 
 struct Finding {
@@ -350,6 +356,10 @@ const Rule kRules[] = {
      "no fopen/std::ofstream/open(2) in src/ outside src/store — every durable byte goes "
      "through the Vfs chokepoint (store/vfs.h) so crash-consistency holds and FaultVfs can "
      "test it"},
+    {"unchecked-allocate",
+     "every b.witness(...) in circuit-layer code must be followed by an enforce* constraint "
+     "in the same function, or carry a reviewed allow — an allocated-but-unconstrained wire "
+     "is a soundness hole (any prover-chosen value satisfies the circuit)"},
 };
 
 /// Types whose instances hold long-term secrets. secret-zeroize requires a
@@ -388,6 +398,7 @@ class Linter {
       rule_naked_new(u);
       if (!u.in_ec) rule_textbook_pairing(u);
       if (u.in_src && !u.in_store) rule_raw_file_io(u);
+      if (u.in_circuit_layer) rule_unchecked_allocate(u);
     }
     rule_secret_zeroize();
     std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
@@ -680,6 +691,96 @@ class Linter {
     }
   }
 
+  void rule_unchecked_allocate(const FileUnit& u) {
+    static const std::string rule = "unchecked-allocate";
+    static const std::set<std::string> control_kw = {"if", "for", "while", "switch", "catch"};
+    const auto& t = u.toks;
+
+    // Does some identifier in (from, to) start with "enforce"? Any of
+    // enforce / enforce_equal / enforce_boolean adds a constraint that can
+    // bind the freshly allocated wire.
+    const auto constrained_within = [&](std::size_t from, std::size_t to) {
+      for (std::size_t j = from; j < to && j < t.size(); ++j) {
+        if (t[j].kind == TokKind::Identifier && t[j].text.rfind("enforce", 0) == 0) return true;
+      }
+      return false;
+    };
+
+    for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier || t[i].text != "witness") continue;
+      if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") continue;
+      // Member calls only (`b.witness(` / `b->witness(`): the builder's own
+      // definition and unqualified in-class uses (mul, inverse — which
+      // constrain inline) are the chokepoint itself, not call sites.
+      if (t[i - 1].kind != TokKind::Punct || (t[i - 1].text != "." && t[i - 1].text != "->")) {
+        continue;
+      }
+
+      // Walk outward over enclosing braces until one looks like a function
+      // body: `{` preceded (modulo const/noexcept/override) by a `)` whose
+      // matching `(` does not follow a control keyword. Control-flow blocks
+      // (if/for/...) are stepped through so the constraint search covers the
+      // whole function, not just the innermost block.
+      std::size_t probe = i;
+      std::size_t body_open = kNpos;
+      for (;;) {
+        int depth = 0;
+        std::size_t open = kNpos;
+        for (std::size_t j = probe; j-- > 0;) {
+          if (t[j].kind != TokKind::Punct) continue;
+          if (t[j].text == "}") ++depth;
+          if (t[j].text == "{") {
+            if (depth == 0) {
+              open = j;
+              break;
+            }
+            --depth;
+          }
+        }
+        if (open == kNpos) break;  // namespace scope: give up, no finding
+        // Skip trailing function-header decorations before the `{`.
+        std::size_t k = open;
+        while (k > 0 && t[k - 1].kind == TokKind::Identifier &&
+               (t[k - 1].text == "const" || t[k - 1].text == "noexcept" ||
+                t[k - 1].text == "override" || t[k - 1].text == "mutable")) {
+          --k;
+        }
+        if (k > 0 && t[k - 1].kind == TokKind::Punct && t[k - 1].text == ")") {
+          // Find the matching `(` backwards.
+          int pdepth = 0;
+          std::size_t popen = kNpos;
+          for (std::size_t j = k - 1; j-- > 0;) {
+            if (t[j].kind != TokKind::Punct) continue;
+            if (t[j].text == ")") ++pdepth;
+            if (t[j].text == "(") {
+              if (pdepth == 0) {
+                popen = j;
+                break;
+              }
+              --pdepth;
+            }
+          }
+          const bool is_control = popen != kNpos && popen > 0 &&
+                                  t[popen - 1].kind == TokKind::Identifier &&
+                                  control_kw.count(t[popen - 1].text);
+          if (!is_control) {
+            body_open = open;  // function (or lambda) body
+            break;
+          }
+        }
+        probe = open;  // control/plain block: keep walking outward
+      }
+      if (body_open == kNpos) continue;
+      const std::size_t body_close = match_brace(t, body_open);
+      const std::size_t limit = (body_close == kNpos) ? t.size() : body_close;
+      if (constrained_within(i + 1, limit)) continue;
+      report(u, t[i].line, rule,
+             "witness allocation with no enforce* constraint later in this function — an "
+             "unconstrained wire lets the prover choose any value; constrain it or add "
+             "`// zl-lint: allow(unchecked-allocate)` with the reviewed reason");
+    }
+  }
+
   void rule_secret_zeroize() {
     static const std::string rule = "secret-zeroize";
     for (const auto& [type, site] : type_def_site_) {
@@ -790,6 +891,9 @@ int main(int argc, char** argv) {
       unit.in_ec = unit.path.find("/ec/") != std::string::npos;
       unit.in_src = unit.path.find("src/") != std::string::npos;
       unit.in_store = unit.path.find("src/store/") != std::string::npos;
+      unit.in_circuit_layer = unit.path.find("src/snark/gadgets/") != std::string::npos ||
+                              unit.path.find("src/zebralancer/") != std::string::npos ||
+                              unit.path.find("src/auth/") != std::string::npos;
       unit.is_rng = unit.path.size() >= 10 &&
                     (unit.path.find("crypto/rng.cpp") != std::string::npos ||
                      unit.path.find("crypto/rng.h") != std::string::npos);
