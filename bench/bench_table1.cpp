@@ -189,7 +189,12 @@ int main() {
   // is reported as a warning instead of a speedup.
   unsigned hardware_threads = std::thread::hardware_concurrency();
   if (hardware_threads == 0) hardware_threads = 1;
-  const unsigned parallel_threads = num_threads();  // honours ZL_THREADS (clamped)
+  unsigned parallel_threads = num_threads();  // honours ZL_THREADS (clamped)
+  // Whenever the host actually has multiple hardware threads, measure the
+  // scaling even if the pool default collapsed to 1 (e.g. a stale ZL_THREADS
+  // or a container-restricted default): the point of the parallel pass is to
+  // record the multi-thread figure on every capable host.
+  if (hardware_threads > 1 && parallel_threads <= 1) parallel_threads = hardware_threads;
   const bool oversubscribed = parallel_threads > hardware_threads;
   const bool speedup_meaningful = parallel_threads > 1 && !oversubscribed;
   if (oversubscribed) {

@@ -1,0 +1,53 @@
+#pragma once
+// Runtime switch for the low-level prover kernel engine (DESIGN.md §11).
+//
+// The fast kernels — GLV + batch-affine signed-digit Pippenger in
+// ec/multiexp.h and the cache-blocked FFT in snark/domain.cpp — are exact
+// rewrites of the textbook paths: field and group arithmetic has no
+// rounding, so any re-bracketing of the same sums yields bit-identical
+// results. This flag exists so tests and benches can run both engines in
+// one process and pin that claim end-to-end (identical proof/key bytes),
+// mirroring the PR-2 `pairing_textbook` pattern.
+//
+// The default is ON. The flag is process-global and read with relaxed
+// ordering: flipping it concurrently with a running prover is not a
+// supported mode (tests flip it between whole passes).
+//
+// Fp's dedicated Montgomery squaring is deliberately NOT behind this flag:
+// a per-squaring atomic load would tax the innermost hot loop, and the
+// squaring is pinned directly against mont_mul by tests/test_field.cpp.
+
+#include <atomic>
+
+namespace zl {
+
+namespace detail {
+inline std::atomic<bool>& kernel_engine_flag() {
+  static std::atomic<bool> on{true};
+  return on;
+}
+}  // namespace detail
+
+/// Whether multiexp/FFT route through the fast kernel engine (default) or
+/// the textbook oracle paths.
+inline bool kernel_engine_enabled() {
+  return detail::kernel_engine_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_kernel_engine(bool on) {
+  detail::kernel_engine_flag().store(on, std::memory_order_relaxed);
+}
+
+/// RAII engine selection for A/B tests and benches.
+class ScopedKernelEngine {
+ public:
+  explicit ScopedKernelEngine(bool on) : prev_(kernel_engine_enabled()) { set_kernel_engine(on); }
+  ~ScopedKernelEngine() { set_kernel_engine(prev_); }
+  ScopedKernelEngine(const ScopedKernelEngine&) = delete;
+  ScopedKernelEngine& operator=(const ScopedKernelEngine&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace zl

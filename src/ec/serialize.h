@@ -19,14 +19,14 @@ inline Fq2 fq2_from_bytes(const Bytes& b) {
 /// 1 flag byte + 64 bytes (x, y). Infinity encodes as flag 0 + zeros.
 inline Bytes g1_to_bytes(const G1& p) {
   Bytes out;
-  if (p.is_infinity()) {
+  const G1::Affine a = p.to_affine_checked();
+  if (a.infinity) {
     out.push_back(0);
     out.resize(65, 0);
     return out;
   }
   out.push_back(1);
-  const auto [x, y] = p.to_affine();
-  const Bytes xb = x.to_bytes(), yb = y.to_bytes();
+  const Bytes xb = a.x.to_bytes(), yb = a.y.to_bytes();
   out.insert(out.end(), xb.begin(), xb.end());
   out.insert(out.end(), yb.begin(), yb.end());
   return out;
@@ -42,14 +42,14 @@ inline G1 g1_from_bytes(const Bytes& b) {
 /// 1 flag byte + 128 bytes (x, y in Fq2).
 inline Bytes g2_to_bytes(const G2& p) {
   Bytes out;
-  if (p.is_infinity()) {
+  const G2::Affine a = p.to_affine_checked();
+  if (a.infinity) {
     out.push_back(0);
     out.resize(129, 0);
     return out;
   }
   out.push_back(1);
-  const auto [x, y] = p.to_affine();
-  const Bytes xb = fq2_to_bytes(x), yb = fq2_to_bytes(y);
+  const Bytes xb = fq2_to_bytes(a.x), yb = fq2_to_bytes(a.y);
   out.insert(out.end(), xb.begin(), xb.end());
   out.insert(out.end(), yb.begin(), yb.end());
   return out;

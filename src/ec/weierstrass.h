@@ -44,12 +44,120 @@ class WeierstrassPoint {
 
   bool is_infinity() const { return z_.is_zero(); }
 
+  /// Like from_affine but skips the curve-membership check; for internal
+  /// fast paths whose inputs are already-validated group elements (bucket
+  /// representatives out of normalize(), precomputed tables).
+  static WeierstrassPoint from_affine_unchecked(const Field& x, const Field& y) {
+    WeierstrassPoint p;
+    p.x_ = x;
+    p.y_ = y;
+    p.z_ = Field::one();
+    return p;
+  }
+
   /// Affine coordinates; throws for the point at infinity.
   std::pair<Field, Field> to_affine() const {
     if (is_infinity()) throw std::domain_error("to_affine: point at infinity");
     const Field zinv = z_.inverse();
     const Field zinv2 = zinv.squared();
     return {x_ * zinv2, y_ * zinv2 * zinv};
+  }
+
+  /// Affine representation with an explicit infinity flag: the total
+  /// counterpart of to_affine(), and the element type of the batch-affine
+  /// multiexp buckets (ec/multiexp.h).
+  struct Affine {
+    Field x{};
+    Field y{};
+    bool infinity = true;
+
+    Affine negated() const { return infinity ? Affine{} : Affine{x, -y, false}; }
+  };
+
+  /// Total affine conversion — infinity maps to the flagged representative
+  /// instead of throwing, so callers need no special case.
+  Affine to_affine_checked() const {
+    if (is_infinity()) return Affine{};
+    const auto [x, y] = to_affine();
+    return Affine{x, y, false};
+  }
+
+  static WeierstrassPoint from_affine_point(const Affine& a) {
+    return a.infinity ? infinity() : from_affine(a.x, a.y);
+  }
+
+  /// Assembles a point from raw Jacobian coordinates without validation; for
+  /// internal maps that provably preserve curve membership (the GLV
+  /// endomorphism (X, Y, Z) -> (beta X, Y, Z)).
+  static WeierstrassPoint from_jacobian_unchecked(const Field& x, const Field& y, const Field& z) {
+    WeierstrassPoint p;
+    p.x_ = x;
+    p.y_ = y;
+    p.z_ = z;
+    return p;
+  }
+
+  /// Batch-normalizes `points` with a single field inversion (Montgomery's
+  /// trick over the Z coordinates; infinities pass through flagged). The
+  /// workhorse of the batch-affine multiexp: thousands of points share one
+  /// inverse() instead of paying one each.
+  static std::vector<Affine> normalize(const std::vector<WeierstrassPoint>& points) {
+    std::vector<Affine> out(points.size());
+    std::vector<Field> zs;
+    zs.reserve(points.size());
+    for (const WeierstrassPoint& p : points) {
+      if (!p.is_infinity()) zs.push_back(p.z_);
+    }
+    if (!zs.empty()) {
+      // Prefix products, one inversion, then a backward sweep replaces
+      // zs[i] by zs[i]^-1.
+      std::vector<Field> prefix(zs.size());
+      Field acc = Field::one();
+      for (std::size_t i = 0; i < zs.size(); ++i) {
+        prefix[i] = acc;
+        acc *= zs[i];
+      }
+      Field inv = acc.inverse();
+      for (std::size_t i = zs.size(); i-- > 0;) {
+        const Field zi = inv * prefix[i];
+        inv *= zs[i];
+        zs[i] = zi;
+      }
+    }
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].is_infinity()) continue;
+      const Field& zinv = zs[k++];
+      const Field zinv2 = zinv.squared();
+      out[i] = Affine{points[i].x_ * zinv2, points[i].y_ * zinv2 * zinv, false};
+    }
+    return out;
+  }
+
+  /// Mixed addition: Jacobian + affine (madd-2007-bl, a = 0). ~40% cheaper
+  /// than the full Jacobian add when one operand is already affine (bucket
+  /// merges, precomputed tables).
+  WeierstrassPoint add_mixed(const Affine& q) const {
+    if (q.infinity) return *this;
+    if (is_infinity()) return from_affine_unchecked(q.x, q.y);
+    const Field z1z1 = z_.squared();
+    const Field u2 = q.x * z1z1;
+    const Field s2 = q.y * z_ * z1z1;
+    if (x_ == u2) {
+      if (y_ == s2) return dbl();
+      return infinity();
+    }
+    const Field h = u2 - x_;
+    const Field hh = h.squared();
+    const Field i = hh.dbl().dbl();
+    const Field j = h * i;
+    const Field rr = (s2 - y_).dbl();
+    const Field v = x_ * i;
+    WeierstrassPoint r;
+    r.x_ = rr.squared() - j - v.dbl();
+    r.y_ = rr * (v - r.x_) - (y_ * j).dbl();
+    r.z_ = (z_ + h).squared() - z1z1 - hh;
+    return r;
   }
 
   bool is_on_curve() const {

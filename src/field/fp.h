@@ -21,6 +21,17 @@
 #include "crypto/bytes.h"
 #include "crypto/rng.h"
 
+// ZL_NATIVE (CMake option, off by default) selects the host-tuned limb
+// kernels: the build adds -march=native and the Montgomery loops below
+// switch to explicit mulx / add-with-carry intrinsic chains. Gated on the
+// actual ISA macros so a ZL_NATIVE build on a host without BMI2/ADX
+// silently keeps the portable path; the portable implementations stay
+// compiled either way as bit-equality oracles (mul_portable/sqr_portable).
+#if defined(ZL_NATIVE) && defined(__x86_64__) && defined(__BMI2__) && defined(__ADX__)
+#define ZL_FP_NATIVE 1
+#include <immintrin.h>
+#endif
+
 namespace zl {
 
 using Limbs = std::array<std::uint64_t, 4>;
@@ -292,7 +303,16 @@ class Fp {
   Fp& operator-=(const Fp& rhs) { return *this = *this - rhs; }
   Fp& operator*=(const Fp& rhs) { return *this = *this * rhs; }
 
-  Fp squared() const { return mont_mul(*this); }
+  /// Dedicated Montgomery squaring (~25% fewer 64x64 multiplies than
+  /// mont_mul(*this); bit-identical result — tests pin it).
+  Fp squared() const { return mont_sqr(); }
+
+  /// Portable-reference oracle entry points. These always run the generic
+  /// __int128 kernels, so a ZL_NATIVE build can pin its mulx/adcx paths
+  /// against them bit-for-bit (tests/test_field.cpp, check_all.sh kernels
+  /// leg). In a portable build they are the production kernels themselves.
+  Fp mul_portable(const Fp& rhs) const { return mont_mul_generic(rhs); }
+  Fp sqr_portable() const { return mont_sqr_generic(); }
 
   Fp dbl() const { return *this + *this; }
 
@@ -359,42 +379,262 @@ class Fp {
     return out;
   }
 
-  /// CIOS Montgomery multiplication: returns (this * rhs * R^-1) mod p.
+  /// Montgomery multiplication dispatch: (this * rhs * R^-1) mod p.
   Fp mont_mul(const Fp& rhs) const {
+#if defined(ZL_FP_NATIVE)
+    return mont_mul_native(rhs);
+#else
+    return mont_mul_generic(rhs);
+#endif
+  }
+
+  /// Montgomery squaring dispatch: (this^2 * R^-1) mod p.
+  Fp mont_sqr() const {
+#if defined(ZL_FP_NATIVE)
+    return mont_sqr_native();
+#else
+    return mont_sqr_generic();
+#endif
+  }
+
+  /// Product-scanning Montgomery reduction of a full 512-bit product r:
+  /// columns 0..3 emit m_i = (column low word) * (-p^-1 mod 2^64) and absorb
+  /// the m_j * p terms (their low words cancel to zero by construction of
+  /// m); columns 4..7 produce the output words. The quotient satisfies
+  /// (r + m*p) / 2^256 < 2p for r < p^2 + small, with the overflow bit
+  /// landing past the top output word, so one mask-selected conditional
+  /// subtraction canonicalizes. All carry chains are fixed-length: no
+  /// operand-dependent control flow.
+  static Fp mont_reduce_wide_generic(const std::uint64_t r[8]) {
+    using u128 = unsigned __int128;
+    const Limbs& p = kModulus;
+    u128 acc = 0;            // low 128 bits of the current column window
+    std::uint64_t ovf = 0;   // bits 128+ of the column window
+    const auto add = [&](u128 v) {
+      acc += v;
+      ovf += static_cast<std::uint64_t>(acc < v);
+    };
+    const auto shift = [&](std::uint64_t& dst) {
+      dst = static_cast<std::uint64_t>(acc);
+      acc = (acc >> 64) | (static_cast<u128>(ovf) << 64);
+      ovf = 0;
+    };
+    std::uint64_t m[4], out_w[4], discard;
+    acc = r[0];
+    m[0] = static_cast<std::uint64_t>(acc) * kInv64;
+    add(static_cast<u128>(m[0]) * p[0]);
+    shift(discard);
+    add(r[1]);
+    add(static_cast<u128>(m[0]) * p[1]);
+    m[1] = static_cast<std::uint64_t>(acc) * kInv64;
+    add(static_cast<u128>(m[1]) * p[0]);
+    shift(discard);
+    add(r[2]);
+    add(static_cast<u128>(m[0]) * p[2]);
+    add(static_cast<u128>(m[1]) * p[1]);
+    m[2] = static_cast<std::uint64_t>(acc) * kInv64;
+    add(static_cast<u128>(m[2]) * p[0]);
+    shift(discard);
+    add(r[3]);
+    add(static_cast<u128>(m[0]) * p[3]);
+    add(static_cast<u128>(m[1]) * p[2]);
+    add(static_cast<u128>(m[2]) * p[1]);
+    m[3] = static_cast<std::uint64_t>(acc) * kInv64;
+    add(static_cast<u128>(m[3]) * p[0]);
+    shift(discard);
+    add(r[4]);
+    add(static_cast<u128>(m[1]) * p[3]);
+    add(static_cast<u128>(m[2]) * p[2]);
+    add(static_cast<u128>(m[3]) * p[1]);
+    shift(out_w[0]);
+    add(r[5]);
+    add(static_cast<u128>(m[2]) * p[3]);
+    add(static_cast<u128>(m[3]) * p[2]);
+    shift(out_w[1]);
+    add(r[6]);
+    add(static_cast<u128>(m[3]) * p[3]);
+    shift(out_w[2]);
+    add(r[7]);
+    shift(out_w[3]);
+    const std::uint64_t extra = static_cast<std::uint64_t>(acc);
+    (void)discard;
+
+    const Limbs res{out_w[0], out_w[1], out_w[2], out_w[3]};
+    bool borrow = false;
+    const Limbs reduced = detail::limbs_sub(res, kModulus, borrow);
+    const std::uint64_t need = static_cast<std::uint64_t>(extra != 0) |
+                               (static_cast<std::uint64_t>(borrow) ^ 1);
+    Fp out;
+    out.limbs_ = detail::limbs_select(res, reduced, need);
+    return out;
+  }
+
+  /// Montgomery multiplication via product scanning (Comba): column k of the
+  /// full 512-bit product sums a[i]*b[j] over i + j = k inside a 128-bit
+  /// accumulator window (plus a one-word overflow), then the shared
+  /// product-scanning reduction canonicalizes. Returns
+  /// (this * rhs * R^-1) mod p, bit-identical to the former CIOS kernel.
+  Fp mont_mul_generic(const Fp& rhs) const {
+    using u128 = unsigned __int128;
     const Limbs& a = limbs_;
     const Limbs& b = rhs.limbs_;
-    std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+    u128 acc = 0;
+    std::uint64_t ovf = 0;
+    const auto add = [&](u128 v) {
+      acc += v;
+      ovf += static_cast<std::uint64_t>(acc < v);
+    };
+    const auto shift = [&](std::uint64_t& dst) {
+      dst = static_cast<std::uint64_t>(acc);
+      acc = (acc >> 64) | (static_cast<u128>(ovf) << 64);
+      ovf = 0;
+    };
+    std::uint64_t r[8];
+    add(static_cast<u128>(a[0]) * b[0]);
+    shift(r[0]);
+    add(static_cast<u128>(a[0]) * b[1]);
+    add(static_cast<u128>(a[1]) * b[0]);
+    shift(r[1]);
+    add(static_cast<u128>(a[0]) * b[2]);
+    add(static_cast<u128>(a[1]) * b[1]);
+    add(static_cast<u128>(a[2]) * b[0]);
+    shift(r[2]);
+    add(static_cast<u128>(a[0]) * b[3]);
+    add(static_cast<u128>(a[1]) * b[2]);
+    add(static_cast<u128>(a[2]) * b[1]);
+    add(static_cast<u128>(a[3]) * b[0]);
+    shift(r[3]);
+    add(static_cast<u128>(a[1]) * b[3]);
+    add(static_cast<u128>(a[2]) * b[2]);
+    add(static_cast<u128>(a[3]) * b[1]);
+    shift(r[4]);
+    add(static_cast<u128>(a[2]) * b[3]);
+    add(static_cast<u128>(a[3]) * b[2]);
+    shift(r[5]);
+    add(static_cast<u128>(a[3]) * b[3]);
+    shift(r[6]);
+    r[7] = static_cast<std::uint64_t>(acc);
+
+    Fp out = mont_reduce_wide_generic(r);
+    ZL_CT_PROP2(out.limbs_, limbs_, rhs.limbs_);
+    return out;
+  }
+
+  /// Dedicated Montgomery squaring via product scanning (Comba): column k of
+  /// the full 512-bit square sums the cross products a[i]*a[j] (i + j = k,
+  /// i < j) twice plus the diagonal a[k/2]^2 — 10 wide multiplies where
+  /// mont_mul's product phase needs 16 — then the shared product-scanning
+  /// reduction canonicalizes. The result is bit-identical to
+  /// mont_mul(*this).
+  Fp mont_sqr_generic() const {
+    using u128 = unsigned __int128;
+    const Limbs& a = limbs_;
+    u128 acc = 0;            // low 128 bits of the current column window
+    std::uint64_t ovf = 0;   // bits 128+ of the column window
+    const auto add = [&](u128 v) {
+      acc += v;
+      ovf += static_cast<std::uint64_t>(acc < v);
+    };
+    const auto shift = [&](std::uint64_t& dst) {
+      dst = static_cast<std::uint64_t>(acc);
+      acc = (acc >> 64) | (static_cast<u128>(ovf) << 64);
+      ovf = 0;
+    };
+
+    // --- Comba square: r = a^2 (512 bits). Cross products counted twice.
+    std::uint64_t r[8];
+    add(static_cast<u128>(a[0]) * a[0]);
+    shift(r[0]);
+    {
+      const u128 q = static_cast<u128>(a[0]) * a[1];
+      add(q);
+      add(q);
+    }
+    shift(r[1]);
+    {
+      const u128 q = static_cast<u128>(a[0]) * a[2];
+      add(q);
+      add(q);
+      add(static_cast<u128>(a[1]) * a[1]);
+    }
+    shift(r[2]);
+    {
+      const u128 q0 = static_cast<u128>(a[0]) * a[3];
+      const u128 q1 = static_cast<u128>(a[1]) * a[2];
+      add(q0);
+      add(q0);
+      add(q1);
+      add(q1);
+    }
+    shift(r[3]);
+    {
+      const u128 q = static_cast<u128>(a[1]) * a[3];
+      add(q);
+      add(q);
+      add(static_cast<u128>(a[2]) * a[2]);
+    }
+    shift(r[4]);
+    {
+      const u128 q = static_cast<u128>(a[2]) * a[3];
+      add(q);
+      add(q);
+    }
+    shift(r[5]);
+    add(static_cast<u128>(a[3]) * a[3]);
+    shift(r[6]);
+    r[7] = static_cast<std::uint64_t>(acc);  // a^2 < 2^508: top column is one word
+
+    Fp out = mont_reduce_wide_generic(r);
+    ZL_CT_PROP1(out.limbs_, limbs_);
+    return out;
+  }
+
+#if defined(ZL_FP_NATIVE)
+  /// CIOS with explicit mulx / add-with-carry intrinsic chains. Same round
+  /// structure as mont_mul_generic (so the same <2p bound and final
+  /// conditional subtraction apply); the intrinsics pin the two-result
+  /// multiply and the carry flag that the __int128 formulation leaves to
+  /// the optimizer. Bit-identical to the portable kernel by construction.
+  Fp mont_mul_native(const Fp& rhs) const {
+    const Limbs& a = limbs_;
+    const Limbs& b = rhs.limbs_;
+    unsigned long long t[6] = {0, 0, 0, 0, 0, 0};
     for (int i = 0; i < 4; ++i) {
       // t += a[i] * b
-      unsigned __int128 carry = 0;
+      unsigned long long carry = 0;
       for (int j = 0; j < 4; ++j) {
-        const unsigned __int128 cur =
-            static_cast<unsigned __int128>(a[i]) * b[j] + t[j] + static_cast<std::uint64_t>(carry);
-        t[j] = static_cast<std::uint64_t>(cur);
-        carry = cur >> 64;
+        unsigned long long hi;
+        unsigned long long lo = _mulx_u64(a[i], b[j], &hi);
+        unsigned char cf = _addcarry_u64(0, lo, carry, &lo);
+        hi += cf;  // hi <= 2^64 - 2, cannot overflow
+        cf = _addcarry_u64(0, t[j], lo, &t[j]);
+        carry = hi + cf;
       }
-      unsigned __int128 cur = static_cast<unsigned __int128>(t[4]) + static_cast<std::uint64_t>(carry);
-      t[4] = static_cast<std::uint64_t>(cur);
-      t[5] = static_cast<std::uint64_t>(cur >> 64);
+      unsigned char cf = _addcarry_u64(0, t[4], carry, &t[4]);
+      t[5] += cf;
 
       // m = t[0] * (-p^-1) mod 2^64; t = (t + m*p) / 2^64
-      const std::uint64_t m = t[0] * kInv64;
-      cur = static_cast<unsigned __int128>(m) * kModulus[0] + t[0];
-      carry = cur >> 64;
+      const unsigned long long m = t[0] * kInv64;
+      unsigned long long hi0;
+      unsigned long long lo0 = _mulx_u64(m, kModulus[0], &hi0);
+      unsigned char cf0 = _addcarry_u64(0, t[0], lo0, &lo0);
+      carry = hi0 + cf0;
       for (int j = 1; j < 4; ++j) {
-        cur = static_cast<unsigned __int128>(m) * kModulus[j] + t[j] + static_cast<std::uint64_t>(carry);
-        t[j - 1] = static_cast<std::uint64_t>(cur);
-        carry = cur >> 64;
+        unsigned long long hi;
+        unsigned long long lo = _mulx_u64(m, kModulus[j], &hi);
+        unsigned char cf2 = _addcarry_u64(0, lo, carry, &lo);
+        hi += cf2;
+        cf2 = _addcarry_u64(0, t[j], lo, &t[j - 1]);
+        carry = hi + cf2;
       }
-      cur = static_cast<unsigned __int128>(t[4]) + static_cast<std::uint64_t>(carry);
-      t[3] = static_cast<std::uint64_t>(cur);
-      t[4] = t[5] + static_cast<std::uint64_t>(cur >> 64);
+      cf = _addcarry_u64(0, t[4], carry, &t[3]);
+      t[4] = t[5] + cf;
+      t[5] = 0;
     }
 
     const Limbs r{t[0], t[1], t[2], t[3]};
     bool borrow = false;
     const Limbs reduced = detail::limbs_sub(r, kModulus, borrow);
-    // One conditional subtraction (t is < 2p after CIOS), mask-selected.
     const std::uint64_t need = static_cast<std::uint64_t>(t[4] != 0) |
                                (static_cast<std::uint64_t>(borrow) ^ 1);
     Fp out;
@@ -402,6 +642,112 @@ class Fp {
     ZL_CT_PROP2(out.limbs_, limbs_, rhs.limbs_);
     return out;
   }
+
+  /// Native squaring: the same Comba product-scanning structure as the
+  /// generic path, with the 192-bit column accumulator held in three words
+  /// and fed by mulx / add-with-carry chains. Bit-identical to the portable
+  /// kernel by construction.
+  Fp mont_sqr_native() const {
+    const Limbs& a = limbs_;
+    const Limbs& p = kModulus;
+    unsigned long long c0 = 0, c1 = 0, c2 = 0;  // column window, low to high
+    const auto add_prod = [&](unsigned long long x, unsigned long long y) {
+      unsigned long long hi;
+      unsigned long long lo = _mulx_u64(x, y, &hi);
+      unsigned char cf = _addcarry_u64(0, c0, lo, &c0);
+      cf = _addcarry_u64(cf, c1, hi, &c1);
+      c2 += cf;
+    };
+    const auto add_word = [&](unsigned long long w) {
+      unsigned char cf = _addcarry_u64(0, c0, w, &c0);
+      cf = _addcarry_u64(cf, c1, 0, &c1);
+      c2 += cf;
+    };
+    const auto shift = [&](unsigned long long& dst) {
+      dst = c0;
+      c0 = c1;
+      c1 = c2;
+      c2 = 0;
+    };
+
+    unsigned long long r[8];
+    add_prod(a[0], a[0]);
+    shift(r[0]);
+    add_prod(a[0], a[1]);
+    add_prod(a[0], a[1]);
+    shift(r[1]);
+    add_prod(a[0], a[2]);
+    add_prod(a[0], a[2]);
+    add_prod(a[1], a[1]);
+    shift(r[2]);
+    add_prod(a[0], a[3]);
+    add_prod(a[0], a[3]);
+    add_prod(a[1], a[2]);
+    add_prod(a[1], a[2]);
+    shift(r[3]);
+    add_prod(a[1], a[3]);
+    add_prod(a[1], a[3]);
+    add_prod(a[2], a[2]);
+    shift(r[4]);
+    add_prod(a[2], a[3]);
+    add_prod(a[2], a[3]);
+    shift(r[5]);
+    add_prod(a[3], a[3]);
+    shift(r[6]);
+    r[7] = c0;  // a^2 < 2^508: top column is one word
+    c0 = c1 = c2 = 0;
+
+    unsigned long long m[4], out_w[4], discard;
+    c0 = r[0];
+    m[0] = c0 * kInv64;
+    add_prod(m[0], p[0]);
+    shift(discard);
+    add_word(r[1]);
+    add_prod(m[0], p[1]);
+    m[1] = c0 * kInv64;
+    add_prod(m[1], p[0]);
+    shift(discard);
+    add_word(r[2]);
+    add_prod(m[0], p[2]);
+    add_prod(m[1], p[1]);
+    m[2] = c0 * kInv64;
+    add_prod(m[2], p[0]);
+    shift(discard);
+    add_word(r[3]);
+    add_prod(m[0], p[3]);
+    add_prod(m[1], p[2]);
+    add_prod(m[2], p[1]);
+    m[3] = c0 * kInv64;
+    add_prod(m[3], p[0]);
+    shift(discard);
+    add_word(r[4]);
+    add_prod(m[1], p[3]);
+    add_prod(m[2], p[2]);
+    add_prod(m[3], p[1]);
+    shift(out_w[0]);
+    add_word(r[5]);
+    add_prod(m[2], p[3]);
+    add_prod(m[3], p[2]);
+    shift(out_w[1]);
+    add_word(r[6]);
+    add_prod(m[3], p[3]);
+    shift(out_w[2]);
+    add_word(r[7]);
+    shift(out_w[3]);
+    const unsigned long long extra = c0;
+    (void)discard;
+
+    const Limbs res{out_w[0], out_w[1], out_w[2], out_w[3]};
+    bool borrow = false;
+    const Limbs reduced = detail::limbs_sub(res, kModulus, borrow);
+    const std::uint64_t need = static_cast<std::uint64_t>(extra != 0) |
+                               (static_cast<std::uint64_t>(borrow) ^ 1);
+    Fp out;
+    out.limbs_ = detail::limbs_select(res, reduced, need);
+    ZL_CT_PROP1(out.limbs_, limbs_);
+    return out;
+  }
+#endif  // ZL_FP_NATIVE
 
   Limbs to_canonical() const {
     // Multiply by 1 (non-Montgomery) to strip the R factor.

@@ -2,9 +2,42 @@
 
 #include <stdexcept>
 
+#include "common/kernel_engine.h"
 #include "common/thread_pool.h"
 
 namespace zl::snark {
+
+namespace {
+
+// L1 tile: 2^10 Fr elements = 32 KB. All butterfly stages with len <= kFftTile
+// run block-resident — each tile is loaded once and carried through
+// log2(kFftTile) stages in cache, instead of streaming the whole array per
+// stage.
+constexpr std::size_t kFftTile = 1024;
+
+// Gathers the flat twiddle table (tw[j] = omega^j, j < size/2) into the
+// per-stage sequential layout described in domain.h.
+std::vector<Fr> build_stage_twiddles(const std::vector<Fr>& tw, std::size_t size) {
+  if (size < 2) return {};
+  std::vector<Fr> out(size - 1);
+  for (std::size_t half = 1; half * 2 <= size; half <<= 1) {
+    const std::size_t stride = size / (2 * half);
+    Fr* dst = out.data() + (half - 1);
+    for (std::size_t k = 0; k < half; ++k) dst[k] = tw[k * stride];
+  }
+  return out;
+}
+
+void bit_reverse_permute(std::vector<Fr>& a, std::size_t size) {
+  for (std::size_t i = 1, j = 0; i < size; ++i) {
+    std::size_t bit = size >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+}  // namespace
 
 void batch_invert(std::vector<Fr>& values) {
   if (values.empty()) return;
@@ -56,19 +89,14 @@ EvaluationDomain::EvaluationDomain(std::size_t min_size) {
 
   twiddles_ = power_table(omega_, size_ / 2);
   twiddles_inv_ = power_table(omega_inv_, size_ / 2);
+  stage_twiddles_ = build_stage_twiddles(twiddles_, size_);
+  stage_twiddles_inv_ = build_stage_twiddles(twiddles_inv_, size_);
   coset_powers_ = power_table(coset_gen_, size_);
   coset_powers_inv_ = power_table(coset_gen_inv_, size_);
 }
 
-void EvaluationDomain::fft_internal(std::vector<Fr>& a, const std::vector<Fr>& twiddles) const {
-  if (a.size() != size_) throw std::invalid_argument("fft: size mismatch");
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < size_; ++i) {
-    std::size_t bit = size_ >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
+void EvaluationDomain::fft_textbook(std::vector<Fr>& a, const std::vector<Fr>& twiddles) const {
+  bit_reverse_permute(a, size_);
   // Each stage performs size/2 independent butterflies; they write disjoint
   // index pairs, so the stage parallelizes freely (stages are barriers).
   for (std::size_t len = 2; len <= size_; len <<= 1) {
@@ -89,10 +117,72 @@ void EvaluationDomain::fft_internal(std::vector<Fr>& a, const std::vector<Fr>& t
   }
 }
 
-void EvaluationDomain::fft(std::vector<Fr>& a) const { fft_internal(a, twiddles_); }
+void EvaluationDomain::fft_blocked(std::vector<Fr>& a,
+                                   const std::vector<Fr>& stage_twiddles) const {
+  bit_reverse_permute(a, size_);
+  // Lower stages (len <= tile): after bit reversal, every butterfly with
+  // len <= tile stays inside one aligned tile-sized slice, so each slice
+  // runs all of those stages back to back while resident in L1. The slices
+  // are independent and parallelize as units.
+  const std::size_t tile = std::min(size_, kFftTile);
+  parallel_for(
+      size_ / tile,
+      [&](std::size_t blk) {
+        Fr* base = a.data() + blk * tile;
+        for (std::size_t len = 2; len <= tile; len <<= 1) {
+          const std::size_t half = len >> 1;
+          const Fr* tw = stage_twiddles.data() + (half - 1);
+          for (std::size_t start = 0; start < tile; start += len) {
+            for (std::size_t k = 0; k < half; ++k) {
+              Fr& lo = base[start + k];
+              Fr& hi = base[start + k + half];
+              const Fr u = lo;
+              const Fr v = hi * tw[k];
+              lo = u + v;
+              hi = u - v;
+            }
+          }
+        }
+      },
+      /*min_grain=*/1);
+  // Upper stages span multiple tiles and keep the per-stage barrier, but now
+  // read their twiddles sequentially from the stage table.
+  for (std::size_t len = tile << 1; len <= size_; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const Fr* tw = stage_twiddles.data() + (half - 1);
+    parallel_for(
+        size_ / 2,
+        [&](std::size_t b) {
+          const std::size_t block = b / half, k = b % half;
+          const std::size_t i0 = block * len + k;
+          const std::size_t i1 = i0 + half;
+          const Fr u = a[i0];
+          const Fr v = a[i1] * tw[k];
+          a[i0] = u + v;
+          a[i1] = u - v;
+        },
+        /*min_grain=*/2048);
+  }
+}
+
+void EvaluationDomain::fft_internal(std::vector<Fr>& a, const std::vector<Fr>& twiddles,
+                                    const std::vector<Fr>& stage_twiddles) const {
+  if (a.size() != size_) throw std::invalid_argument("fft: size mismatch");
+  // Both engines evaluate the same butterfly DAG over exact arithmetic, so
+  // their outputs are bit-identical (pinned by tests/test_snark.cpp).
+  if (kernel_engine_enabled()) {
+    fft_blocked(a, stage_twiddles);
+  } else {
+    fft_textbook(a, twiddles);
+  }
+}
+
+void EvaluationDomain::fft(std::vector<Fr>& a) const {
+  fft_internal(a, twiddles_, stage_twiddles_);
+}
 
 void EvaluationDomain::ifft(std::vector<Fr>& a) const {
-  fft_internal(a, twiddles_inv_);
+  fft_internal(a, twiddles_inv_, stage_twiddles_inv_);
   parallel_for(
       size_, [&](std::size_t i) { a[i] *= size_inv_; }, /*min_grain=*/2048);
 }

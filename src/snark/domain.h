@@ -57,7 +57,10 @@ class EvaluationDomain {
   std::vector<Fr> lagrange_coeffs_at(const Fr& tau) const;
 
  private:
-  void fft_internal(std::vector<Fr>& a, const std::vector<Fr>& twiddles) const;
+  void fft_internal(std::vector<Fr>& a, const std::vector<Fr>& twiddles,
+                    const std::vector<Fr>& stage_twiddles) const;
+  void fft_textbook(std::vector<Fr>& a, const std::vector<Fr>& twiddles) const;
+  void fft_blocked(std::vector<Fr>& a, const std::vector<Fr>& stage_twiddles) const;
 
   std::size_t size_;
   unsigned log_size_;
@@ -68,6 +71,12 @@ class EvaluationDomain {
   Fr coset_gen_inv_;
   std::vector<Fr> twiddles_;          // omega^j,   j < size/2
   std::vector<Fr> twiddles_inv_;      // omega^-j,  j < size/2
+  // Per-stage twiddle layout for the cache-blocked kernel: the stage with
+  // half-block h occupies [h-1, 2h-1), entry k = omega^(k * size/(2h)), so
+  // every butterfly stage reads its twiddles sequentially instead of with a
+  // stride of size/len through the flat table. size-1 entries total.
+  std::vector<Fr> stage_twiddles_;
+  std::vector<Fr> stage_twiddles_inv_;
   std::vector<Fr> coset_powers_;      // g^j,       j < size
   std::vector<Fr> coset_powers_inv_;  // g^-j,      j < size
 };

@@ -25,6 +25,7 @@
 #include "crypto/ecdsa.h"
 #include "crypto/rsa.h"
 #include "crypto/sha256.h"
+#include "ec/glv.h"
 #include "zebralancer/encryption.h"
 
 namespace zl {
@@ -172,6 +173,31 @@ TEST(CtDeathTest, NakedScalarMultOnSecretAborts) {
       "variable-time in the scalar");
 }
 
+TEST(CtDeathTest, GlvDecomposeOnSecretAborts) {
+  // GLV is public-scalar-only: the Babai decomposition and joint ladder are
+  // variable-time in the scalar, so a tainted input must trip the guard
+  // before any decomposition work happens.
+  EXPECT_DEATH(
+      {
+        ct::enable();
+        const BigInt k = bigint_from_decimal("1311768467294899695");
+        ct::poison(k);
+        (void)glv_decompose<G1>(k);
+      },
+      "variable-time");
+}
+
+TEST(CtDeathTest, GlvMulOnSecretScalarAborts) {
+  EXPECT_DEATH(
+      {
+        ct::enable();
+        const BigInt k = bigint_from_decimal("987654321987654321");
+        ct::poison(k);
+        (void)glv_mul(G1::generator(), k);
+      },
+      "variable-time");
+}
+
 // ---------------------------------------------------------------------------
 // Production paths run clean under an active harness
 // ---------------------------------------------------------------------------
@@ -288,6 +314,18 @@ TEST(CtCheckBuild, TaintFollowsFieldArithmetic) {
   EXPECT_FALSE(ct::tainted_object(clean));
   const Fr prod = sum * b;
   EXPECT_TRUE(ct::tainted_object(prod)) << "taint must follow mont_mul";
+}
+
+TEST(CtCheckBuild, TaintFollowsMontSqr) {
+  // The dedicated squaring kernel has its own ZL_CT_PROP1 hook; a poisoned
+  // operand must taint the square, and a clean operand must not.
+  ct::ScopedHarness h;
+  Fr a = Fr::from_u64(5);
+  ct::poison_object(a);
+  const Fr sq = a.squared();
+  EXPECT_TRUE(ct::tainted_object(sq)) << "taint must follow mont_sqr";
+  const Fr clean = Fr::from_u64(7).squared();
+  EXPECT_FALSE(ct::tainted_object(clean));
 }
 
 TEST(CtCheckBuild, ZeroizeLiftsTaint) {

@@ -3,10 +3,13 @@
 // against the naive sum.
 #include <gtest/gtest.h>
 
+#include "common/kernel_engine.h"
 #include "ec/babyjubjub.h"
+#include "ec/glv.h"
 #include "ec/multiexp.h"
 #include "ec/pairing.h"
 #include "ec/secp256k1.h"
+#include "ec/serialize.h"
 
 namespace zl {
 namespace {
@@ -122,6 +125,169 @@ TEST(Multiexp, HandlesZeroAndLargeScalars) {
   const G1 expected = points[3] * (Fr::modulus_bigint() - 1);
   EXPECT_EQ(multiexp(points, scalars), expected);
   EXPECT_THROW(multiexp(points, std::vector<Fr>(3)), std::invalid_argument);
+}
+
+template <typename Point>
+void check_glv_endomorphism() {
+  const Point g = Point::generator();
+  const BigInt& lam = detail::glv_curve<Point>().lambda;
+  EXPECT_EQ(glv_endomorphism(g), g * lam);
+  const Point p = g * 123456789;
+  EXPECT_EQ(glv_endomorphism(p), p * lam);
+  EXPECT_TRUE(glv_endomorphism(Point::infinity()).is_infinity());
+}
+
+TEST(Glv, EndomorphismMatchesLambdaOnG1) { check_glv_endomorphism<G1>(); }
+TEST(Glv, EndomorphismMatchesLambdaOnG2) { check_glv_endomorphism<G2>(); }
+
+TEST(Glv, LambdaIsPrimitiveCubeRootModR) {
+  const BigInt& r = Fr::modulus_bigint();
+  const BigInt& lam = glv_lambda();
+  BigInt rel = (lam * lam + lam + 1) % r;
+  if (rel < 0) rel += r;
+  EXPECT_EQ(rel, 0);
+  EXPECT_NE(lam, 1);
+  // beta likewise in Fq.
+  const Fq beta = glv_beta();
+  EXPECT_EQ(beta * beta * beta, Fq::one());
+  EXPECT_NE(beta, Fq::one());
+}
+
+TEST(Glv, DecompositionRecombinesAndIsShort) {
+  const BigInt& r = Fr::modulus_bigint();
+  const BigInt& lam = glv_lambda();
+  const BigInt bound = BigInt(1) << 130;  // half-scalars stay ~sqrt(r)
+  Rng rng(91);
+  std::vector<BigInt> ks;
+  for (int i = 0; i < 40; ++i) ks.push_back(Fr::random(rng).to_bigint());
+  for (const BigInt& edge :
+       {BigInt(0), BigInt(1), BigInt(r - 1), lam, BigInt(r - lam)}) {
+    ks.push_back(edge);
+  }
+  for (const BigInt& k : ks) {
+    const GlvDecomposition d = glv_decompose<G1>(k);
+    BigInt back = (d.k1 + d.k2 * lam - k) % r;
+    if (back < 0) back += r;
+    EXPECT_EQ(back, 0) << "k = " << k;
+    EXPECT_LT(abs(d.k1), bound);
+    EXPECT_LT(abs(d.k2), bound);
+  }
+}
+
+template <typename Point>
+void check_glv_mul(std::uint64_t seed) {
+  Rng rng(seed);
+  const Point g = Point::generator();
+  std::vector<BigInt> ks = {BigInt(0),
+                            BigInt(1),
+                            BigInt(2),
+                            BigInt(Point::order() - 1),
+                            Point::order(),
+                            BigInt(Point::order() + 5),
+                            glv_lambda()};
+  for (int i = 0; i < 10; ++i) ks.push_back(Fr::random(rng).to_bigint());
+  for (const BigInt& k : ks) {
+    const Point p = g * (1 + rng.uniform(1 << 20));
+    EXPECT_EQ(glv_mul(p, k), p * k) << "k = " << k;
+  }
+  EXPECT_TRUE(glv_mul(Point::infinity(), BigInt(42)).is_infinity());
+}
+
+TEST(Glv, MulMatchesLadderOnG1) { check_glv_mul<G1>(61); }
+TEST(Glv, MulMatchesLadderOnG2) { check_glv_mul<G2>(62); }
+
+template <typename Point>
+void check_kernel_vs_textbook(std::uint64_t seed) {
+  // Adversarial input mix: infinities, zero / one / -1 scalars, duplicated
+  // points (forced bucket doublings), and random full-width scalars. The
+  // kernel engine must match the textbook oracle point-for-point — and since
+  // serialization normalizes to affine, byte-for-byte.
+  Rng rng(seed);
+  for (const std::size_t n : {8u, 33u, 300u}) {
+    std::vector<Point> points;
+    std::vector<Fr> scalars;
+    for (std::size_t i = 0; i < n; ++i) {
+      Point p = Point::generator() * (1 + rng.uniform(1000));
+      if (i % 7 == 3) p = Point::infinity();
+      if (i % 5 == 4 && i > 0) p = points[i - 1];  // duplicates
+      Fr s = Fr::random(rng);
+      if (i % 11 == 0) s = Fr::zero();
+      if (i % 11 == 1) s = Fr::one();
+      if (i % 11 == 2) s = -Fr::one();
+      points.push_back(p);
+      scalars.push_back(s);
+    }
+    const Point oracle = multiexp_textbook(points, scalars);
+    const Point kernel = multiexp(points, scalars);
+    EXPECT_EQ(kernel, oracle) << "n=" << n;
+    {
+      ScopedKernelEngine off(false);  // toggled off, multiexp IS the oracle
+      EXPECT_EQ(multiexp(points, scalars), oracle) << "n=" << n;
+    }
+  }
+}
+
+TEST(Multiexp, KernelMatchesTextbookOnG1) { check_kernel_vs_textbook<G1>(63); }
+TEST(Multiexp, KernelMatchesTextbookOnG2) { check_kernel_vs_textbook<G2>(64); }
+
+TEST(Multiexp, KernelAndTextbookBytesIdentical) {
+  Rng rng(65);
+  std::vector<G1> points;
+  std::vector<Fr> scalars;
+  for (std::size_t i = 0; i < 64; ++i) {
+    points.push_back(G1::generator() * (1 + rng.uniform(1 << 16)));
+    scalars.push_back(Fr::random(rng));
+  }
+  const Bytes kernel = g1_to_bytes(multiexp(points, scalars));
+  const Bytes oracle = g1_to_bytes(multiexp_textbook(points, scalars));
+  EXPECT_EQ(kernel, oracle);
+}
+
+TEST(G1, ToAffineCheckedIsTotal) {
+  const G1::Affine inf = G1::infinity().to_affine_checked();
+  EXPECT_TRUE(inf.infinity);
+  const G1 p = G1::generator() * 7;
+  const G1::Affine a = p.to_affine_checked();
+  EXPECT_FALSE(a.infinity);
+  EXPECT_EQ(G1::from_affine_point(a), p);
+  EXPECT_EQ(G1::from_affine_point(a.negated()), -p);
+  EXPECT_TRUE(G1::from_affine_point(inf).is_infinity());
+}
+
+TEST(G1, BatchNormalizeMatchesPerPoint) {
+  Rng rng(66);
+  std::vector<G1> points;
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (i % 9 == 5) {
+      points.push_back(G1::infinity());
+    } else {
+      // Arbitrary Jacobian representatives (sums have z != 1).
+      points.push_back(G1::generator() * (1 + rng.uniform(1000)) + G1::generator());
+    }
+  }
+  const std::vector<G1::Affine> affs = G1::normalize(points);
+  ASSERT_EQ(affs.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const G1::Affine ref = points[i].to_affine_checked();
+    EXPECT_EQ(affs[i].infinity, ref.infinity) << "i=" << i;
+    if (!ref.infinity) {
+      EXPECT_EQ(affs[i].x, ref.x) << "i=" << i;
+      EXPECT_EQ(affs[i].y, ref.y) << "i=" << i;
+    }
+  }
+}
+
+TEST(G1, AddMixedMatchesGenericAdd) {
+  Rng rng(67);
+  for (int i = 0; i < 20; ++i) {
+    const G1 p = G1::generator() * (1 + rng.uniform(1000));
+    const G1 q = G1::generator() * (1 + rng.uniform(1000));
+    EXPECT_EQ(p.add_mixed(q.to_affine_checked()), p + q);
+    EXPECT_EQ(p.add_mixed(p.to_affine_checked()), p.dbl());        // doubling branch
+    EXPECT_EQ(p.add_mixed((-p).to_affine_checked()), G1::infinity());  // cancellation
+    EXPECT_EQ(p.add_mixed(G1::Affine{}), p);                       // q at infinity
+    EXPECT_EQ(G1::infinity().add_mixed(q.to_affine_checked()), q);  // this at infinity
+  }
 }
 
 TEST(Jubjub, GeneratorAndSubgroup) {

@@ -98,6 +98,46 @@ TEST(Fp, FromBytesModReducesLargeValues) {
   EXPECT_EQ(v.to_bigint(), bigint_from_bytes(big) % Fr::modulus_bigint());
 }
 
+TEST(Fp, MontSqrMatchesMontMulSelf) {
+  // squared() dispatches to the dedicated Montgomery squaring kernel; it must
+  // be bit-identical to the multiply route for random and edge inputs.
+  Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    const Fq a = Fq::random(rng);
+    EXPECT_EQ(a.squared().to_bytes(), (a * a).to_bytes());
+    const Fr b = Fr::random(rng);
+    EXPECT_EQ(b.squared().to_bytes(), (b * b).to_bytes());
+  }
+  std::vector<BigInt> edges = {BigInt(0), BigInt(1), BigInt(2), Fq::modulus_bigint() - 1,
+                               Fq::modulus_bigint() - 2};
+  for (const int bit : {63, 64, 127, 128, 191, 192, 253}) {
+    edges.push_back(BigInt(1) << bit);        // limb-boundary carries
+    edges.push_back((BigInt(1) << bit) - 1);  // all-ones below the boundary
+  }
+  for (const BigInt& e : edges) {
+    const Fq a = Fq::from_bigint(e);
+    EXPECT_EQ(a.squared().to_bytes(), (a * a).to_bytes());
+    const Fr b = Fr::from_bigint(e % Fr::modulus_bigint());
+    EXPECT_EQ(b.squared().to_bytes(), (b * b).to_bytes());
+  }
+}
+
+TEST(Fp, PortableOraclesPinDispatchedKernels) {
+  // mul_portable / sqr_portable are the always-compiled product-scanning
+  // oracles; whatever operator* / squared() dispatch to (the generic kernel
+  // or the ZL_NATIVE mulx path) must produce identical bytes.
+  Rng rng(78);
+  for (int i = 0; i < 300; ++i) {
+    const Fq a = Fq::random(rng), b = Fq::random(rng);
+    EXPECT_EQ((a * b).to_bytes(), a.mul_portable(b).to_bytes());
+    EXPECT_EQ(a.squared().to_bytes(), a.sqr_portable().to_bytes());
+    EXPECT_EQ(a.sqr_portable().to_bytes(), a.mul_portable(a).to_bytes());
+    const Fr c = Fr::random(rng), d = Fr::random(rng);
+    EXPECT_EQ((c * d).to_bytes(), c.mul_portable(d).to_bytes());
+    EXPECT_EQ(c.squared().to_bytes(), c.sqr_portable().to_bytes());
+  }
+}
+
 TEST(Fp, FrTwoAdicity) {
   const BigInt r = Fr::modulus_bigint();
   BigInt odd = r - 1;

@@ -2,6 +2,7 @@
 // setup/prove/verify loop including soundness-flavoured negative cases.
 #include <gtest/gtest.h>
 
+#include "common/kernel_engine.h"
 #include "snark/groth16.h"
 
 namespace zl::snark {
@@ -153,6 +154,60 @@ TEST(Domain, FftMatchesNaiveEvaluation) {
     x = Fr::one();
     for (std::size_t k = 0; k <= j; ++k) x *= d.omega();
   }
+}
+
+TEST(Domain, FftKernelMatchesTextbookBitExact) {
+  // The blocked FFT evaluates the same butterfly DAG as the textbook loop
+  // over exact arithmetic, so every output word must be identical — across
+  // sizes below, at, and above the cache tile (1024).
+  Rng rng(68);
+  for (const std::size_t n : {4u, 64u, 1024u, 4096u}) {
+    EvaluationDomain d(n);
+    std::vector<Fr> coeffs;
+    for (std::size_t i = 0; i < d.size(); ++i) coeffs.push_back(Fr::random(rng));
+    std::vector<Fr> kernel = coeffs, oracle = coeffs;
+    d.fft(kernel);
+    {
+      ScopedKernelEngine off(false);
+      d.fft(oracle);
+    }
+    EXPECT_EQ(kernel, oracle) << "fft n=" << n;
+    d.ifft(kernel);
+    {
+      ScopedKernelEngine off(false);
+      d.ifft(oracle);
+    }
+    EXPECT_EQ(kernel, oracle) << "ifft n=" << n;
+    EXPECT_EQ(kernel, coeffs) << "round trip n=" << n;
+  }
+}
+
+TEST(Groth16, KernelEngineKeysAndProofBytesIdentical) {
+  // Same setup/prove RNG seeds with the kernel engine on and off: keys and
+  // proofs must serialize to identical bytes (the engines compute identical
+  // group elements, and serialization normalizes to affine).
+  const CubicCircuit circuit;
+  const auto z = circuit.assignment(9);
+  Bytes vk_on, vk_off, proof_on, proof_off;
+  {
+    Rng rng(555);
+    const Keypair keys = setup(circuit.cs, rng);
+    const Proof proof = prove(keys.pk, circuit.cs, z, rng);
+    vk_on = keys.vk.to_bytes();
+    proof_on = proof.to_bytes();
+    EXPECT_TRUE(verify(keys.vk, {z[circuit.out]}, proof));
+  }
+  {
+    ScopedKernelEngine off(false);
+    Rng rng(555);
+    const Keypair keys = setup(circuit.cs, rng);
+    const Proof proof = prove(keys.pk, circuit.cs, z, rng);
+    vk_off = keys.vk.to_bytes();
+    proof_off = proof.to_bytes();
+    EXPECT_TRUE(verify(keys.vk, {z[circuit.out]}, proof));
+  }
+  EXPECT_EQ(vk_on, vk_off);
+  EXPECT_EQ(proof_on, proof_off);
 }
 
 TEST(Domain, VanishingPolynomial) {

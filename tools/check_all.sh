@@ -13,6 +13,11 @@
 #   circuit-audit - build tools/circuit_audit and run the under-constraint
 #             audit (static + seeded mutation fuzzing) over every production
 #             circuit against the reviewed allowlist
+#   kernels - the oracle tests pinning the fast arithmetic kernels
+#             (Montgomery squaring, GLV + batch-affine multiexp, blocked
+#             FFT) against their textbook twins: once under ASan, once in
+#             the ZL_CT_CHECK taint build (which adds the GLV secret-scalar
+#             guard deaths and mont_sqr taint propagation)
 #
 # Usage: tools/check_all.sh [leg ...] [-- ctest args...]
 #   tools/check_all.sh                 # default matrix: lint circuit-audit asan ubsan tsan
@@ -29,8 +34,8 @@ legs=""
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --) shift; break ;;
-    lint|asan|ubsan|tsan|ctcheck|store|circuit-audit) legs="$legs $1"; shift ;;
-    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store|circuit-audit)" >&2; exit 2 ;;
+    lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels) legs="$legs $1"; shift ;;
+    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels)" >&2; exit 2 ;;
   esac
 done
 [ -n "$legs" ] || legs="lint circuit-audit asan ubsan tsan"
@@ -65,6 +70,24 @@ run_store() {
     -R '^(FaultVfs|Wal|SnapshotStore|OffChainStore|DurableChain|Torture|Blockchain)\.' "$@"
 }
 
+# Kernel-engine leg: builds only the four test binaries that carry the
+# kernel-vs-oracle pins and runs them twice — an ASan pass (memory bugs in
+# the batch-affine scheduler / FFT tiling) and a ZL_CT_CHECK pass (taint
+# follows mont_sqr; GLV refuses secret scalars). Reuses the asan/ctcheck
+# build trees, so a later full leg picks up the already-built objects.
+run_kernels() {
+  kernel_filter='^(Fp\.MontSqr|Fp\.PortableOracles|Glv\.|Multiexp\.|Domain\.FftKernel|Groth16\.KernelEngine|CtDeathTest\.|CtCheckBuild\.)'
+  build_dir="$repo_root/build-asan"
+  cmake -S "$repo_root" -B "$build_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release -DZL_SANITIZE=address
+  cmake --build "$build_dir" --target test_field test_ec test_snark test_ct
+  ASAN_OPTIONS="detect_leaks=1:halt_on_error=1:abort_on_error=1" \
+    ctest --test-dir "$build_dir" --output-on-failure -R "$kernel_filter" "$@"
+  build_dir="$repo_root/build-ctcheck"
+  cmake -S "$repo_root" -B "$build_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release -DZL_CT_CHECK=ON
+  cmake --build "$build_dir" --target test_field test_ec test_snark test_ct
+  ctest --test-dir "$build_dir" --output-on-failure -R "$kernel_filter" "$@"
+}
+
 # $1 = leg name, $2 = extra cmake cache args, remaining = ctest args.
 run_suite() {
   leg="$1"; cache="$2"; shift 2
@@ -97,6 +120,8 @@ for leg in $legs; do
     store)
       ASAN_OPTIONS="detect_leaks=1:halt_on_error=1:abort_on_error=1" \
         run_store "$@" || status=$? ;;
+    kernels)
+      run_kernels "$@" || status=$? ;;
   esac
   if [ "$status" -ne 0 ]; then
     echo "==== check_all: $leg FAILED ====" >&2
