@@ -182,27 +182,26 @@ int main() {
     return p;
   };
 
-  // The pool default is clamped to the hardware concurrency, so a pool can
-  // only be oversubscribed by an explicit override; in either degenerate
-  // case (forced oversubscription or a single-hardware-thread host) the
-  // serial-vs-parallel ratio measures scheduling noise, not the pool, so it
-  // is reported as a warning instead of a speedup.
+  // An oversubscribed pool (explicit ZL_THREADS above the hardware
+  // concurrency) measures scheduler noise — so the parallel pass is clamped
+  // to the hardware thread count instead of suppressing the measurement: a
+  // multi-core host always records a real serial-vs-parallel figure. Only a
+  // genuinely single-core host has nothing meaningful to measure.
   unsigned hardware_threads = std::thread::hardware_concurrency();
   if (hardware_threads == 0) hardware_threads = 1;
   unsigned parallel_threads = num_threads();  // honours ZL_THREADS (clamped)
-  // Whenever the host actually has multiple hardware threads, measure the
-  // scaling even if the pool default collapsed to 1 (e.g. a stale ZL_THREADS
-  // or a container-restricted default): the point of the parallel pass is to
-  // record the multi-thread figure on every capable host.
+  // A pool default that collapsed to 1 (stale ZL_THREADS, container limit)
+  // still measures the full hardware on a capable host.
   if (hardware_threads > 1 && parallel_threads <= 1) parallel_threads = hardware_threads;
-  const bool oversubscribed = parallel_threads > hardware_threads;
-  const bool speedup_meaningful = parallel_threads > 1 && !oversubscribed;
-  if (oversubscribed) {
+  if (parallel_threads > hardware_threads) {
     std::fprintf(stderr,
-                 "[prover] WARNING: pool oversubscribed (%u threads on %u hardware threads); "
-                 "speedup figures suppressed\n",
-                 parallel_threads, hardware_threads);
-  } else if (parallel_threads <= 1) {
+                 "[prover] WARNING: ZL_THREADS=%u oversubscribes %u hardware threads; "
+                 "clamping the parallel pass to %u\n",
+                 parallel_threads, hardware_threads, hardware_threads);
+    parallel_threads = hardware_threads;
+  }
+  const bool speedup_meaningful = hardware_threads > 1;
+  if (!speedup_meaningful) {
     std::fprintf(stderr,
                  "[prover] WARNING: single hardware thread — the \"parallel\" pass runs "
                  "serially and speedup figures are suppressed\n");
@@ -305,13 +304,12 @@ int main() {
                    speedup(serial.verify_s, parallel.verify_s),
                    speedup(serial.batch_s, parallel.batch_s));
     } else {
-      // A serial-vs-"parallel" ratio on an oversubscribed (or single-core)
-      // host measures scheduler noise, not the engine; record why instead.
+      // A single-core host has no parallel pass to compare against; record
+      // why instead of a fake 1.0x.
       std::fprintf(f,
                    "  \"speedup\": null,\n"
-                   "  \"speedup_warning\": \"pool of %u threads on %u hardware threads: "
-                   "serial-vs-parallel ratio is not meaningful\",\n",
-                   parallel.threads, hardware_threads);
+                   "  \"speedup_warning\": \"single hardware thread: "
+                   "serial-vs-parallel ratio is not meaningful\",\n");
     }
     std::fprintf(f,
                  "  \"verify_batch_prepared_s\": %.6f,\n"

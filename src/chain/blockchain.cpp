@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "chain/validation.h"
+
 namespace zl::chain {
 
 namespace {
@@ -183,11 +185,16 @@ void Blockchain::choose_best_tip() {
     const Entry& best_entry = blocks_.at(key(best_hash));
     if (best_entry.block.header.parent_hash == head_hash_) {
       const Block& block = best_entry.block;
+      // Fan the expensive pure checks (signatures, snark proofs) out on the
+      // thread pool; the sequential applies below then hit warm memo caches.
+      prevalidate_block(state_, block.transactions);
       bool ok = true;
+      std::vector<HeadEvent> confirmed;
       for (const Transaction& tx : block.transactions) {
         try {
           Receipt r = state_.apply_transaction(tx, block.header.number, block.header.miner);
           receipts_[key(tx.hash())] = {std::move(r), block.header.number};
+          confirmed.push_back(HeadEvent{key(tx.hash()), true});
         } catch (const std::invalid_argument&) {
           ok = false;
           break;
@@ -195,6 +202,7 @@ void Blockchain::choose_best_tip() {
       }
       if (ok) {
         head_hash_ = best_hash;
+        head_events_.insert(head_events_.end(), confirmed.begin(), confirmed.end());
         maybe_checkpoint();
         return;
       }
@@ -240,6 +248,7 @@ bool Blockchain::adopt_branch(const Bytes& tip_hash) {
   for (auto it = branch.rbegin(); it != branch.rend(); ++it) {
     const Block& block = **it;
     if (block.header.number == 0) continue;
+    prevalidate_block(fresh, block.transactions);
     for (const Transaction& tx : block.transactions) {
       try {
         Receipt r = fresh.apply_transaction(tx, block.header.number, block.header.miner);
@@ -255,6 +264,25 @@ bool Blockchain::adopt_branch(const Bytes& tip_hash) {
       if (const std::optional<Bytes> payload = encode_checkpoint(fresh, fresh_receipts)) {
         record_checkpoint(block.hash(), block.header.number, *payload, /*persist=*/false);
       }
+    }
+  }
+
+  // Emit the canonical-set diff: a merge walk over the two sorted receipt
+  // maps, so the event order (dropped and confirmed interleaved by tx hash)
+  // is identical on every node that performs this reorg.
+  auto old_it = receipts_.cbegin();
+  auto new_it = fresh_receipts.cbegin();
+  while (old_it != receipts_.cend() || new_it != fresh_receipts.cend()) {
+    if (new_it == fresh_receipts.cend() ||
+        (old_it != receipts_.cend() && old_it->first < new_it->first)) {
+      head_events_.push_back(HeadEvent{old_it->first, false});
+      ++old_it;
+    } else if (old_it == receipts_.cend() || new_it->first < old_it->first) {
+      head_events_.push_back(HeadEvent{new_it->first, true});
+      ++new_it;
+    } else {
+      ++old_it;  // confirmed on both branches: no membership change
+      ++new_it;
     }
   }
 

@@ -84,6 +84,21 @@ class Blockchain {
   /// Number of cached in-memory checkpoints (reorg restore points).
   std::size_t checkpoint_count() const { return checkpoints_.size(); }
 
+  /// One canonical-set membership change produced by fork choice: a
+  /// transaction either became confirmed on the canonical chain or fell off
+  /// it (reorg onto a branch that does not include it). Events are appended
+  /// in fork-choice order; within one reorg the diff is emitted sorted by tx
+  /// hash, so the stream is deterministic across nodes.
+  struct HeadEvent {
+    std::string tx_hash_hex;
+    bool confirmed = false;  // false = dropped by a reorg, back to pending
+  };
+
+  /// Drain the accumulated head events. The node layer consumes these to
+  /// keep its mempool in sync incrementally — confirmation evicts, reorg
+  /// resurrects — with no full-chain rescan.
+  std::vector<HeadEvent> take_head_events() { return std::move(head_events_); }
+
  private:
   using Key = std::string;  // hex hash as map key
   static Key key(const Bytes& hash) { return to_hex(hash); }
@@ -127,6 +142,7 @@ class Blockchain {
   ChainState state_;
   ReceiptMap receipts_;  // tx hash -> (receipt, block no)
   std::map<Key, Checkpoint> checkpoints_;
+  std::vector<HeadEvent> head_events_;
   std::unique_ptr<store::BlockJournal> journal_;
   std::unique_ptr<store::SnapshotStore> snapshots_;
 };

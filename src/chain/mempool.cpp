@@ -1,0 +1,118 @@
+#include "chain/mempool.h"
+
+#include <algorithm>
+
+namespace zl::chain {
+
+Mempool::Admission Mempool::admit(const Transaction& tx, std::uint64_t chain_nonce) {
+  const std::string h = to_hex(tx.hash());
+  if (by_hash_.contains(h)) return Admission::kDuplicate;
+  if (tx.nonce < chain_nonce) return Admission::kNonceTooLow;
+  if (tx.gas_limit < tx.intrinsic_gas()) return Admission::kInvalid;
+  if (!tx.verify_signature()) return Admission::kInvalid;
+
+  const std::uint64_t fee = fee_of(tx);
+  SenderChain& chain = by_sender_[tx.from];
+  const auto slot = chain.find(tx.nonce);
+  const bool replacing = slot != chain.end();
+  if (replacing && fee < slot->second.fee + kReplacementBump) return Admission::kUnderpriced;
+
+  if (!replacing && by_hash_.size() >= max_txs_) {
+    // Pool is full: the new bid must beat the globally cheapest entry.
+    if (by_fee_.empty() || fee <= by_fee_.begin()->first.first) return Admission::kPoolFull;
+    evict_cheapest();
+  }
+  if (replacing) unlink(chain, slot);
+
+  Entry entry{tx, h, fee, next_seq_++};
+  by_hash_[h] = {tx.from, tx.nonce};
+  by_fee_[{fee, entry.seq}] = {tx.from, tx.nonce};
+  chain.emplace(tx.nonce, std::move(entry));
+  ++version_;
+  return replacing ? Admission::kReplaced : Admission::kAdmitted;
+}
+
+Mempool::SenderChain::iterator Mempool::unlink(SenderChain& chain, SenderChain::iterator it) {
+  by_hash_.erase(it->second.hash_hex);
+  by_fee_.erase({it->second.fee, it->second.seq});
+  ++version_;
+  return chain.erase(it);
+}
+
+void Mempool::evict_cheapest() {
+  const auto cheapest = by_fee_.begin();
+  const auto [sender, nonce] = cheapest->second;
+  const auto sc = by_sender_.find(sender);
+  unlink(sc->second, sc->second.find(nonce));
+  if (sc->second.empty()) by_sender_.erase(sc);
+}
+
+void Mempool::on_confirmed(const Address& sender, std::uint64_t nonce) {
+  const auto sc = by_sender_.find(sender);
+  if (sc == by_sender_.end()) return;
+  // Everything at or below the confirmed nonce is dead: either this exact
+  // transaction, a competing bid for the same slot, or a stale lower nonce.
+  auto it = sc->second.begin();
+  while (it != sc->second.end() && it->first <= nonce) it = unlink(sc->second, it);
+  if (sc->second.empty()) by_sender_.erase(sc);
+}
+
+void Mempool::drop(const std::string& tx_hash_hex) {
+  const auto at = by_hash_.find(tx_hash_hex);
+  if (at == by_hash_.end()) return;
+  const auto [sender, nonce] = at->second;
+  const auto sc = by_sender_.find(sender);
+  unlink(sc->second, sc->second.find(nonce));
+  if (sc->second.empty()) by_sender_.erase(sc);
+}
+
+std::vector<Transaction> Mempool::build_block(const ChainState& state,
+                                              std::size_t max_txs) const {
+  // Candidate heads: each sender's next-executable transaction. The heap
+  // comparator is a total order on (fee desc, seq asc), so the selection is
+  // deterministic even though the sender map iterates in hash order.
+  struct Head {
+    std::uint64_t fee;
+    std::uint64_t seq;
+    const Address* sender;
+    const SenderChain* chain;
+    SenderChain::const_iterator it;
+  };
+  const auto lower_priority = [](const Head& a, const Head& b) {
+    return a.fee != b.fee ? a.fee < b.fee : a.seq > b.seq;
+  };
+
+  std::vector<Head> heap;
+  heap.reserve(by_sender_.size());
+  // The heap below imposes a total order on (fee, seq), so the emitted block
+  // is independent of this iteration order. zl-lint: allow(nondet-iteration)
+  for (const auto& [sender, chain] : by_sender_) {
+    const auto it = chain.find(state.nonce_of(sender));
+    if (it != chain.end()) heap.push_back({it->second.fee, it->second.seq, &sender, &chain, it});
+  }
+  std::make_heap(heap.begin(), heap.end(), lower_priority);
+
+  std::vector<Transaction> out;
+  std::unordered_map<Address, std::uint64_t> spend_bound;
+  while (!heap.empty() && out.size() < max_txs) {
+    std::pop_heap(heap.begin(), heap.end(), lower_priority);
+    const Head head = heap.back();
+    heap.pop_back();
+    const Transaction& tx = head.it->second.tx;
+    // Conservative funds bound: everything the template already commits for
+    // this sender plus this transaction's worst case must fit the balance.
+    std::uint64_t& bound = spend_bound[*head.sender];
+    const std::uint64_t cost = tx.gas_limit + tx.value;
+    if (bound + cost > state.balance_of(*head.sender)) continue;  // chain stops here
+    bound += cost;
+    out.push_back(tx);
+    const auto next = std::next(head.it);
+    if (next != head.chain->end() && next->first == tx.nonce + 1) {
+      heap.push_back({next->second.fee, next->second.seq, head.sender, head.chain, next});
+      std::push_heap(heap.begin(), heap.end(), lower_priority);
+    }
+  }
+  return out;
+}
+
+}  // namespace zl::chain

@@ -1,0 +1,104 @@
+#pragma once
+// Fee-ordered transaction pool — the marketplace-scale replacement for the
+// first-seen deque the node used to carry.
+//
+// Shape: per-sender nonce chains (a sorted map nonce -> entry per sender)
+// plus two indexes — a hash index for O(1) expected lookup/eviction when a
+// transaction confirms, and a global (fee, seq) order used to shed the
+// cheapest transactions when the pool overflows. Admission is O(log n);
+// confirmation eviction is an O(1) expected hash lookup plus an O(log c)
+// unlink from the sender's chain (c = that sender's pending count).
+//
+// Fees: gas is priced at a fixed 1 wei/gas in this simulation, so a
+// transaction's fee bid is its gas limit — the amount the sender escrows
+// and the upper bound a miner can collect. Replacement-by-fee: a new
+// transaction for an occupied (sender, nonce) slot must bid strictly more
+// than the incumbent plus kReplacementBump, or it is rejected as
+// underpriced (the bump makes re-gossip griefing pay).
+//
+// Nonce gaps are held: a transaction whose nonce is ahead of the sender's
+// chain is admitted and simply not selectable until the gap fills.
+// Block building walks every sender's next-executable transaction through a
+// max-heap on (fee desc, seq asc), so the result is deterministic — it never
+// depends on hash-map iteration order — and respects per-sender nonce order
+// and a conservative funds bound against the provided state.
+
+#include <map>
+#include <unordered_map>
+
+#include "chain/state.h"
+
+namespace zl::chain {
+
+class Mempool {
+ public:
+  enum class Admission : std::uint8_t {
+    kAdmitted = 0,     // new (sender, nonce) slot filled
+    kReplaced,         // replacement-by-fee of an occupied slot
+    kDuplicate,        // exact transaction already pooled
+    kUnderpriced,      // occupied slot and the bid does not beat it
+    kNonceTooLow,      // sender's chain nonce is already past this
+    kInvalid,          // bad signature or gas below intrinsic
+    kPoolFull,         // pool at capacity and this bid is the cheapest
+  };
+
+  /// Minimum fee increment a replacement must add over the incumbent.
+  static constexpr std::uint64_t kReplacementBump = 1000;
+
+  explicit Mempool(std::size_t max_txs = 65536) : max_txs_(max_txs) {}
+
+  /// Fee bid (gas priced at 1 wei/gas: the escrowed gas limit).
+  static std::uint64_t fee_of(const Transaction& tx) { return tx.gas_limit; }
+
+  /// Admit `tx` given the sender's current chain nonce. Counts as accepted
+  /// (worth re-gossiping) when the result is kAdmitted or kReplaced.
+  Admission admit(const Transaction& tx, std::uint64_t chain_nonce);
+  static bool accepted(Admission a) {
+    return a == Admission::kAdmitted || a == Admission::kReplaced;
+  }
+
+  /// A transaction from `sender` confirmed at `nonce` on the canonical
+  /// chain: evict every pooled transaction from that sender at or below
+  /// `nonce` (including a competing bid for the confirmed slot).
+  void on_confirmed(const Address& sender, std::uint64_t nonce);
+
+  /// Drop one transaction by hash (hex), if pooled. O(1) expected.
+  void drop(const std::string& tx_hash_hex);
+
+  /// Deterministic block template: up to `max_txs` transactions, highest fee
+  /// first across senders, in nonce order per sender, skipping anything the
+  /// sender cannot fund on top of what the template already commits.
+  std::vector<Transaction> build_block(const ChainState& state, std::size_t max_txs) const;
+
+  bool contains(const std::string& tx_hash_hex) const { return by_hash_.contains(tx_hash_hex); }
+  std::size_t size() const { return by_hash_.size(); }
+  bool empty() const { return by_hash_.empty(); }
+  /// Bumped on every mutation; miners use it to detect stale templates.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  struct Entry {
+    Transaction tx;
+    std::string hash_hex;
+    std::uint64_t fee = 0;
+    std::uint64_t seq = 0;  // admission order, tie-break
+  };
+  using SenderChain = std::map<std::uint64_t, Entry>;  // nonce -> entry
+
+  /// Remove one entry from all three indexes. Does not erase an emptied
+  /// sender chain (callers may still hold a reference to it).
+  SenderChain::iterator unlink(SenderChain& chain, SenderChain::iterator it);
+  /// Shed the globally cheapest entry.
+  void evict_cheapest();
+
+  std::size_t max_txs_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t version_ = 0;
+  std::unordered_map<Address, SenderChain> by_sender_;
+  // tx hash (hex) -> (sender, nonce): O(1) expected confirmation eviction.
+  std::unordered_map<std::string, std::pair<Address, std::uint64_t>> by_hash_;
+  // (fee, seq) -> (sender, nonce), ascending: begin() is the first to shed.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::pair<Address, std::uint64_t>> by_fee_;
+};
+
+}  // namespace zl::chain

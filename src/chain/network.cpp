@@ -59,9 +59,9 @@ Node::Node(SimNetwork& network, const GenesisConfig& genesis)
 Node::Node(SimNetwork& network, const GenesisConfig& genesis, const store::OpenOptions& storage)
     : network_(network), chain_(genesis, storage) {
   id_ = network.add_node(this);
-  // A chain recovered from disk already confirms transactions the mempool
-  // logic must treat as seen.
-  if (chain_.durable() && chain_.height() > 0) refresh_mempool();
+  // A chain recovered from disk emitted confirmation events during replay;
+  // nothing is pooled yet, so they carry no work — just drain them.
+  chain_.take_head_events();
 }
 
 void Node::submit_transaction(const Transaction& tx) { accept_transaction(tx, true); }
@@ -70,19 +70,27 @@ void Node::accept_transaction(const Transaction& tx, bool rebroadcast) {
   const std::string h = to_hex(tx.hash());
   if (seen_.contains(h)) return;
   seen_[h] = true;
-  if (!tx.verify_signature()) return;
-  if (!known_tx_hashes_.contains(h)) {
-    known_tx_hashes_[h] = true;
-    known_txs_.push_back(tx);
-  }
-  mempool_.push_back(tx);
+  // Admission verifies the signature (memoized), enforces nonce/fee rules
+  // and replacement-by-fee; only transactions worth relaying propagate.
+  if (!Mempool::accepted(mempool_.admit(tx, chain_.state().nonce_of(tx.from)))) return;
+  known_txs_.emplace(h, tx);
   if (rebroadcast) network_.broadcast(id_, MessageKind::kTransaction, tx.to_bytes());
 }
 
-void Node::refresh_mempool() {
-  mempool_.clear();
-  for (const Transaction& tx : known_txs_) {
-    if (!chain_.find_receipt(tx.hash()).has_value()) mempool_.push_back(tx);
+void Node::sync_mempool_with_chain() {
+  for (const Blockchain::HeadEvent& event : chain_.take_head_events()) {
+    const auto it = known_txs_.find(event.tx_hash_hex);
+    if (event.confirmed) {
+      // O(1) expected: drop the confirmed tx, and with a known body also the
+      // sender's now-stale lower nonces and competing same-nonce bids.
+      if (it != known_txs_.end()) mempool_.on_confirmed(it->second.from, it->second.nonce);
+      mempool_.drop(event.tx_hash_hex);
+    } else if (it != known_txs_.end()) {
+      // Reorged off the canonical chain: back to pending so miners can
+      // re-include it (bodies confirmed before this process started are not
+      // in known_txs_ and stay dropped, as before durable recovery).
+      mempool_.admit(it->second, chain_.state().nonce_of(it->second.from));
+    }
   }
 }
 
@@ -90,14 +98,11 @@ void Node::accept_block(const Block& block, bool rebroadcast) {
   const std::string h = to_hex(block.hash());
   if (seen_.contains(h)) return;
   seen_[h] = true;
-  // Transactions arriving via blocks count as known too (a reorg may later
-  // evict them and they must return to the mempool).
+  // Stash the bodies unvalidated (a reorg may later evict them and they
+  // must return to the mempool); block validation itself happens inside
+  // add_block's prevalidate + apply pipeline, not here.
   for (const Transaction& tx : block.transactions) {
-    const std::string th = to_hex(tx.hash());
-    if (!known_tx_hashes_.contains(th) && tx.verify_signature()) {
-      known_tx_hashes_[th] = true;
-      known_txs_.push_back(tx);
-    }
+    known_txs_.emplace(to_hex(tx.hash()), tx);
   }
   // Parent not here yet (gossip reordering): park the block until it is.
   if (!chain_.knows(block.header.parent_hash)) {
@@ -105,7 +110,7 @@ void Node::accept_block(const Block& block, bool rebroadcast) {
     return;
   }
   if (!chain_.add_block(block)) return;
-  refresh_mempool();
+  sync_mempool_with_chain();
   if (rebroadcast) network_.broadcast(id_, MessageKind::kBlock, block_to_bytes(block));
 
   // Connect any orphans waiting on this block (and, transitively, theirs).
@@ -119,7 +124,7 @@ void Node::accept_block(const Block& block, bool rebroadcast) {
     orphans_.erase(it);
     for (const Block& child : children) {
       if (chain_.add_block(child)) {
-        refresh_mempool();
+        sync_mempool_with_chain();
         if (rebroadcast) network_.broadcast(id_, MessageKind::kBlock, block_to_bytes(child));
         connected.push_back(child.hash());
       }
@@ -154,34 +159,18 @@ void MinerNode::rebuild_template(std::uint64_t now) {
   template_.header.difficulty = chain_.difficulty();
   template_.header.miner = coinbase_;
 
-  // Select mempool transactions that can apply on top of the head state:
-  // correct nonce sequencing per sender and a conservative funds bound.
-  const ChainState& state = chain_.state();
-  std::map<std::string, std::uint64_t> next_nonce;   // address hex -> nonce
-  std::map<std::string, std::uint64_t> spend_bound;  // address hex -> committed upper bound
-  for (const Transaction& tx : mempool_) {
-    const std::string sender = tx.from.to_hex();
-    if (!next_nonce.contains(sender)) {
-      next_nonce[sender] = state.nonce_of(tx.from);
-      spend_bound[sender] = 0;
-    }
-    if (tx.nonce != next_nonce[sender]) continue;
-    if (tx.gas_limit < tx.intrinsic_gas()) continue;
-    const std::uint64_t cost = tx.gas_limit + tx.value;
-    if (spend_bound[sender] + cost > state.balance_of(tx.from)) continue;
-    next_nonce[sender] += 1;
-    spend_bound[sender] += cost;
-    template_.transactions.push_back(tx);
-  }
+  // Highest fee first across senders, nonce-ordered per sender, funds-bound
+  // against the head state — all inside the pool's heap walk.
+  template_.transactions = mempool_.build_block(chain_.state(), kMaxTemplateTxs);
   template_.header.tx_root = Block::compute_tx_root(template_.transactions);
   template_parent_ = template_.header.parent_hash;
-  template_txs_ = template_.transactions.size();
+  template_pool_version_ = mempool_.version();
   next_nonce_ = 0;
 }
 
 void MinerNode::tick(std::uint64_t now) {
   if (!enabled_) return;
-  if (template_parent_ != chain_.head_hash() || template_txs_ != mempool_.size() ||
+  if (template_parent_ != chain_.head_hash() || template_pool_version_ != mempool_.version() ||
       template_parent_.empty()) {
     rebuild_template(now);
   }

@@ -7,11 +7,12 @@
 // of §III who "can reorder transactions that are broadcasted to the network
 // but not yet written into a block" (used by the free-riding attack tests).
 
-#include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 
 #include "chain/blockchain.h"
+#include "chain/mempool.h"
 
 namespace zl::chain {
 
@@ -102,18 +103,24 @@ class Node {
   void accept_transaction(const Transaction& tx, bool rebroadcast);
   void accept_block(const Block& block, bool rebroadcast);
 
-  /// Rebuild the mempool as: every known transaction not included on the
-  /// canonical chain, in first-seen order. Keeps transactions from orphaned
-  /// blocks alive across reorgs.
-  void refresh_mempool();
+  /// Drain the chain's head events and apply them to the mempool
+  /// incrementally: confirmation evicts the sender's chain up to the
+  /// confirmed nonce (O(1) expected per event); a reorg drop re-admits the
+  /// stashed body so miners can re-include it. Replaces the old
+  /// refresh_mempool clear-and-rescan (which was O(mempool x height) per
+  /// head change).
+  void sync_mempool_with_chain();
 
   SimNetwork& network_;
   Blockchain chain_;
   int id_;
-  std::deque<Transaction> mempool_;
-  std::map<std::string, bool> seen_;                    // tx/block hash (hex) -> seen
-  std::vector<Transaction> known_txs_;                  // first-seen order
-  std::map<std::string, bool> known_tx_hashes_;
+  Mempool mempool_;
+  std::map<std::string, bool> seen_;  // tx/block hash (hex) -> seen
+  // Every transaction body this node has observed (gossip or block),
+  // unvalidated: resurrection after a reorg re-admits from here, and
+  // admission re-checks the signature (a memo hit for anything already
+  // verified). Lookup-only — never iterated — so hash order is harmless.
+  std::unordered_map<std::string, Transaction> known_txs_;
   // Blocks that arrived before their parent, keyed by parent hash (hex);
   // reconnected as soon as the parent is adopted into the store.
   std::map<std::string, std::vector<Block>> orphans_;
@@ -134,6 +141,9 @@ class MinerNode : public Node {
   void set_enabled(bool enabled) { enabled_ = enabled; }
 
  private:
+  /// Transactions per block template (the simulated protocol's block cap).
+  static constexpr std::size_t kMaxTemplateTxs = 4096;
+
   void rebuild_template(std::uint64_t now);
 
   Address coinbase_;
@@ -141,7 +151,7 @@ class MinerNode : public Node {
   bool enabled_ = true;
   Block template_;
   Bytes template_parent_;
-  std::size_t template_txs_ = 0;
+  std::uint64_t template_pool_version_ = 0;
   std::uint64_t next_nonce_ = 0;
   std::size_t blocks_mined_ = 0;
 };

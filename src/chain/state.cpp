@@ -1,6 +1,7 @@
 #include "chain/state.h"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -25,10 +26,28 @@ std::unique_ptr<Contract> ContractFactory::create(const std::string& name) const
 
 bool ContractFactory::knows(const std::string& name) const { return makers_.contains(name); }
 
-bool CallContext::snark_verify(const snark::VerifyingKey& vk, const std::vector<Fr>& statement,
-                               const snark::Proof& proof) const {
-  charge(GasSchedule::snark_verify_cost(4));
-  static std::unordered_map<std::string, bool> cache;
+namespace {
+
+// Process-wide memo of snark_verify precompile results. Verification is a
+// deterministic pure function, and nodes replay the same proofs on every fork
+// reorg — and, since the parallel validation pipeline, block prevalidation
+// warms this map from pool threads ahead of sequential apply, so access is
+// mutex-guarded.
+struct SnarkVerifyCache {
+  std::mutex mutex;
+  std::unordered_map<std::string, bool> results;
+};
+
+SnarkVerifyCache& snark_verify_cache() {
+  static SnarkVerifyCache cache;
+  return cache;
+}
+
+}  // namespace
+
+std::string snark_verify_cache_key(const snark::VerifyingKey& vk,
+                                   const std::vector<Fr>& statement,
+                                   const snark::Proof& proof) {
   Bytes key_bytes = vk.to_bytes();
   for (const Fr& s : statement) {
     const Bytes b = s.to_bytes();
@@ -36,11 +55,36 @@ bool CallContext::snark_verify(const snark::VerifyingKey& vk, const std::vector<
   }
   const Bytes pb = proof.to_bytes();
   key_bytes.insert(key_bytes.end(), pb.begin(), pb.end());
-  const std::string key = to_hex(keccak256(key_bytes));
-  const auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+  return to_hex(keccak256(key_bytes));
+}
+
+void warm_snark_verify_cache(const std::string& cache_key, bool ok) {
+  SnarkVerifyCache& cache = snark_verify_cache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.results.emplace(cache_key, ok);
+}
+
+void clear_snark_verify_cache() {
+  SnarkVerifyCache& cache = snark_verify_cache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.results.clear();
+}
+
+bool CallContext::snark_verify(const snark::VerifyingKey& vk, const std::vector<Fr>& statement,
+                               const snark::Proof& proof) const {
+  charge(GasSchedule::snark_verify_cost(4));
+  const std::string key = snark_verify_cache_key(vk, statement, proof);
+  SnarkVerifyCache& cache = snark_verify_cache();
+  {
+    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const auto it = cache.results.find(key);
+    if (it != cache.results.end()) return it->second;
+  }
   const bool ok = snark::verify(vk, statement, proof);
-  cache.emplace(key, ok);
+  {
+    const std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.results.emplace(key, ok);
+  }
   return ok;
 }
 

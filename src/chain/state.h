@@ -10,6 +10,17 @@
 
 namespace zl::chain {
 
+/// Memo key of one snark_verify precompile evaluation:
+/// keccak256(vk || statement || proof), hex.
+std::string snark_verify_cache_key(const snark::VerifyingKey& vk,
+                                   const std::vector<Fr>& statement,
+                                   const snark::Proof& proof);
+/// Pre-seed the precompile memo (block prevalidation verifies proofs in a
+/// parallel batch, then records the results here for sequential apply).
+void warm_snark_verify_cache(const std::string& cache_key, bool ok);
+/// Drop every memoized precompile result (cold-path benchmarking).
+void clear_snark_verify_cache();
+
 struct Account {
   std::uint64_t balance = 0;
   std::uint64_t nonce = 0;

@@ -1,8 +1,45 @@
 #include "chain/tx.h"
 
+#include <mutex>
+#include <unordered_map>
+
 #include "chain/gas.h"
 
 namespace zl::chain {
+
+namespace {
+
+// Process-wide signature-verdict memo. ECDSA verification costs two scalar
+// multiplications; hashing the encoded transaction is ~100x cheaper, so every
+// re-verification after the first (block apply, fork replay, re-gossip on
+// another simulated node) collapses to a keccak + hash-map hit. Guarded by a
+// mutex because block prevalidation warms it from pool threads.
+struct SignatureVerdictCache {
+  // Re-verification clusters around recent transactions; a full reset at the
+  // cap is simpler than LRU and amortizes to a no-op.
+  static constexpr std::size_t kMaxEntries = 1u << 20;
+  std::mutex mutex;
+  std::unordered_map<std::string, bool> verdicts;
+};
+
+SignatureVerdictCache& signature_verdict_cache() {
+  static SignatureVerdictCache cache;
+  return cache;
+}
+
+}  // namespace
+
+void clear_signature_verdict_cache() {
+  SignatureVerdictCache& cache = signature_verdict_cache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.verdicts.clear();
+}
+
+std::size_t signature_verdict_cache_size() {
+  SignatureVerdictCache& cache = signature_verdict_cache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  return cache.verdicts.size();
+}
 
 Bytes Transaction::signing_bytes() const {
   Bytes out;
@@ -47,12 +84,26 @@ Bytes Transaction::hash() const { return keccak256(to_bytes()); }
 
 bool Transaction::verify_signature() const {
   if (pubkey.size() != 65 || signature.size() != 64) return false;
-  try {
-    if (Address::from_bytes(ecdsa_address(pubkey)) != from) return false;
-    return ecdsa_verify(pubkey, signing_bytes(), EcdsaSignature::from_bytes(signature));
-  } catch (const std::invalid_argument&) {
-    return false;
+  const std::string key = to_hex(hash());
+  SignatureVerdictCache& cache = signature_verdict_cache();
+  {
+    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const auto it = cache.verdicts.find(key);
+    if (it != cache.verdicts.end()) return it->second;
   }
+  bool ok = false;
+  try {
+    ok = Address::from_bytes(ecdsa_address(pubkey)) == from &&
+         ecdsa_verify(pubkey, signing_bytes(), EcdsaSignature::from_bytes(signature));
+  } catch (const std::invalid_argument&) {
+    ok = false;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(cache.mutex);
+    if (cache.verdicts.size() >= SignatureVerdictCache::kMaxEntries) cache.verdicts.clear();
+    cache.verdicts.emplace(key, ok);
+  }
+  return ok;
 }
 
 std::uint64_t Transaction::intrinsic_gas() const {

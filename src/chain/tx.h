@@ -35,12 +35,22 @@ struct Transaction {
 
   bool is_contract_creation() const { return to.is_zero(); }
 
-  /// Signature valid and `from` matches the signing key.
+  /// Signature valid and `from` matches the signing key. The verdict is
+  /// memoized process-wide, keyed by the transaction hash: a tx verified at
+  /// mempool admission is not re-verified inside block apply or fork replay.
+  /// The hash covers every field (including pubkey and signature), so a
+  /// mutated copy self-invalidates under a new key.
   bool verify_signature() const;
 
   /// Intrinsic gas: base + calldata (+ creation surcharge).
   std::uint64_t intrinsic_gas() const;
 };
+
+/// Drop every memoized signature verdict (benches use this to time the cold
+/// path; see also chain::clear_validation_caches in validation.h).
+void clear_signature_verdict_cache();
+/// Number of memoized signature verdicts (observability for tests).
+std::size_t signature_verdict_cache_size();
 
 /// A signing account: keypair + address + nonce tracking. Participants
 /// create one Wallet per task to realize the paper's one-task-only

@@ -70,7 +70,59 @@ void TaskContract::register_type() {
   if (!chain::ContractFactory::instance().knows(kContractType)) {
     chain::ContractFactory::instance().register_type(
         kContractType, [] { return std::make_unique<TaskContract>(); });
+    chain::register_snark_precheck_extractor(task_snark_prechecks);
   }
+}
+
+std::vector<chain::SnarkPrecheck> task_snark_prechecks(const chain::ChainState& state,
+                                                       const chain::Transaction& tx) {
+  std::vector<chain::SnarkPrecheck> out;
+  if (tx.is_contract_creation()) {
+    if (tx.method != TaskContract::kContractType) return out;
+    // Deploy: the requester attestation check of on_deploy (anonymous mode).
+    const TaskParams params = TaskParams::from_bytes(tx.payload);
+    if (params.auth_mode != AuthMode::kAnonymous) return out;
+    if (tx.value < params.budget) return out;  // would revert before the proof
+    const auth::Attestation att = auth::Attestation::from_bytes(params.requester_attestation);
+    const chain::Address contract_addr = chain::Address::for_contract(tx.from, tx.nonce);
+    out.push_back({snark::VerifyingKey::from_bytes(params.auth_vk),
+                   auth::auth_statement(contract_addr.to_bytes(),
+                                        params.requester_address.to_bytes(),
+                                        params.registry_root, att),
+                   att.proof});
+    return out;
+  }
+
+  const auto* task = state.contract_as<TaskContract>(tx.to);
+  if (task == nullptr || task->finalized()) return out;
+  const TaskParams& params = task->params();
+  if (tx.method == "submit" && params.auth_mode == AuthMode::kAnonymous) {
+    if (task->submissions().size() >= params.num_answers) return out;
+    std::size_t off = 0;
+    const auth::Attestation att = auth::Attestation::from_bytes(read_frame(tx.payload, off));
+    const AnswerCiphertext ct = AnswerCiphertext::from_bytes(read_frame(tx.payload, off));
+    const Bytes rest = concat({tx.from.to_bytes(), ct.to_bytes()});
+    out.push_back({task->auth_vk(),
+                   auth::auth_statement(tx.to.to_bytes(), rest, params.registry_root, att),
+                   att.proof});
+  } else if (tx.method == "reward") {
+    std::size_t off = 0;
+    const std::uint32_t count = read_u32_be(tx.payload, off);
+    off += 4;
+    if (count != params.num_answers) return out;
+    std::vector<std::uint64_t> rewards;
+    rewards.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      rewards.push_back(read_u64_be(tx.payload, off));
+      off += 8;
+    }
+    const snark::Proof proof = snark::Proof::from_bytes(read_frame(tx.payload, off));
+    out.push_back({task->reward_vk(),
+                   reward_statement(JubjubPoint::from_bytes(params.epk), task->share(),
+                                    task->padded_ciphertexts(), rewards),
+                   proof});
+  }
+  return out;
 }
 
 void TaskContract::on_deploy(CallContext& ctx, const Bytes& ctor_args) {

@@ -21,6 +21,7 @@
 #include "auth/classic_auth.h"
 #include "auth/cpl_auth.h"
 #include "chain/contract.h"
+#include "chain/validation.h"
 #include "zebralancer/reward_circuit.h"
 
 namespace zl::zebralancer {
@@ -95,6 +96,12 @@ class TaskContract : public chain::Contract {
   const std::vector<std::uint64_t>& rewards() const { return rewards_; }
   const snark::Proof& reward_proof() const { return reward_proof_; }
   const snark::VerifyingKey& reward_vk() const { return reward_vk_; }
+  /// CPL-AA verifying key (valid in anonymous mode; used by the snark
+  /// precheck extractor to verify submissions ahead of sequential apply).
+  const snark::VerifyingKey& auth_vk() const { return auth_vk_; }
+  /// Ciphertext list padded with the deterministic ⊥ placeholder to n (the
+  /// reward statement is built over exactly n ciphertexts).
+  std::vector<AnswerCiphertext> padded_ciphertexts() const;
   /// The public statement the stored reward proof was verified against
   /// (rebuilt from on-chain ciphertexts + the accepted instruction).
   std::vector<Fr> reward_audit_statement() const;
@@ -118,9 +125,6 @@ class TaskContract : public chain::Contract {
   void handle_reward(chain::CallContext& ctx, const Bytes& args);
   void handle_finalize(chain::CallContext& ctx);
 
-  /// Ciphertext list padded with the deterministic ⊥ placeholder to n.
-  std::vector<AnswerCiphertext> padded_ciphertexts() const;
-
   TaskParams params_;
   snark::VerifyingKey auth_vk_;
   snark::VerifyingKey reward_vk_;
@@ -140,5 +144,14 @@ class TaskContract : public chain::Contract {
 /// rewarded task contract also fails. Empty result = every payout proven.
 std::vector<std::size_t> audit_rewarded_tasks(const chain::ChainState& state,
                                               const std::vector<chain::Address>& addresses);
+
+/// Snark-precheck extractor for the parallel validation pipeline
+/// (chain/validation.h): given a transaction and the state it will apply on,
+/// reproduces the snark_verify call a task deploy / submit / reward would
+/// issue, so block prevalidation can verify the proof in a parallel batch
+/// before sequential apply. Best-effort and read-only; registered by
+/// TaskContract::register_type(). Exposed for direct testing.
+std::vector<chain::SnarkPrecheck> task_snark_prechecks(const chain::ChainState& state,
+                                                       const chain::Transaction& tx);
 
 }  // namespace zl::zebralancer

@@ -13,6 +13,10 @@
 #   circuit-audit - build tools/circuit_audit and run the under-constraint
 #             audit (static + seeded mutation fuzzing) over every production
 #             circuit against the reviewed allowlist
+#   scale   - smoke run of the marketplace throughput bench (bench_scale
+#             --smoke): pins the parallel validation pipeline bit-identical
+#             to the serial oracle and floods the sim testnet, writing
+#             BENCH_scale.json into the build tree
 #   kernels - the oracle tests pinning the fast arithmetic kernels
 #             (Montgomery squaring, GLV + batch-affine multiexp, blocked
 #             FFT) against their textbook twins: once under ASan, once in
@@ -34,8 +38,8 @@ legs=""
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --) shift; break ;;
-    lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels) legs="$legs $1"; shift ;;
-    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels)" >&2; exit 2 ;;
+    lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale) legs="$legs $1"; shift ;;
+    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale)" >&2; exit 2 ;;
   esac
 done
 [ -n "$legs" ] || legs="lint circuit-audit asan ubsan tsan"
@@ -88,6 +92,15 @@ run_kernels() {
   ctest --test-dir "$build_dir" --output-on-failure -R "$kernel_filter" "$@"
 }
 
+# Scale leg: the bench_scale smoke case through ctest (plain Release build —
+# this is a throughput pin, so no sanitizer overhead). Reuses the lint tree.
+run_scale() {
+  build_dir="$repo_root/build-lint"
+  cmake -S "$repo_root" -B "$build_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" --target bench_scale
+  ctest --test-dir "$build_dir" --output-on-failure -R '^bench_scale_smoke$' "$@"
+}
+
 # $1 = leg name, $2 = extra cmake cache args, remaining = ctest args.
 run_suite() {
   leg="$1"; cache="$2"; shift 2
@@ -122,6 +135,8 @@ for leg in $legs; do
         run_store "$@" || status=$? ;;
     kernels)
       run_kernels "$@" || status=$? ;;
+    scale)
+      run_scale "$@" || status=$? ;;
   esac
   if [ "$status" -ne 0 ]; then
     echo "==== check_all: $leg FAILED ====" >&2
