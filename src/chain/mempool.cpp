@@ -1,6 +1,7 @@
 #include "chain/mempool.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace zl::chain {
 
@@ -9,20 +10,30 @@ Mempool::Admission Mempool::admit(const Transaction& tx, std::uint64_t chain_non
   if (by_hash_.contains(h)) return Admission::kDuplicate;
   if (tx.nonce < chain_nonce) return Admission::kNonceTooLow;
   if (tx.gas_limit < tx.intrinsic_gas()) return Admission::kInvalid;
+  // An escrow whose gas_limit + value wraps uint64 can never be funded, yet
+  // its fee bid sorts it first — unrejected it would sit unconfirmable at
+  // the top of every block template. Refuse it at the gate.
+  if (tx.value > std::numeric_limits<std::uint64_t>::max() - tx.gas_limit)
+    return Admission::kInvalid;
   if (!tx.verify_signature()) return Admission::kInvalid;
 
   const std::uint64_t fee = fee_of(tx);
-  SenderChain& chain = by_sender_[tx.from];
-  const auto slot = chain.find(tx.nonce);
-  const bool replacing = slot != chain.end();
-  if (replacing && fee < slot->second.fee + kReplacementBump) return Admission::kUnderpriced;
+  bool replacing = false;
+  if (const auto sc = by_sender_.find(tx.from); sc != by_sender_.end()) {
+    const auto slot = sc->second.find(tx.nonce);
+    replacing = slot != sc->second.end();
+    if (replacing && fee < slot->second.fee + kReplacementBump) return Admission::kUnderpriced;
+  }
 
   if (!replacing && by_hash_.size() >= max_txs_) {
     // Pool is full: the new bid must beat the globally cheapest entry.
     if (by_fee_.empty() || fee <= by_fee_.begin()->first.first) return Admission::kPoolFull;
+    // May erase tx.from's own (emptied) chain from by_sender_, so the
+    // sender chain is only acquired below, after the eviction.
     evict_cheapest();
   }
-  if (replacing) unlink(chain, slot);
+  SenderChain& chain = by_sender_[tx.from];
+  if (replacing) unlink(chain, chain.find(tx.nonce));
 
   Entry entry{tx, h, fee, next_seq_++};
   by_hash_[h] = {tx.from, tx.nonce};
@@ -40,10 +51,14 @@ Mempool::SenderChain::iterator Mempool::unlink(SenderChain& chain, SenderChain::
 }
 
 void Mempool::evict_cheapest() {
-  const auto cheapest = by_fee_.begin();
-  const auto [sender, nonce] = cheapest->second;
-  const auto sc = by_sender_.find(sender);
-  unlink(sc->second, sc->second.find(nonce));
+  // The globally cheapest bid picks the victim *sender*, but the entry shed
+  // is the tail of that sender's chain (its highest pooled nonce): removing
+  // a mid-chain nonce would strand the sender's higher nonces behind an
+  // unfillable gap, quietly wasting pool capacity. The tail either is the
+  // cheapest entry or can only execute after it, so its effective value is
+  // bounded by the bid being shed.
+  const auto sc = by_sender_.find(by_fee_.begin()->second.first);
+  unlink(sc->second, std::prev(sc->second.end()));
   if (sc->second.empty()) by_sender_.erase(sc);
 }
 
@@ -101,9 +116,13 @@ std::vector<Transaction> Mempool::build_block(const ChainState& state,
     const Transaction& tx = head.it->second.tx;
     // Conservative funds bound: everything the template already commits for
     // this sender plus this transaction's worst case must fit the balance.
+    // Rearranged so neither sum can wrap uint64 — a wrapped bound would sail
+    // past the balance check and wedge the template on an unfundable tx.
     std::uint64_t& bound = spend_bound[*head.sender];
+    const std::uint64_t balance = state.balance_of(*head.sender);
+    if (tx.value > balance || tx.gas_limit > balance - tx.value) continue;  // chain stops here
     const std::uint64_t cost = tx.gas_limit + tx.value;
-    if (bound + cost > state.balance_of(*head.sender)) continue;  // chain stops here
+    if (bound > balance - cost) continue;  // chain stops here
     bound += cost;
     out.push_back(tx);
     const auto next = std::next(head.it);

@@ -4,8 +4,11 @@
 //
 // Shape: per-sender nonce chains (a sorted map nonce -> entry per sender)
 // plus two indexes — a hash index for O(1) expected lookup/eviction when a
-// transaction confirms, and a global (fee, seq) order used to shed the
-// cheapest transactions when the pool overflows. Admission is O(log n);
+// transaction confirms, and a global (fee, seq) order that picks the victim
+// when the pool overflows: the cheapest bid names the sender to shed from,
+// and the entry evicted is the *tail* of that sender's chain (highest
+// nonce), so overflow eviction never leaves a sender's remaining nonces
+// stranded behind an unfillable gap. Admission is O(log n);
 // confirmation eviction is an O(1) expected hash lookup plus an O(log c)
 // unlink from the sender's chain (c = that sender's pending count).
 //
@@ -88,7 +91,8 @@ class Mempool {
   /// Remove one entry from all three indexes. Does not erase an emptied
   /// sender chain (callers may still hold a reference to it).
   SenderChain::iterator unlink(SenderChain& chain, SenderChain::iterator it);
-  /// Shed the globally cheapest entry.
+  /// Shed one entry: the tail (highest nonce) of the chain owned by the
+  /// sender of the globally cheapest bid — gap-free by construction.
   void evict_cheapest();
 
   std::size_t max_txs_;
@@ -97,7 +101,8 @@ class Mempool {
   std::unordered_map<Address, SenderChain> by_sender_;
   // tx hash (hex) -> (sender, nonce): O(1) expected confirmation eviction.
   std::unordered_map<std::string, std::pair<Address, std::uint64_t>> by_hash_;
-  // (fee, seq) -> (sender, nonce), ascending: begin() is the first to shed.
+  // (fee, seq) -> (sender, nonce), ascending: begin() picks the overflow
+  // victim (the sender shed from; see evict_cheapest).
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::pair<Address, std::uint64_t>> by_fee_;
 };
 

@@ -69,10 +69,14 @@ void Node::submit_transaction(const Transaction& tx) { accept_transaction(tx, tr
 void Node::accept_transaction(const Transaction& tx, bool rebroadcast) {
   const std::string h = to_hex(tx.hash());
   if (seen_.contains(h)) return;
-  seen_[h] = true;
   // Admission verifies the signature (memoized), enforces nonce/fee rules
   // and replacement-by-fee; only transactions worth relaying propagate.
-  if (!Mempool::accepted(mempool_.admit(tx, chain_.state().nonce_of(tx.from)))) return;
+  const Mempool::Admission verdict = mempool_.admit(tx, chain_.state().nonce_of(tx.from));
+  // A full pool is a transient condition, not a verdict on the transaction:
+  // leave it unseen so a later re-gossip can retry once the pool drains.
+  if (verdict == Mempool::Admission::kPoolFull) return;
+  seen_[h] = true;
+  if (!Mempool::accepted(verdict)) return;
   known_txs_.emplace(h, tx);
   if (rebroadcast) network_.broadcast(id_, MessageKind::kTransaction, tx.to_bytes());
 }
@@ -85,11 +89,30 @@ void Node::sync_mempool_with_chain() {
       // sender's now-stale lower nonces and competing same-nonce bids.
       if (it != known_txs_.end()) mempool_.on_confirmed(it->second.from, it->second.nonce);
       mempool_.drop(event.tx_hash_hex);
+      confirmed_bodies_.emplace_back(chain_.height(), event.tx_hash_hex);
     } else if (it != known_txs_.end()) {
       // Reorged off the canonical chain: back to pending so miners can
       // re-include it (bodies confirmed before this process started are not
       // in known_txs_ and stay dropped, as before durable recovery).
       mempool_.admit(it->second, chain_.state().nonce_of(it->second.from));
+    }
+  }
+  // Prune bodies whose confirmation is buried deeper than the reorg
+  // horizon: resurrection can no longer need them, and without this the
+  // stash grows for the node's entire lifetime. A tx reorged back to
+  // pending in the meantime has no canonical receipt — its body is kept and
+  // it is re-queued when it confirms again; one re-confirmed recently is
+  // re-queued at its new depth.
+  while (!confirmed_bodies_.empty() &&
+         confirmed_bodies_.front().first + kBodyPruneDepth <= chain_.height()) {
+    std::string hash_hex = std::move(confirmed_bodies_.front().second);
+    confirmed_bodies_.pop_front();
+    const std::optional<std::uint64_t> block = chain_.confirmation_block(from_hex(hash_hex));
+    if (!block) continue;
+    if (*block + kBodyPruneDepth <= chain_.height()) {
+      known_txs_.erase(hash_hex);
+    } else {
+      confirmed_bodies_.emplace_back(*block, std::move(hash_hex));
     }
   }
 }

@@ -7,6 +7,7 @@
 // of §III who "can reorder transactions that are broadcasted to the network
 // but not yet written into a block" (used by the free-riding attack tests).
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -99,6 +100,12 @@ class Node {
   const Blockchain& chain() const { return chain_; }
   int id() const { return id_; }
 
+  /// Confirmed transaction bodies are pruned from the node's stash once
+  /// they are buried this many blocks below the head — past the depth at
+  /// which a reorg resurrection is still credible. Keeps known_txs_ bounded
+  /// by the gossip window instead of the node's lifetime.
+  static constexpr std::uint64_t kBodyPruneDepth = 64;
+
  protected:
   void accept_transaction(const Transaction& tx, bool rebroadcast);
   void accept_block(const Block& block, bool rebroadcast);
@@ -120,7 +127,12 @@ class Node {
   // unvalidated: resurrection after a reorg re-admits from here, and
   // admission re-checks the signature (a memo hit for anything already
   // verified). Lookup-only — never iterated — so hash order is harmless.
+  // Bounded: bodies confirmed deeper than kBodyPruneDepth are pruned.
   std::unordered_map<std::string, Transaction> known_txs_;
+  // Prune schedule for known_txs_: (height when the confirmation was seen,
+  // tx hash hex), drained by sync_mempool_with_chain once buried
+  // kBodyPruneDepth below the head.
+  std::deque<std::pair<std::uint64_t, std::string>> confirmed_bodies_;
   // Blocks that arrived before their parent, keyed by parent hash (hex);
   // reconnected as soon as the parent is adopted into the store.
   std::map<std::string, std::vector<Block>> orphans_;

@@ -9,6 +9,7 @@
 // tools/check_all.sh.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 
 #include "chain/mempool.h"
@@ -205,6 +206,90 @@ TEST(Mempool, FullPoolEvictsCheapestAndRefusesUnderbids) {
   EXPECT_TRUE(pool.contains(to_hex(rich.hash())));
 }
 
+TEST(Mempool, FullPoolEvictionOfOwnSenderChainStaysConsistent) {
+  Rng rng(52);
+  Wallet a(rng), sink(rng);
+
+  Mempool pool(/*max_txs=*/1);
+  const Transaction t0 = bid(a, sink.address(), 30'000);  // nonce 0
+  const Transaction t1 = bid(a, sink.address(), 50'000);  // nonce 1
+  EXPECT_EQ(pool.admit(t0, 0), Mempool::Admission::kAdmitted);
+
+  // Admitting a's nonce 1 into the full pool evicts a's nonce 0 — the new
+  // transaction's own sender loses its only pooled entry, so the sender
+  // chain must be re-acquired after the eviction (this used to write
+  // through a freed map node and desync the indexes).
+  EXPECT_EQ(pool.admit(t1, 0), Mempool::Admission::kAdmitted);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_FALSE(pool.contains(to_hex(t0.hash())));
+  EXPECT_TRUE(pool.contains(to_hex(t1.hash())));
+
+  // The survivor must be reachable through every index.
+  pool.drop(to_hex(t1.hash()));
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(Mempool, FullPoolEvictsFromTailOfCheapestSendersChain) {
+  Rng rng(53);
+  Wallet a(rng), b(rng), sink(rng);
+
+  Mempool pool(/*max_txs=*/3);
+  const Transaction a0 = bid(a, sink.address(), 60'000);
+  const Transaction a1 = bid(a, sink.address(), 25'000);  // globally cheapest
+  const Transaction a2 = bid(a, sink.address(), 70'000);
+  EXPECT_EQ(pool.admit(a0, 0), Mempool::Admission::kAdmitted);
+  EXPECT_EQ(pool.admit(a1, 0), Mempool::Admission::kAdmitted);
+  EXPECT_EQ(pool.admit(a2, 0), Mempool::Admission::kAdmitted);
+
+  const Transaction b0 = bid(b, sink.address(), 30'000);
+  EXPECT_EQ(pool.admit(b0, 0), Mempool::Admission::kAdmitted);
+  EXPECT_EQ(pool.size(), 3u);
+
+  // The cheapest bid (a's nonce 1) names the victim sender, but the entry
+  // shed is the tail (nonce 2): evicting the mid-chain nonce 1 would have
+  // stranded nonce 2 behind an unfillable gap.
+  EXPECT_TRUE(pool.contains(to_hex(a0.hash())));
+  EXPECT_TRUE(pool.contains(to_hex(a1.hash())));
+  EXPECT_FALSE(pool.contains(to_hex(a2.hash())));
+  EXPECT_TRUE(pool.contains(to_hex(b0.hash())));
+}
+
+TEST(Mempool, RejectsOverflowingEscrowAtAdmission) {
+  Rng rng(54);
+  Wallet a(rng), sink(rng);
+
+  // gas_limit + value wraps uint64: validly signed, sorts first by fee, can
+  // never be funded. Before the admission gate it sat unconfirmable at the
+  // top of every block template.
+  Mempool pool;
+  const Transaction tx = a.make_transaction(
+      sink.address(), 1, std::numeric_limits<std::uint64_t>::max(), "", {});
+  EXPECT_EQ(pool.admit(tx, 0), Mempool::Admission::kInvalid);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(Mempool, BuildBlockFundsBoundDoesNotWrap) {
+  Rng rng(55);
+  Wallet whale(rng), sink(rng);
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  GenesisConfig genesis;
+  genesis.difficulty = 4;
+  genesis.allocations = {{whale.address(), max}};
+  ChainState state = state_of(genesis);
+
+  // Each transaction alone fits the balance, but their summed cost exceeds
+  // it — and wraps uint64. A wrapping bound would template both.
+  const std::uint64_t half = max / 2 + 2;
+  Mempool pool;
+  EXPECT_EQ(pool.admit(whale.make_transaction(sink.address(), 1, half, "", {}), 0),
+            Mempool::Admission::kAdmitted);
+  EXPECT_EQ(pool.admit(whale.make_transaction(sink.address(), 1, half, "", {}), 0),
+            Mempool::Admission::kAdmitted);
+  const std::vector<Transaction> block = pool.build_block(state, 16);
+  ASSERT_EQ(block.size(), 1u) << "wrapped funds bound admitted an unfundable chain";
+  EXPECT_EQ(block[0].nonce, 0u);
+}
+
 TEST(Mempool, BuildBlockRespectsBalanceBound) {
   Rng rng(49);
   Wallet poor(rng), sink(rng);
@@ -230,6 +315,10 @@ class ProbeNode : public Node {
   void deliver_block(const Block& b) { accept_block(b, false); }
   void deliver_tx(const Transaction& tx) { accept_transaction(tx, false); }
   const Mempool& pool() const { return mempool_; }
+  void shrink_pool(std::size_t max_txs) { mempool_ = Mempool(max_txs); }
+  bool has_body(const std::string& tx_hash_hex) const {
+    return known_txs_.contains(tx_hash_hex);
+  }
 };
 
 TEST(MempoolNode, ConfirmationDropsCompetingBidsIncrementally) {
@@ -284,6 +373,58 @@ TEST(MempoolNode, ReorgReturnsOrphanedTransactionsToPool) {
   EXPECT_FALSE(node.chain().find_receipt(tx.hash()).has_value());
   EXPECT_TRUE(node.pool().contains(to_hex(tx.hash())))
       << "reorged-out transactions must return to the mempool";
+}
+
+TEST(MempoolNode, PoolFullRejectionIsRetriableOnRegossip) {
+  Rng rng(56);
+  Wallet alice(rng), bob(rng), sink(rng);
+  const GenesisConfig genesis = funded_genesis({&alice, &bob});
+  SimNetwork net({.base_latency_ms = 1, .jitter_ms = 0, .seed = 9});
+  ProbeNode node(net, genesis);
+  node.shrink_pool(1);
+
+  const Transaction rich = bid(alice, sink.address(), 50'000);
+  const Transaction cheap = bid(bob, sink.address(), 30'000);
+  node.deliver_tx(rich);
+  node.deliver_tx(cheap);  // pool full and this is the cheapest: bounces
+  EXPECT_FALSE(node.pool().contains(to_hex(cheap.hash())));
+
+  // The rich transaction confirms and the pool drains. A re-gossip of the
+  // bounced transaction must now be admitted — kPoolFull is a transient
+  // condition, not a mark-seen-forever verdict.
+  const Block b1 = mine_block(genesis, node.chain().head_hash(), 1, 1, {rich});
+  node.deliver_block(b1);
+  EXPECT_TRUE(node.pool().empty());
+  node.deliver_tx(cheap);
+  EXPECT_TRUE(node.pool().contains(to_hex(cheap.hash())))
+      << "a pool-full rejection must not permanently drop the transaction";
+}
+
+TEST(MempoolNode, ConfirmedBodiesPrunedPastReorgHorizon) {
+  Rng rng(57);
+  Wallet alice(rng), sink(rng);
+  const GenesisConfig genesis = funded_genesis({&alice});
+  SimNetwork net({.base_latency_ms = 1, .jitter_ms = 0, .seed = 10});
+  ProbeNode node(net, genesis);
+
+  const Transaction tx = bid(alice, sink.address(), 30'000);
+  const std::string h = to_hex(tx.hash());
+  node.deliver_tx(tx);
+  EXPECT_TRUE(node.has_body(h));
+
+  Bytes parent = node.chain().head_hash();
+  Block b = mine_block(genesis, parent, 1, 1, {tx});
+  node.deliver_block(b);
+  parent = b.hash();
+  EXPECT_TRUE(node.has_body(h)) << "fresh confirmations stay resurrectable";
+
+  // Bury the confirmation past the prune horizon: the stash must let go.
+  for (std::uint64_t n = 2; n <= Node::kBodyPruneDepth + 2; ++n) {
+    b = mine_block(genesis, parent, n, n, {});
+    node.deliver_block(b);
+    parent = b.hash();
+  }
+  EXPECT_FALSE(node.has_body(h)) << "confirmed bodies must be pruned eventually";
 }
 
 // ---------------------------------------------------------------------------
