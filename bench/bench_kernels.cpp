@@ -9,13 +9,16 @@
 //   - radix-2 FFT at n = 2^10..2^16: textbook oracle vs. the cache-blocked
 //     kernel (ms/transform).
 //
-// Everything runs single-threaded (the kernels are single-core rewrites;
-// thread scaling is bench_table1's job) and the fast/oracle pairs run on
-// identical inputs, so the printed ratios are pure kernel effects.
+// The oracle/kernel comparisons run single-threaded (the kernels are
+// single-core rewrites) so the printed ratios are pure kernel effects; a
+// final section re-times the two pool-parallel kernels (multiexp, FFT) at
+// n = 2^14 across thread counts on multi-core hosts — on one core the
+// section records null plus a warning instead of a fake 1.0x ladder.
 // Results land in BENCH_kernels.json.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "common/kernel_engine.h"
@@ -179,6 +182,66 @@ int main() {
     }
   }
 
+  // --- Thread scaling: multiexp + FFT at n = 2^14 -----------------------
+  // Both kernels distribute via the process-wide pool (parallel_for), so
+  // set_num_threads is the only knob. Each width re-checks the result
+  // against the 1-thread baseline: scaling must not change answers.
+  struct ScalingRow {
+    unsigned threads;
+    double multiexp_s, fft_s;
+  };
+  std::vector<ScalingRow> scaling_rows;
+  unsigned hardware_threads = std::thread::hardware_concurrency();
+  if (hardware_threads == 0) hardware_threads = 1;
+  if (hardware_threads > 1) {
+    const std::size_t n = std::size_t{1} << 14;
+    std::vector<G1> pts;
+    pts.reserve(n);
+    G1 p = base;
+    for (std::size_t i = 0; i < n; ++i, p = p + G1::generator()) pts.push_back(p);
+    std::vector<Fr> ks;
+    ks.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) ks.push_back(Fr::random(rng));
+    const snark::EvaluationDomain domain(n);
+    std::vector<Fr> fft_input;
+    fft_input.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) fft_input.push_back(Fr::random(rng));
+
+    std::vector<unsigned> widths{1};
+    for (unsigned w = 2; w < hardware_threads; w *= 2) widths.push_back(w);
+    widths.push_back(hardware_threads);
+
+    std::printf("\nThread scaling at n=2^14 (seconds; kernel engine on)\n%8s %12s %12s\n",
+                "threads", "multiexp", "fft");
+    G1 multiexp_baseline = G1::infinity();
+    std::vector<Fr> fft_baseline;
+    for (const unsigned w : widths) {
+      set_num_threads(w);
+      ScopedKernelEngine on(true);
+      G1 acc_me = G1::infinity();
+      const double me_s = median_seconds(3, [&] { acc_me = multiexp(pts, ks); });
+      std::vector<Fr> fft_out;
+      const double fft_s = median_seconds(3, [&] {
+        fft_out = fft_input;
+        domain.fft(fft_out);
+      });
+      if (w == 1) {
+        multiexp_baseline = acc_me;
+        fft_baseline = fft_out;
+      } else if (!(acc_me == multiexp_baseline) || fft_out != fft_baseline) {
+        std::fprintf(stderr, "FATAL: thread scaling changed kernel results at %u threads\n", w);
+        return 1;
+      }
+      scaling_rows.push_back({w, me_s, fft_s});
+      std::printf("%8u %12.4f %12.4f\n", w, me_s, fft_s);
+    }
+    set_num_threads(1);
+  } else {
+    std::fprintf(stderr,
+                 "WARNING: single hardware thread — thread-scaling section skipped "
+                 "(every width would time the same serial execution)\n");
+  }
+
   // --- JSON --------------------------------------------------------------
   FILE* json = std::fopen("BENCH_kernels.json", "w");
   if (!json) {
@@ -212,7 +275,23 @@ int main() {
                  r.n, r.textbook_ms, r.kernel_ms, r.textbook_ms / r.kernel_ms,
                  i + 1 < fft_rows.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"hardware_threads\": %u,\n", hardware_threads);
+  if (!scaling_rows.empty()) {
+    std::fprintf(json, "  \"thread_scaling_n14\": [\n");
+    for (std::size_t i = 0; i < scaling_rows.size(); ++i) {
+      const ScalingRow& r = scaling_rows[i];
+      std::fprintf(json, "    {\"threads\": %u, \"multiexp_s\": %.6f, \"fft_s\": %.6f}%s\n",
+                   r.threads, r.multiexp_s, r.fft_s,
+                   i + 1 < scaling_rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+  } else {
+    std::fprintf(json,
+                 "  \"thread_scaling_n14\": null,\n"
+                 "  \"thread_scaling_warning\": \"single hardware thread: no widths to "
+                 "ladder over\"\n}\n");
+  }
   std::fclose(json);
   std::printf("\nwrote BENCH_kernels.json\n");
   return 0;

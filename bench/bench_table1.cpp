@@ -215,6 +215,36 @@ int main() {
   const bool identical_proofs = serial.proof_bytes == parallel.proof_bytes;
   const auto speedup = [](double s, double p) { return p > 0.0 ? s / p : 0.0; };
 
+  // --- Thread-scaling ladder: prove time vs pool width --------------------
+  // Every rung re-runs the full pass from the same seed (424242), so each
+  // one is also a determinism check: the proof bytes must match the serial
+  // pass bit-for-bit at every width. Only run on real multi-core hardware —
+  // on one core every rung would time the same serial execution.
+  struct Rung {
+    unsigned threads;
+    double prove_s;
+  };
+  std::vector<Rung> ladder;
+  if (speedup_meaningful) {
+    std::vector<unsigned> widths;
+    for (unsigned w = 2; w < hardware_threads; w *= 2) widths.push_back(w);
+    widths.push_back(hardware_threads);
+    ladder.push_back({1, serial.prove_s});  // rung 1 = the serial pass above
+    for (const unsigned w : widths) {
+      std::fprintf(stderr, "[prover] scaling rung (%u threads)...\n", w);
+      const Pass rung = run_pass(w);
+      if (rung.proof_bytes != serial.proof_bytes || rung.vk_bytes != serial.vk_bytes) {
+        std::fprintf(stderr, "FATAL: proof or key bytes diverged at %u threads\n", w);
+        std::exit(1);
+      }
+      ladder.push_back({w, rung.prove_s});
+    }
+  } else {
+    std::fprintf(stderr,
+                 "[prover] WARNING: single hardware thread — thread-scaling ladder skipped "
+                 "(every rung would time the same serial execution)\n");
+  }
+
   std::printf("\nPROVER TRAJECTORY — majority-vote reward circuit, n=11 (seconds)\n");
   std::printf("%-14s %12s %12s %9s\n", "phase", "serial", "parallel", "speedup");
   const auto print_phase = [&](const char* name, double s, double p) {
@@ -230,6 +260,14 @@ int main() {
   print_phase("verify_batch8", serial.batch_s, parallel.batch_s);
   std::printf("threads=%u  identical_keys=%s  identical_proofs=%s\n", parallel.threads,
               identical_keys ? "true" : "false", identical_proofs ? "true" : "false");
+  if (!ladder.empty()) {
+    std::printf("\nPROVE THREAD SCALING — same circuit and seed at every width\n");
+    std::printf("%-10s %12s %9s\n", "threads", "prove_s", "speedup");
+    for (const Rung& r : ladder) {
+      std::printf("%-10u %12.3f %8.2fx\n", r.threads, r.prove_s,
+                  speedup(ladder.front().prove_s, r.prove_s));
+    }
+  }
 
   // --- Prepared batch verification (same items as verify_batch above) -----
   const snark::PreparedVerifyingKey pvk = snark::PreparedVerifyingKey::prepare(parallel.vk);
@@ -310,6 +348,19 @@ int main() {
                    "  \"speedup\": null,\n"
                    "  \"speedup_warning\": \"single hardware thread: "
                    "serial-vs-parallel ratio is not meaningful\",\n");
+    }
+    if (!ladder.empty()) {
+      std::fprintf(f, "  \"thread_scaling\": [");
+      for (std::size_t i = 0; i < ladder.size(); ++i) {
+        std::fprintf(f, "%s{\"threads\": %u, \"prove_s\": %.6f}", i ? ", " : "",
+                     ladder[i].threads, ladder[i].prove_s);
+      }
+      std::fprintf(f, "],\n");
+    } else {
+      std::fprintf(f,
+                   "  \"thread_scaling\": null,\n"
+                   "  \"thread_scaling_warning\": \"single hardware thread: "
+                   "no widths to ladder over\",\n");
     }
     std::fprintf(f,
                  "  \"verify_batch_prepared_s\": %.6f,\n"

@@ -1,5 +1,6 @@
 #include "chain/blockchain.h"
 
+#include <iterator>
 #include <stdexcept>
 
 #include "chain/validation.h"
@@ -202,7 +203,7 @@ void Blockchain::choose_best_tip() {
       }
       if (ok) {
         head_hash_ = best_hash;
-        head_events_.insert(head_events_.end(), confirmed.begin(), confirmed.end());
+        append_head_events(std::move(confirmed));
         maybe_checkpoint();
         return;
       }
@@ -269,27 +270,41 @@ bool Blockchain::adopt_branch(const Bytes& tip_hash) {
 
   // Emit the canonical-set diff: a merge walk over the two sorted receipt
   // maps, so the event order (dropped and confirmed interleaved by tx hash)
-  // is identical on every node that performs this reorg.
+  // is identical on every node that performs this reorg. Accumulated
+  // locally and published in one batch below.
+  std::vector<HeadEvent> diff;
   auto old_it = receipts_.cbegin();
   auto new_it = fresh_receipts.cbegin();
   while (old_it != receipts_.cend() || new_it != fresh_receipts.cend()) {
     if (new_it == fresh_receipts.cend() ||
         (old_it != receipts_.cend() && old_it->first < new_it->first)) {
-      head_events_.push_back(HeadEvent{old_it->first, false});
+      diff.push_back(HeadEvent{old_it->first, false});
       ++old_it;
     } else if (old_it == receipts_.cend() || new_it->first < old_it->first) {
-      head_events_.push_back(HeadEvent{new_it->first, true});
+      diff.push_back(HeadEvent{new_it->first, true});
       ++new_it;
     } else {
       ++old_it;  // confirmed on both branches: no membership change
       ++new_it;
     }
   }
+  append_head_events(std::move(diff));
 
   state_ = std::move(fresh);
   receipts_ = std::move(fresh_receipts);
   head_hash_ = tip_hash;
   return true;
+}
+
+void Blockchain::append_head_events(std::vector<HeadEvent>&& events) {
+  if (events.empty()) return;
+  MutexLock lock(events_mu_);
+  if (head_events_.empty()) {
+    head_events_ = std::move(events);
+  } else {
+    head_events_.insert(head_events_.end(), std::make_move_iterator(events.begin()),
+                        std::make_move_iterator(events.end()));
+  }
 }
 
 void Blockchain::maybe_checkpoint() {

@@ -17,13 +17,29 @@
 //    CRC-guarded snapshot files, and the constructor recovers the whole
 //    block tree + state from disk, replaying only what the newest intact
 //    snapshot doesn't cover.
+//
+// Threading (DESIGN.md §13): the chain itself is *externally synchronized* —
+// add_block, fork choice, and every state accessor mutate or read the block
+// tree and replayed state, and a host running them from multiple threads
+// wraps the object in its own lock (by convention ranked kChain, below every
+// internal lock; the concurrency tests do exactly this). The one exception
+// is the HeadEvent hand-off: producers append under fork choice while a
+// consumer thread may drain concurrently, so `head_events_` has its own
+// OrderedMutex (kChainEvents) and `take_head_events()` is safe to call from
+// a thread that does NOT hold the chain lock. Deliberately no god-lock:
+// baking a mutex into Blockchain would serialize the read-mostly accessors
+// the simulation layer hammers, and would still not make compound
+// operations (add_block + state read) atomic for callers.
 
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "chain/block.h"
 #include "chain/state.h"
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "store/store.h"
 
 namespace zl::chain {
@@ -96,8 +112,13 @@ class Blockchain {
 
   /// Drain the accumulated head events. The node layer consumes these to
   /// keep its mempool in sync incrementally — confirmation evicts, reorg
-  /// resurrects — with no full-chain rescan.
-  std::vector<HeadEvent> take_head_events() { return std::move(head_events_); }
+  /// resurrects — with no full-chain rescan. Unlike the rest of the chain
+  /// API this is internally synchronized: a consumer may drain while a
+  /// producer thread runs fork choice under the chain lock.
+  std::vector<HeadEvent> take_head_events() ZL_EXCLUDES(events_mu_) {
+    MutexLock lock(events_mu_);
+    return std::exchange(head_events_, {});
+  }
 
  private:
   using Key = std::string;  // hex hash as map key
@@ -135,6 +156,11 @@ class Blockchain {
   /// Recover blocks_/state_/head from disk (durable mode constructor path).
   void open_durable();
 
+  /// Publish a batch of fork-choice events to the consumer side. Producers
+  /// accumulate locally and append once, so events_mu_ is held O(1) times
+  /// per fork-choice pass, not per transaction.
+  void append_head_events(std::vector<HeadEvent>&& events) ZL_EXCLUDES(events_mu_);
+
   GenesisConfig genesis_;
   store::OpenOptions storage_;
   std::map<Key, Entry> blocks_;
@@ -142,7 +168,10 @@ class Blockchain {
   ChainState state_;
   ReceiptMap receipts_;  // tx hash -> (receipt, block no)
   std::map<Key, Checkpoint> checkpoints_;
-  std::vector<HeadEvent> head_events_;
+  /// The producer/consumer seam (rank kChainEvents): fork choice appends,
+  /// take_head_events drains, possibly from different threads.
+  mutable OrderedMutex events_mu_{LockRank::kChainEvents, "chain.head_events"};
+  std::vector<HeadEvent> head_events_ ZL_GUARDED_BY(events_mu_);
   std::unique_ptr<store::BlockJournal> journal_;
   std::unique_ptr<store::SnapshotStore> snapshots_;
 };

@@ -6,8 +6,14 @@
 namespace zl::chain {
 
 Mempool::Admission Mempool::admit(const Transaction& tx, std::uint64_t chain_nonce) {
+  // Stateless checks run before the lock so ECDSA verification — by far the
+  // most expensive step — never serializes concurrent gossip threads. This
+  // preserves admission results: a transaction failing any of these checks
+  // cannot be pooled (every pooled entry passed them at its own admission),
+  // so the duplicate/replacement logic below can never disagree with a
+  // pre-lock rejection. The only observable difference is which rejection
+  // code a multiply-invalid transaction gets — never whether it is accepted.
   const std::string h = to_hex(tx.hash());
-  if (by_hash_.contains(h)) return Admission::kDuplicate;
   if (tx.nonce < chain_nonce) return Admission::kNonceTooLow;
   if (tx.gas_limit < tx.intrinsic_gas()) return Admission::kInvalid;
   // An escrow whose gas_limit + value wraps uint64 can never be funded, yet
@@ -16,6 +22,9 @@ Mempool::Admission Mempool::admit(const Transaction& tx, std::uint64_t chain_non
   if (tx.value > std::numeric_limits<std::uint64_t>::max() - tx.gas_limit)
     return Admission::kInvalid;
   if (!tx.verify_signature()) return Admission::kInvalid;
+
+  MutexLock lock(mu_);
+  if (by_hash_.contains(h)) return Admission::kDuplicate;
 
   const std::uint64_t fee = fee_of(tx);
   bool replacing = false;
@@ -39,14 +48,14 @@ Mempool::Admission Mempool::admit(const Transaction& tx, std::uint64_t chain_non
   by_hash_[h] = {tx.from, tx.nonce};
   by_fee_[{fee, entry.seq}] = {tx.from, tx.nonce};
   chain.emplace(tx.nonce, std::move(entry));
-  ++version_;
+  version_.fetch_add(1, std::memory_order_release);
   return replacing ? Admission::kReplaced : Admission::kAdmitted;
 }
 
 Mempool::SenderChain::iterator Mempool::unlink(SenderChain& chain, SenderChain::iterator it) {
   by_hash_.erase(it->second.hash_hex);
   by_fee_.erase({it->second.fee, it->second.seq});
-  ++version_;
+  version_.fetch_add(1, std::memory_order_release);
   return chain.erase(it);
 }
 
@@ -63,6 +72,7 @@ void Mempool::evict_cheapest() {
 }
 
 void Mempool::on_confirmed(const Address& sender, std::uint64_t nonce) {
+  MutexLock lock(mu_);
   const auto sc = by_sender_.find(sender);
   if (sc == by_sender_.end()) return;
   // Everything at or below the confirmed nonce is dead: either this exact
@@ -73,6 +83,7 @@ void Mempool::on_confirmed(const Address& sender, std::uint64_t nonce) {
 }
 
 void Mempool::drop(const std::string& tx_hash_hex) {
+  MutexLock lock(mu_);
   const auto at = by_hash_.find(tx_hash_hex);
   if (at == by_hash_.end()) return;
   const auto [sender, nonce] = at->second;
@@ -83,6 +94,7 @@ void Mempool::drop(const std::string& tx_hash_hex) {
 
 std::vector<Transaction> Mempool::build_block(const ChainState& state,
                                               std::size_t max_txs) const {
+  MutexLock lock(mu_);
   // Candidate heads: each sender's next-executable transaction. The heap
   // comparator is a total order on (fee desc, seq asc), so the selection is
   // deterministic even though the sender map iterates in hash order.

@@ -25,9 +25,24 @@
 // max-heap on (fee desc, seq asc), so the result is deterministic — it never
 // depends on hash-map iteration order — and respects per-sender nonce order
 // and a conservative funds bound against the provided state.
+//
+// Threading (DESIGN.md §13): the pool is internally synchronized. A single
+// OrderedMutex `mu_` (kMempool) guards all three indexes; every public
+// entry point takes it, so gossip ingest, confirmation eviction, and miner
+// template building may run from different threads concurrently. `version_`
+// is an atomic outside the lock: miners poll it for template staleness on
+// a hot path and must not contend with admissions to do so. The stateless
+// parts of admission (intrinsic gas, escrow overflow, ECDSA verification —
+// the expensive one) run *before* the lock is taken, so signature checks
+// from concurrent gossip threads don't serialize; see admit() for the
+// argument that this preserves admission results.
 
+#include <atomic>
 #include <map>
 #include <unordered_map>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 #include "chain/state.h"
 
@@ -50,12 +65,27 @@ class Mempool {
 
   explicit Mempool(std::size_t max_txs = 65536) : max_txs_(max_txs) {}
 
+  // Holding an OrderedMutex makes the pool immovable; hosts that want a
+  // fresh pool with a different cap call reset() instead of move-assigning.
+  Mempool(const Mempool&) = delete;
+  Mempool& operator=(const Mempool&) = delete;
+
+  /// Drop every pooled transaction and adopt a new capacity.
+  void reset(std::size_t max_txs) ZL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    by_sender_.clear();
+    by_hash_.clear();
+    by_fee_.clear();
+    max_txs_ = max_txs;
+    version_.fetch_add(1, std::memory_order_release);
+  }
+
   /// Fee bid (gas priced at 1 wei/gas: the escrowed gas limit).
   static std::uint64_t fee_of(const Transaction& tx) { return tx.gas_limit; }
 
   /// Admit `tx` given the sender's current chain nonce. Counts as accepted
   /// (worth re-gossiping) when the result is kAdmitted or kReplaced.
-  Admission admit(const Transaction& tx, std::uint64_t chain_nonce);
+  Admission admit(const Transaction& tx, std::uint64_t chain_nonce) ZL_EXCLUDES(mu_);
   static bool accepted(Admission a) {
     return a == Admission::kAdmitted || a == Admission::kReplaced;
   }
@@ -63,21 +93,29 @@ class Mempool {
   /// A transaction from `sender` confirmed at `nonce` on the canonical
   /// chain: evict every pooled transaction from that sender at or below
   /// `nonce` (including a competing bid for the confirmed slot).
-  void on_confirmed(const Address& sender, std::uint64_t nonce);
+  void on_confirmed(const Address& sender, std::uint64_t nonce) ZL_EXCLUDES(mu_);
 
   /// Drop one transaction by hash (hex), if pooled. O(1) expected.
-  void drop(const std::string& tx_hash_hex);
+  void drop(const std::string& tx_hash_hex) ZL_EXCLUDES(mu_);
 
   /// Deterministic block template: up to `max_txs` transactions, highest fee
   /// first across senders, in nonce order per sender, skipping anything the
   /// sender cannot fund on top of what the template already commits.
-  std::vector<Transaction> build_block(const ChainState& state, std::size_t max_txs) const;
+  std::vector<Transaction> build_block(const ChainState& state, std::size_t max_txs) const
+      ZL_EXCLUDES(mu_);
 
-  bool contains(const std::string& tx_hash_hex) const { return by_hash_.contains(tx_hash_hex); }
-  std::size_t size() const { return by_hash_.size(); }
-  bool empty() const { return by_hash_.empty(); }
+  bool contains(const std::string& tx_hash_hex) const ZL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return by_hash_.contains(tx_hash_hex);
+  }
+  std::size_t size() const ZL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return by_hash_.size();
+  }
+  bool empty() const ZL_EXCLUDES(mu_) { return size() == 0; }
   /// Bumped on every mutation; miners use it to detect stale templates.
-  std::uint64_t version() const { return version_; }
+  /// Lock-free: the staleness poll must not contend with admissions.
+  std::uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
  private:
   struct Entry {
@@ -90,20 +128,24 @@ class Mempool {
 
   /// Remove one entry from all three indexes. Does not erase an emptied
   /// sender chain (callers may still hold a reference to it).
-  SenderChain::iterator unlink(SenderChain& chain, SenderChain::iterator it);
+  SenderChain::iterator unlink(SenderChain& chain, SenderChain::iterator it) ZL_REQUIRES(mu_);
   /// Shed one entry: the tail (highest nonce) of the chain owned by the
   /// sender of the globally cheapest bid — gap-free by construction.
-  void evict_cheapest();
+  void evict_cheapest() ZL_REQUIRES(mu_);
 
-  std::size_t max_txs_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t version_ = 0;
-  std::unordered_map<Address, SenderChain> by_sender_;
+  /// Guards every index below (rank kMempool; see DESIGN.md §13).
+  mutable OrderedMutex mu_{LockRank::kMempool, "mempool.mu"};
+
+  std::size_t max_txs_ ZL_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ ZL_GUARDED_BY(mu_) = 0;
+  std::atomic<std::uint64_t> version_{0};
+  std::unordered_map<Address, SenderChain> by_sender_ ZL_GUARDED_BY(mu_);
   // tx hash (hex) -> (sender, nonce): O(1) expected confirmation eviction.
-  std::unordered_map<std::string, std::pair<Address, std::uint64_t>> by_hash_;
+  std::unordered_map<std::string, std::pair<Address, std::uint64_t>> by_hash_ ZL_GUARDED_BY(mu_);
   // (fee, seq) -> (sender, nonce), ascending: begin() picks the overflow
   // victim (the sender shed from; see evict_cheapest).
-  std::map<std::pair<std::uint64_t, std::uint64_t>, std::pair<Address, std::uint64_t>> by_fee_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::pair<Address, std::uint64_t>> by_fee_
+      ZL_GUARDED_BY(mu_);
 };
 
 }  // namespace zl::chain

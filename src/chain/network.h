@@ -6,6 +6,17 @@
 // fabric. A pluggable transaction-delay policy models the network adversary
 // of §III who "can reorder transactions that are broadcasted to the network
 // but not yet written into a block" (used by the free-riding attack tests).
+//
+// Threading (DESIGN.md §13): the simulator is deliberately single-threaded —
+// SimNetwork, Node, and MinerNode hold no locks of their own, which is what
+// keeps a run bit-for-bit deterministic (one event order, one rng stream).
+// The components a node *aggregates* are the concurrent ones: `chain_` hands
+// off HeadEvents under its internal kChainEvents lock, `mempool_` is
+// internally synchronized (kMempool), and validation fans out across the
+// shared thread pool. A real multi-threaded host would drive Node methods
+// under its own external lock (ranked kChain, below all internal locks) —
+// the pattern tests/test_concurrency.cpp exercises directly against
+// Blockchain + Mempool.
 
 #include <deque>
 #include <functional>

@@ -1,10 +1,11 @@
 #include "chain/state.h"
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "crypto/keccak.h"
 
 namespace zl::chain {
@@ -32,10 +33,11 @@ namespace {
 // deterministic pure function, and nodes replay the same proofs on every fork
 // reorg — and, since the parallel validation pipeline, block prevalidation
 // warms this map from pool threads ahead of sequential apply, so access is
-// mutex-guarded.
+// guarded by a ranked mutex (kSnarkMemoCache, the deepest rank in the chain
+// hierarchy; DESIGN.md §13).
 struct SnarkVerifyCache {
-  std::mutex mutex;
-  std::unordered_map<std::string, bool> results;
+  OrderedMutex mutex{LockRank::kSnarkMemoCache, "state.snark_verify_cache"};
+  std::unordered_map<std::string, bool> results ZL_GUARDED_BY(mutex);
 };
 
 SnarkVerifyCache& snark_verify_cache() {
@@ -60,13 +62,13 @@ std::string snark_verify_cache_key(const snark::VerifyingKey& vk,
 
 void warm_snark_verify_cache(const std::string& cache_key, bool ok) {
   SnarkVerifyCache& cache = snark_verify_cache();
-  const std::lock_guard<std::mutex> lock(cache.mutex);
+  const MutexLock lock(cache.mutex);
   cache.results.emplace(cache_key, ok);
 }
 
 void clear_snark_verify_cache() {
   SnarkVerifyCache& cache = snark_verify_cache();
-  const std::lock_guard<std::mutex> lock(cache.mutex);
+  const MutexLock lock(cache.mutex);
   cache.results.clear();
 }
 
@@ -76,13 +78,13 @@ bool CallContext::snark_verify(const snark::VerifyingKey& vk, const std::vector<
   const std::string key = snark_verify_cache_key(vk, statement, proof);
   SnarkVerifyCache& cache = snark_verify_cache();
   {
-    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const MutexLock lock(cache.mutex);
     const auto it = cache.results.find(key);
     if (it != cache.results.end()) return it->second;
   }
   const bool ok = snark::verify(vk, statement, proof);
   {
-    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const MutexLock lock(cache.mutex);
     cache.results.emplace(key, ok);
   }
   return ok;

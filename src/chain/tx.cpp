@@ -1,9 +1,10 @@
 #include "chain/tx.h"
 
-#include <mutex>
 #include <unordered_map>
 
 #include "chain/gas.h"
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace zl::chain {
 
@@ -13,13 +14,15 @@ namespace {
 // multiplications; hashing the encoded transaction is ~100x cheaper, so every
 // re-verification after the first (block apply, fork replay, re-gossip on
 // another simulated node) collapses to a keccak + hash-map hit. Guarded by a
-// mutex because block prevalidation warms it from pool threads.
+// ranked mutex (kSigVerdictCache — a leaf-ish lock taken while pool workers
+// hold the region lock; DESIGN.md §13) because block prevalidation warms it
+// from pool threads while serial apply reads it.
 struct SignatureVerdictCache {
   // Re-verification clusters around recent transactions; a full reset at the
   // cap is simpler than LRU and amortizes to a no-op.
   static constexpr std::size_t kMaxEntries = 1u << 20;
-  std::mutex mutex;
-  std::unordered_map<std::string, bool> verdicts;
+  OrderedMutex mutex{LockRank::kSigVerdictCache, "tx.sig_verdict_cache"};
+  std::unordered_map<std::string, bool> verdicts ZL_GUARDED_BY(mutex);
 };
 
 SignatureVerdictCache& signature_verdict_cache() {
@@ -31,13 +34,13 @@ SignatureVerdictCache& signature_verdict_cache() {
 
 void clear_signature_verdict_cache() {
   SignatureVerdictCache& cache = signature_verdict_cache();
-  const std::lock_guard<std::mutex> lock(cache.mutex);
+  const MutexLock lock(cache.mutex);
   cache.verdicts.clear();
 }
 
 std::size_t signature_verdict_cache_size() {
   SignatureVerdictCache& cache = signature_verdict_cache();
-  const std::lock_guard<std::mutex> lock(cache.mutex);
+  const MutexLock lock(cache.mutex);
   return cache.verdicts.size();
 }
 
@@ -87,7 +90,7 @@ bool Transaction::verify_signature() const {
   const std::string key = to_hex(hash());
   SignatureVerdictCache& cache = signature_verdict_cache();
   {
-    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const MutexLock lock(cache.mutex);
     const auto it = cache.verdicts.find(key);
     if (it != cache.verdicts.end()) return it->second;
   }
@@ -99,7 +102,7 @@ bool Transaction::verify_signature() const {
     ok = false;
   }
   {
-    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const MutexLock lock(cache.mutex);
     if (cache.verdicts.size() >= SignatureVerdictCache::kMaxEntries) cache.verdicts.clear();
     cache.verdicts.emplace(key, ok);
   }

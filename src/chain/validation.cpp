@@ -1,10 +1,11 @@
 #include "chain/validation.h"
 
 #include <atomic>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "snark/groth16.h"
 
@@ -12,11 +13,15 @@ namespace zl::chain {
 
 namespace {
 
+// The parallel-validation toggle and the memo caches it feeds are safe to
+// flip/clear mid-validation from another thread: the flag is sampled once
+// per prevalidate call, and a cleared cache is only ever a miss (re-verify),
+// never a wrong verdict. See set_parallel_validation/clear_validation_caches.
 std::atomic<bool> g_parallel_validation{true};
 
 struct ExtractorRegistry {
-  std::mutex mutex;
-  std::vector<SnarkPrecheckExtractor> extractors;
+  OrderedMutex mutex{LockRank::kExtractorRegistry, "validation.extractor_registry"};
+  std::vector<SnarkPrecheckExtractor> extractors ZL_GUARDED_BY(mutex);
 };
 
 ExtractorRegistry& extractor_registry() {
@@ -28,7 +33,7 @@ ExtractorRegistry& extractor_registry() {
 
 void register_snark_precheck_extractor(SnarkPrecheckExtractor extractor) {
   ExtractorRegistry& registry = extractor_registry();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const MutexLock lock(registry.mutex);
   registry.extractors.push_back(std::move(extractor));
 }
 
@@ -59,10 +64,14 @@ void prevalidate_block(const ChainState& pre_state, const std::vector<Transactio
   // against the pre-block state, so a proof whose statement depends on an
   // earlier transaction in the same block yields a differently-keyed entry —
   // a cache miss at apply time, never a wrong verdict.
+  // The registry lock is released before verify_batch below: pairing work
+  // must not serialize against extractor registration, and verify_batch
+  // re-enters the thread pool (rank kPoolRegion < kExtractorRegistry would
+  // otherwise trip the ordering check).
   std::vector<snark::BatchVerifyItem> items;
   {
     ExtractorRegistry& registry = extractor_registry();
-    const std::lock_guard<std::mutex> lock(registry.mutex);
+    const MutexLock lock(registry.mutex);
     for (const Transaction& tx : txs) {
       for (const SnarkPrecheckExtractor& extract : registry.extractors) {
         try {

@@ -45,11 +45,24 @@ void register_snark_precheck_extractor(SnarkPrecheckExtractor extractor);
 /// Toggle the parallel prevalidation phase (default on). Off = the serial
 /// oracle: apply recomputes everything inline. Benches flip this (plus
 /// clear_validation_caches) to measure the speedup.
+///
+/// Safe to call while another thread is validating: the flag is an atomic
+/// sampled exactly once at the top of each prevalidate_block call, so an
+/// in-flight validation finishes under the mode it started with — the
+/// toggle only selects *how* verdicts are computed, never what they are.
+/// (tests/test_concurrency.cpp races this under TSan.)
 void set_parallel_validation(bool enabled);
 bool parallel_validation_enabled();
 
 /// Drop every validation memo (signature verdicts + snark_verify results),
 /// so the next block validates from a cold start.
+///
+/// Safe to call while another thread is validating: each cache clears under
+/// its own ranked lock (kSigVerdictCache / kSnarkMemoCache), and every
+/// cached value is a memo of a pure function — a concurrent clear turns
+/// lookups into misses that recompute the same verdict, never into wrong
+/// answers. The two caches clear non-atomically with respect to each other,
+/// which is fine for the same reason. (TSan-raced in test_concurrency.cpp.)
 void clear_validation_caches();
 
 /// Stateless prevalidation of a block body against its pre-state: warms the

@@ -1,0 +1,69 @@
+#pragma once
+// Clang thread-safety (capability) analysis annotations — the static layer
+// of the concurrency-correctness gate (DESIGN.md §13).
+//
+// Every mutex-holding component in src/ declares its lock discipline with
+// these macros: which field is guarded by which lock (`ZL_GUARDED_BY`),
+// which private helpers assume a lock is already held (`ZL_REQUIRES`), and
+// which public entry points must not be called with it held
+// (`ZL_EXCLUDES`). Under clang the `thread-safety` CMake preset compiles
+// src/ with `-Wthread-safety -Werror=thread-safety`, turning every
+// forgotten lock, lock-order aliasing bug, or guard accessed off-lock into
+// a build error. Under gcc (which has no capability analysis) the macros
+// expand to nothing — the annotations still document the invariants and
+// zl-lint's `naked-mutex` rule still enforces that every mutex carries
+// them.
+//
+// The vocabulary mirrors clang's own documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) and abseil's
+// thread_annotations.h, renamed into the ZL_ namespace.
+
+#if defined(__clang__)
+#define ZL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ZL_THREAD_ANNOTATION(x)  // no-op: gcc has no capability analysis
+#endif
+
+/// Declares a class to be a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex").
+#define ZL_CAPABILITY(x) ZL_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability (MutexLock) — or the reverse (MutexUnlock).
+#define ZL_SCOPED_CAPABILITY ZL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field annotation: reads and writes require holding the named capability.
+#define ZL_GUARDED_BY(x) ZL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer-field annotation: the *pointee* is guarded by the capability.
+#define ZL_PT_GUARDED_BY(x) ZL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and does not release it).
+#define ZL_ACQUIRE(...) ZL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define ZL_RELEASE(...) ZL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; first argument is the return
+/// value that signals success.
+#define ZL_TRY_ACQUIRE(...) ZL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must already hold the capability (private _locked helpers).
+#define ZL_REQUIRES(...) ZL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (public entry points of
+/// internally-locked classes; prevents self-deadlock).
+#define ZL_EXCLUDES(...) ZL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Static acquisition-order hints between specific locks (the runtime
+/// OrderedMutex ranks are the enforced, total version of this).
+#define ZL_ACQUIRED_BEFORE(...) ZL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ZL_ACQUIRED_AFTER(...) ZL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define ZL_RETURN_CAPABILITY(x) ZL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use is a
+/// reviewed exception and must carry a comment explaining why the
+/// discipline cannot be expressed (there are currently none in src/).
+#define ZL_NO_THREAD_SAFETY_ANALYSIS ZL_THREAD_ANNOTATION(no_thread_safety_analysis)

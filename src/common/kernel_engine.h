@@ -13,6 +13,14 @@
 // ordering: flipping it concurrently with a running prover is not a
 // supported mode (tests flip it between whole passes).
 //
+// Threading (DESIGN.md §13): this header is lock-free by design — one
+// std::atomic<bool> with no compound read-modify-write (ScopedKernelEngine
+// snapshots then stores, which is exactly the single-writer pattern the
+// zl-lint `atomic-rmw-race` rule permits: the flag has one coordinating
+// writer at a time per the contract above). There is nothing for the
+// capability analysis to check; mutexes are the wrong tool for a flag whose
+// readers sit in prover hot loops.
+//
 // Fp's dedicated Montgomery squaring is deliberately NOT behind this flag:
 // a per-squaring atomic load would tax the innermost hot loop, and the
 // squaring is pinned directly against mont_mul by tests/test_field.cpp.

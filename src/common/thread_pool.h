@@ -20,15 +20,29 @@
 // worker or on the caller thread executing its own share of chunks —
 // degrades to serial execution on that thread (no new tasks are enqueued),
 // so nested parallel code can never deadlock the pool.
+//
+// Lock discipline (DESIGN.md §13): two ranked locks. `region_mutex_`
+// (kPoolRegion) serializes top-level parallel regions; `mutex_`
+// (kPoolQueue, acquired strictly after it) guards job hand-off and worker
+// bookkeeping. Cross-thread progress signals (`shutdown_`,
+// `job_generation_`, `busy_workers_`, chunk counters) are atomics so the
+// condition-variable predicates touch no guarded state; the job descriptor
+// itself (`job_fn_`, `job_chunks_`, `job_active_`, `job_error_`,
+// `workers_`) is ZL_GUARDED_BY(mutex_) and only ever read under it —
+// workers snapshot the descriptor while locked and chew through chunks via
+// the snapshot, never through the guarded fields.
 
 #include <atomic>
-#include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace zl {
 
@@ -81,13 +95,13 @@ class ThreadPool {
     // caller is marked in-region before it can execute any chunk, so a
     // nested run() from inside fn (on this thread) stays serial instead of
     // re-locking region_mutex_.
-    std::lock_guard<std::mutex> region(region_mutex_);
+    MutexLock region(region_mutex_);
     struct RegionFlag {
       RegionFlag() { detail::in_parallel_region() = true; }
       ~RegionFlag() { detail::in_parallel_region() = false; }
     } region_flag;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ensure_workers_locked(threads - 1);
       job_fn_ = &fn;
       job_chunks_ = num_chunks;
@@ -95,19 +109,24 @@ class ThreadPool {
       pending_chunks_.store(num_chunks, std::memory_order_relaxed);
       job_error_ = nullptr;
       job_active_ = true;
-      ++job_generation_;
+      job_generation_.fetch_add(1, std::memory_order_release);
     }
     cv_.notify_all();
-    work();  // the caller takes chunks too
+    work(&fn, num_chunks);  // the caller takes chunks too
+    std::exception_ptr err;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      done_cv_.wait(lock, [&] {
-        return pending_chunks_.load(std::memory_order_acquire) == 0 && busy_workers_ == 0;
+      MutexLock lock(mutex_);
+      // Predicate reads only atomics; the job descriptor is cleared under
+      // the lock once every worker has drained.
+      done_cv_.wait(mutex_, [&] {
+        return pending_chunks_.load(std::memory_order_acquire) == 0 &&
+               busy_workers_.load(std::memory_order_acquire) == 0;
       });
       job_active_ = false;
       job_fn_ = nullptr;
+      err = std::exchange(job_error_, nullptr);
     }
-    if (job_error_) std::rethrow_exception(job_error_);
+    if (err) std::rethrow_exception(err);
   }
 
  private:
@@ -131,14 +150,19 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      shutdown_ = true;
+      MutexLock lock(mutex_);
+      shutdown_.store(true, std::memory_order_release);
     }
     cv_.notify_all();
-    for (std::thread& t : workers_) t.join();
+    std::vector<std::thread> workers;
+    {
+      MutexLock lock(mutex_);
+      workers = std::move(workers_);
+    }
+    for (std::thread& t : workers) t.join();
   }
 
-  void ensure_workers_locked(unsigned wanted) {
+  void ensure_workers_locked(unsigned wanted) ZL_REQUIRES(mutex_) {
     while (workers_.size() < wanted && workers_.size() < kMaxThreads - 1) {
       workers_.emplace_back([this] { worker_loop(); });
     }
@@ -147,61 +171,76 @@ class ThreadPool {
   void worker_loop() {
     detail::in_parallel_region() = true;
     std::uint64_t seen = 0;
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
-      cv_.wait(lock, [&] { return shutdown_ || job_generation_ != seen; });
-      if (shutdown_) return;
-      seen = job_generation_;
+      // Wake predicate reads only atomics; the guarded job descriptor is
+      // snapshotted below, while the lock is (again) held.
+      cv_.wait(mutex_, [&] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               job_generation_.load(std::memory_order_acquire) != seen;
+      });
+      if (shutdown_.load(std::memory_order_relaxed)) return;
+      seen = job_generation_.load(std::memory_order_relaxed);
       if (!job_active_) continue;
-      ++busy_workers_;
-      lock.unlock();
-      work();
-      lock.lock();
-      if (--busy_workers_ == 0 && pending_chunks_.load(std::memory_order_acquire) == 0) {
+      const std::function<void(std::size_t)>* fn = job_fn_;
+      const std::size_t chunks = job_chunks_;
+      busy_workers_.fetch_add(1, std::memory_order_relaxed);
+      {
+        MutexUnlock unlocked(mutex_);
+        work(fn, chunks);
+      }
+      if (busy_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+          pending_chunks_.load(std::memory_order_acquire) == 0) {
         done_cv_.notify_all();
       }
     }
   }
 
-  /// Takes chunks until the current job runs dry. Callable from the caller
-  /// thread and from workers that observed the job under the mutex.
-  void work() {
-    const std::function<void(std::size_t)>* fn = job_fn_;
-    const std::size_t chunks = job_chunks_;
+  /// Takes chunks until the job runs dry. The descriptor arrives as
+  /// parameters — snapshotted by the caller while it held mutex_ — so this
+  /// runs entirely lock-free except for error capture and the final wakeup.
+  void work(const std::function<void(std::size_t)>* fn, std::size_t chunks) {
     for (;;) {
       const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
       try {
         (*fn)(c);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!job_error_) job_error_ = std::current_exception();
       }
       if (pending_chunks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         done_cv_.notify_all();
       }
     }
   }
 
   std::atomic<unsigned> target_threads_{1};
-  std::mutex region_mutex_;  // serializes top-level parallel regions
+  /// Serializes top-level parallel regions: it guards a *phase* (one job in
+  /// flight at a time), not data, so no field carries ZL_GUARDED_BY on it —
+  /// reviewed exception. Taken before mutex_ (kPoolQueue).
+  // zl-lint: allow(naked-mutex)
+  OrderedMutex region_mutex_{LockRank::kPoolRegion, "pool.region"};
 
-  std::mutex mutex_;
-  std::condition_variable cv_;       // wakes workers for a new job
-  std::condition_variable done_cv_;  // wakes the caller when a job drains
-  std::vector<std::thread> workers_;
-  bool shutdown_ = false;
+  /// Guards the job descriptor and the worker vector.
+  OrderedMutex mutex_{LockRank::kPoolQueue, "pool.queue"};
+  CondVar cv_;       // wakes workers for a new job
+  CondVar done_cv_;  // wakes the caller when a job drains
 
-  // Current job (valid while job_active_; guarded by mutex_ + busy_workers_).
-  const std::function<void(std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_chunks_ = 0;
-  bool job_active_ = false;
-  std::uint64_t job_generation_ = 0;
-  unsigned busy_workers_ = 0;
+  std::vector<std::thread> workers_ ZL_GUARDED_BY(mutex_);
+  const std::function<void(std::size_t)>* job_fn_ ZL_GUARDED_BY(mutex_) = nullptr;
+  std::size_t job_chunks_ ZL_GUARDED_BY(mutex_) = 0;
+  bool job_active_ ZL_GUARDED_BY(mutex_) = false;
+  std::exception_ptr job_error_ ZL_GUARDED_BY(mutex_);
+
+  // Cross-thread progress signals: atomics so cv predicates and the chunk
+  // race touch no guarded state.
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> job_generation_{0};
+  std::atomic<unsigned> busy_workers_{0};
   std::atomic<std::size_t> next_chunk_{0};
   std::atomic<std::size_t> pending_chunks_{0};
-  std::exception_ptr job_error_;
 };
 
 /// Target parallelism of the process (ZL_THREADS / hardware concurrency).

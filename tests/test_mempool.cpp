@@ -315,7 +315,7 @@ class ProbeNode : public Node {
   void deliver_block(const Block& b) { accept_block(b, false); }
   void deliver_tx(const Transaction& tx) { accept_transaction(tx, false); }
   const Mempool& pool() const { return mempool_; }
-  void shrink_pool(std::size_t max_txs) { mempool_ = Mempool(max_txs); }
+  void shrink_pool(std::size_t max_txs) { mempool_.reset(max_txs); }
   bool has_body(const std::string& tx_hash_hex) const {
     return known_txs_.contains(tx_hash_hex);
   }

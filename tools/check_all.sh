@@ -22,6 +22,14 @@
 #             FFT) against their textbook twins: once under ASan, once in
 #             the ZL_CT_CHECK taint build (which adds the GLV secret-scalar
 #             guard deaths and mont_sqr taint propagation)
+#   threadsafety - the static half of the concurrency gate: compile src/
+#             under Clang with -Werror=thread-safety (the compile IS the
+#             check — any lock used out of contract with its annotations
+#             fails the build), then run the zl_lint lock-discipline rules
+#             and their planted-violation corpus. The Clang compile is
+#             skipped with a warning when no clang++ is installed (the
+#             annotations are attribute no-ops under gcc); the lint rules
+#             run either way
 #
 # Usage: tools/check_all.sh [leg ...] [-- ctest args...]
 #   tools/check_all.sh                 # default matrix: lint circuit-audit asan ubsan tsan
@@ -38,8 +46,8 @@ legs=""
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --) shift; break ;;
-    lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale) legs="$legs $1"; shift ;;
-    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale)" >&2; exit 2 ;;
+    lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale|threadsafety) legs="$legs $1"; shift ;;
+    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale|threadsafety)" >&2; exit 2 ;;
   esac
 done
 [ -n "$legs" ] || legs="lint circuit-audit asan ubsan tsan"
@@ -92,6 +100,38 @@ run_kernels() {
   ctest --test-dir "$build_dir" --output-on-failure -R "$kernel_filter" "$@"
 }
 
+# Thread-safety leg: the static concurrency checks. Part one compiles the
+# whole tree under Clang with -Werror=thread-safety — the capability
+# annotations (src/common/annotations.h) only become attributes under Clang,
+# so this is the one leg that needs a specific compiler; it probes the
+# common names and degrades to a loud skip rather than failing the matrix on
+# a gcc-only host. Part two runs the zl_lint lock-discipline rules over src/
+# plus their planted-violation corpus, which work under any compiler.
+run_threadsafety() {
+  clangxx=""
+  for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then clangxx="$candidate"; break; fi
+  done
+  if [ -n "$clangxx" ]; then
+    build_dir="$repo_root/build-threadsafety"
+    cmake -S "$repo_root" -B "$build_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_CXX_COMPILER="$clangxx" -DZL_THREAD_SAFETY=ON
+    # The compile is the check: -Werror=thread-safety fails the build on any
+    # lock acquired out of contract with its annotations.
+    cmake --build "$build_dir"
+  else
+    echo "check_all: WARNING: no clang++ found; skipping the -Werror=thread-safety" >&2
+    echo "check_all: compile (the capability analysis is Clang-only)" >&2
+  fi
+  build_dir="$repo_root/build-lint"
+  cmake -S "$repo_root" -B "$build_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" --target zl_lint
+  "$build_dir/tools/zl_lint/zl_lint" "$repo_root/src" \
+    --json "$build_dir/zl_lint_findings.json"
+  sh "$repo_root/tools/zl_lint/test_corpus.sh" \
+    "$build_dir/tools/zl_lint/zl_lint" "$repo_root/tools/zl_lint/corpus"
+}
+
 # Scale leg: the bench_scale smoke case through ctest (plain Release build —
 # this is a throughput pin, so no sanitizer overhead). Reuses the lint tree.
 run_scale() {
@@ -137,6 +177,8 @@ for leg in $legs; do
       run_kernels "$@" || status=$? ;;
     scale)
       run_scale "$@" || status=$? ;;
+    threadsafety)
+      run_threadsafety || status=$? ;;
   esac
   if [ "$status" -ne 0 ]; then
     echo "==== check_all: $leg FAILED ====" >&2

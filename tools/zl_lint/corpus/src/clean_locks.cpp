@@ -1,0 +1,49 @@
+// Clean lock discipline for the zl-lint corpus test: every pattern here is
+// the sanctioned shape, and the corpus test asserts this file produces zero
+// findings — guarding the rules against false positives as much as the
+// planted file guards them against false negatives.
+
+#include <atomic>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace corpus {
+
+class GoodCache {
+ public:
+  void put(int k, int v) {
+    MutexLock lock(mu_);  // RAII acquisition: no manual lock()/unlock()
+    key_ = k;
+    value_ = v;
+  }
+
+  void bump() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  void reset_hits() {
+    // A plain store with no self-load is a publish, not a torn RMW.
+    hits_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  OrderedMutex mu_{LockRank::kLeaf, "corpus.good_cache"};
+  int key_ ZL_GUARDED_BY(mu_) = 0;
+  int value_ ZL_GUARDED_BY(mu_) = 0;
+  std::atomic<int> hits_{0};
+};
+
+class ReviewedPhaseLock {
+ public:
+  void enter() { MutexLock lock(phase_mu_); }
+
+ private:
+  // Guards a phase (one client in the section at a time), not data — the
+  // reviewed-exception shape, like ThreadPool's region lock.
+  // zl-lint: allow(naked-mutex)
+  OrderedMutex phase_mu_{LockRank::kLeaf, "corpus.phase"};
+};
+
+// Type uses are not lock declarations: none of these may be flagged.
+void takes_a_reference(OrderedMutex& m) { MutexLock lock(m); }
+
+}  // namespace corpus

@@ -1,0 +1,41 @@
+// Planted lock-discipline violations for the zl-lint corpus test
+// (tools/zl_lint/test_corpus.sh). This file is never compiled — it exists
+// only to be scanned. Each violation below must be flagged by exactly the
+// rule named beside it; the corpus test pins the expected finding counts so
+// a regressed rule (or an over-eager one) fails the suite.
+
+#include <atomic>
+#include <mutex>
+
+namespace corpus {
+
+class BadCache {
+ public:
+  void put(int k, int v) {
+    m_.lock();  // expect: naked-unlock
+    key_ = k;
+    value_ = v;
+    m_.unlock();  // expect: naked-unlock
+  }
+
+  void bump() {
+    // Lost update: a writer between the load and the store vanishes.
+    hits_.store(hits_.load() + 1);  // expect: atomic-rmw-race
+  }
+
+ private:
+  std::mutex m_;  // expect: naked-mutex (raw std::mutex member)
+  int key_ = 0;
+  int value_ = 0;
+  std::atomic<int> hits_{0};
+};
+
+class UnannotatedLock {
+ private:
+  // expect: naked-mutex — no ZL_* annotation in this file ever names mu_,
+  // so the capability analysis checks nothing about what it guards.
+  OrderedMutex mu_{LockRank::kLeaf, "corpus.unannotated"};
+  int supposedly_guarded_ = 0;
+};
+
+}  // namespace corpus

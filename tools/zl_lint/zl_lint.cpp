@@ -22,6 +22,19 @@
 //                     constraint later in the same function — the classic
 //                     under-constrained-wire bug shape the circuit auditor
 //                     (tools/circuit_audit) hunts dynamically
+//   naked-mutex       a raw std::mutex member in src/ (must be a ranked
+//                     zl::OrderedMutex), or an OrderedMutex that no
+//                     ZL_GUARDED_BY / ZL_REQUIRES / ZL_ACQUIRE annotation in
+//                     the file ever names — an unannotated lock guards
+//                     nothing the clang thread-safety analysis can check
+//   naked-unlock      manual .lock()/.unlock() member calls in src/ outside
+//                     common/mutex.h — all acquisition is RAII
+//                     (zl::MutexLock / zl::MutexUnlock), so no early return
+//                     or exception can leak a held lock
+//   atomic-rmw-race   x.store(... x.load ...) — a read-modify-write split
+//                     into separate atomic load and store races with
+//                     concurrent writers; use fetch_add / exchange /
+//                     compare_exchange
 //
 // Suppression: append `// zl-lint: allow(<rule>[, <rule>...])` (or
 // `allow(all)`) on the offending line or the line directly above it. Every
@@ -79,6 +92,7 @@ struct FileUnit {
   bool in_src = false;                          // under src/
   bool in_store = false;                        // under src/store
   bool in_circuit_layer = false;                // gadget/circuit-building code
+  bool is_mutex_chokepoint = false;             // common/mutex.h itself
 };
 
 struct Finding {
@@ -360,6 +374,17 @@ const Rule kRules[] = {
      "every b.witness(...) in circuit-layer code must be followed by an enforce* constraint "
      "in the same function, or carry a reviewed allow — an allocated-but-unconstrained wire "
      "is a soundness hole (any prover-chosen value satisfies the circuit)"},
+    {"naked-mutex",
+     "every mutex in src/ must be a zl::OrderedMutex (ranked, capability-annotated; "
+     "common/mutex.h) and must be named by at least one ZL_GUARDED_BY/ZL_REQUIRES/"
+     "ZL_ACQUIRE-family annotation in its file, or carry a reviewed allow"},
+    {"naked-unlock",
+     "no manual .lock()/.unlock() calls in src/ outside common/mutex.h — acquisition is "
+     "RAII-only (zl::MutexLock / zl::MutexUnlock), so early returns and exceptions can "
+     "never leak a held lock"},
+    {"atomic-rmw-race",
+     "x.store(... x.load ...) splits a read-modify-write into two atomic operations that "
+     "race with concurrent writers; use fetch_add/fetch_sub/exchange/compare_exchange"},
 };
 
 /// Types whose instances hold long-term secrets. secret-zeroize requires a
@@ -399,6 +424,9 @@ class Linter {
       if (!u.in_ec) rule_textbook_pairing(u);
       if (u.in_src && !u.in_store) rule_raw_file_io(u);
       if (u.in_circuit_layer) rule_unchecked_allocate(u);
+      if (u.in_src) rule_naked_mutex(u);
+      if (u.in_src && !u.is_mutex_chokepoint) rule_naked_unlock(u);
+      if (u.in_src) rule_atomic_rmw_race(u);
     }
     rule_secret_zeroize();
     std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
@@ -781,6 +809,120 @@ class Linter {
     }
   }
 
+  void rule_naked_mutex(const FileUnit& u) {
+    static const std::string rule = "naked-mutex";
+    static const std::set<std::string> std_mutex_types = {
+        "mutex", "recursive_mutex", "shared_mutex", "timed_mutex", "recursive_timed_mutex",
+    };
+    // The ZL_ annotation macros whose arguments "claim" a lock name: a mutex
+    // named inside any of them has a machine-checked discipline.
+    static const std::set<std::string> annotation_macros = {
+        "ZL_GUARDED_BY",      "ZL_PT_GUARDED_BY", "ZL_REQUIRES", "ZL_ACQUIRE",
+        "ZL_RELEASE",         "ZL_TRY_ACQUIRE",   "ZL_EXCLUDES", "ZL_ACQUIRED_BEFORE",
+        "ZL_ACQUIRED_AFTER",  "ZL_RETURN_CAPABILITY",
+    };
+    const auto& t = u.toks;
+
+    // Pass 1: every identifier appearing inside an annotation macro's parens.
+    std::set<std::string> annotated_names;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier || !annotation_macros.count(t[i].text)) continue;
+      if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") continue;
+      const std::size_t close = match_paren(t, i + 1);
+      if (close == kNpos) continue;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (t[j].kind == TokKind::Identifier) annotated_names.insert(t[j].text);
+      }
+    }
+
+    // Pass 2: mutex-typed declarations `Type name ;|{|=`. References,
+    // pointers, and template arguments (`lock_guard<std::mutex>`) are type
+    // *uses*, not lock declarations, and are skipped.
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier) continue;
+      const bool is_std_mutex = std_mutex_types.count(t[i].text) && i >= 2 &&
+                                t[i - 1].kind == TokKind::Punct && t[i - 1].text == "::" &&
+                                t[i - 2].kind == TokKind::Identifier && t[i - 2].text == "std";
+      const bool is_ordered = t[i].text == "OrderedMutex";
+      if (!is_std_mutex && !is_ordered) continue;
+      if (i > 0 && t[i - 1].kind == TokKind::Punct && t[i - 1].text == "<") continue;
+      if (t[i + 1].kind != TokKind::Identifier) continue;  // `&`, `(`, `{`, `>` ... not a decl
+      const std::string& name = t[i + 1].text;
+      if (i + 2 >= t.size() || t[i + 2].kind != TokKind::Punct ||
+          (t[i + 2].text != ";" && t[i + 2].text != "{" && t[i + 2].text != "=")) {
+        continue;
+      }
+      if (is_std_mutex) {
+        report(u, t[i].line, rule,
+               "raw std::" + t[i].text + " `" + name +
+                   "`: every lock in src/ is a zl::OrderedMutex with a documented rank "
+                   "(common/mutex.h), so the lock-order detector and the capability "
+                   "analysis both see it");
+        continue;
+      }
+      if (!annotated_names.count(name)) {
+        report(u, t[i].line, rule,
+               "OrderedMutex `" + name +
+                   "` is never named by a ZL_GUARDED_BY/ZL_REQUIRES/ZL_ACQUIRE-family "
+                   "annotation in this file — an unannotated lock guards nothing the "
+                   "thread-safety analysis can check; annotate the guarded fields or add "
+                   "a reviewed allow explaining what the lock serializes");
+      }
+    }
+  }
+
+  void rule_naked_unlock(const FileUnit& u) {
+    static const std::string rule = "naked-unlock";
+    const auto& t = u.toks;
+    for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier ||
+          (t[i].text != "lock" && t[i].text != "unlock")) {
+        continue;
+      }
+      if (t[i - 1].kind != TokKind::Punct ||
+          (t[i - 1].text != "." && t[i - 1].text != "->")) {
+        continue;
+      }
+      if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") continue;
+      report(u, t[i].line, rule,
+             "manual ." + t[i].text +
+                 "() call: acquisition is RAII-only (zl::MutexLock, or zl::MutexUnlock "
+                 "for a scoped release) so no early return or exception can leak a held "
+                 "lock");
+    }
+  }
+
+  void rule_atomic_rmw_race(const FileUnit& u) {
+    static const std::string rule = "atomic-rmw-race";
+    const auto& t = u.toks;
+    for (std::size_t i = 1; i + 2 < t.size(); ++i) {
+      // Pattern: x . store ( ... x . load ... )
+      if (t[i].kind != TokKind::Identifier || t[i].text != "store") continue;
+      if (t[i - 1].kind != TokKind::Punct ||
+          (t[i - 1].text != "." && t[i - 1].text != "->")) {
+        continue;
+      }
+      if (i < 2 || t[i - 2].kind != TokKind::Identifier) continue;
+      const std::string& obj = t[i - 2].text;
+      if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") continue;
+      const std::size_t close = match_paren(t, i + 1);
+      if (close == kNpos) continue;
+      for (std::size_t j = i + 2; j + 2 < close; ++j) {
+        if (t[j].kind == TokKind::Identifier && t[j].text == obj &&
+            t[j + 1].kind == TokKind::Punct &&
+            (t[j + 1].text == "." || t[j + 1].text == "->") &&
+            t[j + 2].kind == TokKind::Identifier && t[j + 2].text == "load") {
+          report(u, t[i].line, rule,
+                 "`" + obj + ".store(... " + obj +
+                     ".load ...)` is a torn read-modify-write: another thread can write "
+                     "between the load and the store and its update is silently lost; use "
+                     "fetch_add/fetch_sub/exchange/compare_exchange");
+          break;
+        }
+      }
+    }
+  }
+
   void rule_secret_zeroize() {
     static const std::string rule = "secret-zeroize";
     for (const auto& [type, site] : type_def_site_) {
@@ -897,6 +1039,9 @@ int main(int argc, char** argv) {
       unit.is_rng = unit.path.size() >= 10 &&
                     (unit.path.find("crypto/rng.cpp") != std::string::npos ||
                      unit.path.find("crypto/rng.h") != std::string::npos);
+      // common/mutex.h IS the RAII chokepoint: its MutexLock/MutexUnlock
+      // bodies are the one sanctioned home of manual lock()/unlock() calls.
+      unit.is_mutex_chokepoint = unit.path.find("common/mutex.h") != std::string::npos;
       tokenize(unit, ss.str());
       linter.add_unit(std::move(unit));
       ++scanned;
