@@ -33,6 +33,7 @@
 #include "chain/validation.h"
 #include "common/thread_pool.h"
 #include "crypto/keccak.h"
+#include "obs/obs.h"
 
 namespace zl::chain {
 namespace {
@@ -335,6 +336,10 @@ int main(int argc, char** argv) {
   }
   zl::set_num_threads(parallel_threads);
 
+  // Phase B runs with a clean registry so the obs section below reflects the
+  // testnet churn alone (cache hit rates, span totals), not phase A.
+  zl::obs::reset();
+
   std::fprintf(stderr, "[testnet] %zu contracts, %zu submissions, %zu wallets...\n",
                net_contracts, net_submissions, net_wallets);
   const TestnetResult tn = run_testnet_phase(net_contracts, net_submissions, net_wallets);
@@ -345,6 +350,13 @@ int main(int argc, char** argv) {
 
   const double rss_mb = peak_rss_mb();
   const double speedup = val.parallel_s > 0.0 ? val.serial_s / val.parallel_s : 0.0;
+  const zl::obs::Snapshot obs_snap = zl::obs::snapshot();
+  const auto rate_json = [](double r) {
+    char buf[32];
+    if (r < 0.0) return std::string("null");
+    std::snprintf(buf, sizeof buf, "%.4f", r);
+    return std::string(buf);
+  };
 
   std::printf("\nCHAIN THROUGHPUT — marketplace at scale%s\n", smoke ? " (smoke)" : "");
   std::printf("validation: %zu blocks / %zu txs  serial %.3fs  parallel %.3fs", val.blocks,
@@ -399,12 +411,23 @@ int main(int argc, char** argv) {
                "    \"blocks_to_quiescence\": %llu,\n"
                "    \"all_confirmed\": %s\n"
                "  },\n"
-               "  \"peak_rss_mb\": %.1f\n"
-               "}\n",
+               "  \"peak_rss_mb\": %.1f,\n",
                val.bit_identical ? "true" : "false", tn.contracts, tn.submissions, tn.wallets,
                tn.ingest_tx_per_s, tn.wall_s, static_cast<unsigned long long>(tn.sim_ms),
                static_cast<unsigned long long>(tn.blocks_to_quiescence),
                tn.all_confirmed ? "true" : "false", rss_mb);
+  // Why the numbers above moved: cache effectiveness and where the wall
+  // time went, from the phase-B obs registry (empty maps when ZL_OBS=OFF).
+  std::fprintf(f,
+               "  \"obs\": {\n"
+               "    \"sig_cache_hit_rate\": %s,\n"
+               "    \"snark_cache_hit_rate\": %s,\n"
+               "    \"metrics\": %s\n"
+               "  }\n"
+               "}\n",
+               rate_json(obs_snap.hit_rate("validation.sig_cache")).c_str(),
+               rate_json(obs_snap.hit_rate("validation.snark_cache")).c_str(),
+               obs_snap.to_json("    ").c_str());
   std::fclose(f);
   std::printf("wrote %s\n", json_path);
   return 0;

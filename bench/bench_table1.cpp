@@ -17,6 +17,7 @@
 #include "auth/cpl_auth.h"
 #include "common/thread_pool.h"
 #include "ec/pairing.h"
+#include "obs/obs.h"
 #include "zebralancer/reward_circuit.h"
 
 using namespace zl;
@@ -370,11 +371,13 @@ int main() {
                  "  \"pairing_speedup\": %.3f,\n"
                  "  \"prepared_pairing_speedup\": %.3f,\n"
                  "  \"identical_keys\": %s,\n"
-                 "  \"identical_proofs\": %s\n"
-                 "}\n",
+                 "  \"identical_proofs\": %s,\n",
                  verify_batch_prepared_s, pairing_textbook_s, pairing_s, prepared_pairing_s,
                  pairing_speedup, prepared_pairing_speedup, identical_keys ? "true" : "false",
                  identical_proofs ? "true" : "false");
+    // Span totals + counters accumulated across every pass above: where the
+    // prover's wall time actually went (empty maps when ZL_OBS=OFF).
+    std::fprintf(f, "  \"obs\": %s\n}\n", zl::obs::snapshot().to_json("  ").c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   } else {

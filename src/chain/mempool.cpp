@@ -3,7 +3,43 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace zl::chain {
+
+namespace {
+
+/// Funnels every admit() return through one outcome counter per code, so
+/// the obs snapshot shows the full admission verdict distribution.
+Mempool::Admission record_admission(Mempool::Admission a) {
+  using Admission = Mempool::Admission;
+  switch (a) {
+    case Admission::kAdmitted:
+      ZL_OBS_COUNTER_ADD("mempool.admit.admitted", 1);
+      break;
+    case Admission::kReplaced:
+      ZL_OBS_COUNTER_ADD("mempool.admit.replaced", 1);
+      break;
+    case Admission::kDuplicate:
+      ZL_OBS_COUNTER_ADD("mempool.admit.duplicate", 1);
+      break;
+    case Admission::kNonceTooLow:
+      ZL_OBS_COUNTER_ADD("mempool.admit.nonce_too_low", 1);
+      break;
+    case Admission::kUnderpriced:
+      ZL_OBS_COUNTER_ADD("mempool.admit.underpriced", 1);
+      break;
+    case Admission::kPoolFull:
+      ZL_OBS_COUNTER_ADD("mempool.admit.pool_full", 1);
+      break;
+    case Admission::kInvalid:
+      ZL_OBS_COUNTER_ADD("mempool.admit.invalid", 1);
+      break;
+  }
+  return a;
+}
+
+}  // namespace
 
 Mempool::Admission Mempool::admit(const Transaction& tx, std::uint64_t chain_nonce) {
   // Stateless checks run before the lock so ECDSA verification — by far the
@@ -14,29 +50,33 @@ Mempool::Admission Mempool::admit(const Transaction& tx, std::uint64_t chain_non
   // pre-lock rejection. The only observable difference is which rejection
   // code a multiply-invalid transaction gets — never whether it is accepted.
   const std::string h = to_hex(tx.hash());
-  if (tx.nonce < chain_nonce) return Admission::kNonceTooLow;
-  if (tx.gas_limit < tx.intrinsic_gas()) return Admission::kInvalid;
+  if (tx.nonce < chain_nonce) return record_admission(Admission::kNonceTooLow);
+  if (tx.gas_limit < tx.intrinsic_gas()) return record_admission(Admission::kInvalid);
   // An escrow whose gas_limit + value wraps uint64 can never be funded, yet
   // its fee bid sorts it first — unrejected it would sit unconfirmable at
   // the top of every block template. Refuse it at the gate.
   if (tx.value > std::numeric_limits<std::uint64_t>::max() - tx.gas_limit)
-    return Admission::kInvalid;
-  if (!tx.verify_signature()) return Admission::kInvalid;
+    return record_admission(Admission::kInvalid);
+  if (!tx.verify_signature()) return record_admission(Admission::kInvalid);
 
   MutexLock lock(mu_);
-  if (by_hash_.contains(h)) return Admission::kDuplicate;
+  if (by_hash_.contains(h)) return record_admission(Admission::kDuplicate);
 
   const std::uint64_t fee = fee_of(tx);
   bool replacing = false;
   if (const auto sc = by_sender_.find(tx.from); sc != by_sender_.end()) {
     const auto slot = sc->second.find(tx.nonce);
     replacing = slot != sc->second.end();
-    if (replacing && fee < slot->second.fee + kReplacementBump) return Admission::kUnderpriced;
+    if (replacing && fee < slot->second.fee + kReplacementBump) {
+      return record_admission(Admission::kUnderpriced);
+    }
   }
 
   if (!replacing && by_hash_.size() >= max_txs_) {
     // Pool is full: the new bid must beat the globally cheapest entry.
-    if (by_fee_.empty() || fee <= by_fee_.begin()->first.first) return Admission::kPoolFull;
+    if (by_fee_.empty() || fee <= by_fee_.begin()->first.first) {
+      return record_admission(Admission::kPoolFull);
+    }
     // May erase tx.from's own (emptied) chain from by_sender_, so the
     // sender chain is only acquired below, after the eviction.
     evict_cheapest();
@@ -49,7 +89,8 @@ Mempool::Admission Mempool::admit(const Transaction& tx, std::uint64_t chain_non
   by_fee_[{fee, entry.seq}] = {tx.from, tx.nonce};
   chain.emplace(tx.nonce, std::move(entry));
   version_.fetch_add(1, std::memory_order_release);
-  return replacing ? Admission::kReplaced : Admission::kAdmitted;
+  ZL_OBS_GAUGE_SET("mempool.size", by_hash_.size());
+  return record_admission(replacing ? Admission::kReplaced : Admission::kAdmitted);
 }
 
 Mempool::SenderChain::iterator Mempool::unlink(SenderChain& chain, SenderChain::iterator it) {
@@ -69,6 +110,7 @@ void Mempool::evict_cheapest() {
   const auto sc = by_sender_.find(by_fee_.begin()->second.first);
   unlink(sc->second, std::prev(sc->second.end()));
   if (sc->second.empty()) by_sender_.erase(sc);
+  ZL_OBS_COUNTER_ADD("mempool.evict.overflow", 1);
 }
 
 void Mempool::on_confirmed(const Address& sender, std::uint64_t nonce) {
@@ -78,8 +120,12 @@ void Mempool::on_confirmed(const Address& sender, std::uint64_t nonce) {
   // Everything at or below the confirmed nonce is dead: either this exact
   // transaction, a competing bid for the same slot, or a stale lower nonce.
   auto it = sc->second.begin();
-  while (it != sc->second.end() && it->first <= nonce) it = unlink(sc->second, it);
+  while (it != sc->second.end() && it->first <= nonce) {
+    it = unlink(sc->second, it);
+    ZL_OBS_COUNTER_ADD("mempool.evict.confirmed", 1);
+  }
   if (sc->second.empty()) by_sender_.erase(sc);
+  ZL_OBS_GAUGE_SET("mempool.size", by_hash_.size());
 }
 
 void Mempool::drop(const std::string& tx_hash_hex) {
@@ -94,6 +140,10 @@ void Mempool::drop(const std::string& tx_hash_hex) {
 
 std::vector<Transaction> Mempool::build_block(const ChainState& state,
                                               std::size_t max_txs) const {
+  // Span and timer sit above the lock so their destructors (which take the
+  // rank-86 trace-ring mutex) run after mu_ is released.
+  ZL_TRACE_SPAN("mempool.build_block");
+  ZL_OBS_SCOPED_LATENCY_US("mempool.build_block_us");
   MutexLock lock(mu_);
   // Candidate heads: each sender's next-executable transaction. The heap
   // comparator is a total order on (fee desc, seq asc), so the selection is
@@ -143,6 +193,8 @@ std::vector<Transaction> Mempool::build_block(const ChainState& state,
       std::push_heap(heap.begin(), heap.end(), lower_priority);
     }
   }
+  ZL_OBS_COUNTER_ADD("mempool.build_block.count", 1);
+  ZL_OBS_COUNTER_ADD("mempool.build_block.txs", out.size());
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/annotations.h"
 #include "common/mutex.h"
+#include "obs/obs.h"
 #include "crypto/keccak.h"
 
 namespace zl::chain {
@@ -80,8 +81,12 @@ bool CallContext::snark_verify(const snark::VerifyingKey& vk, const std::vector<
   {
     const MutexLock lock(cache.mutex);
     const auto it = cache.results.find(key);
-    if (it != cache.results.end()) return it->second;
+    if (it != cache.results.end()) {
+      ZL_OBS_COUNTER_ADD("validation.snark_cache.hit", 1);
+      return it->second;
+    }
   }
+  ZL_OBS_COUNTER_ADD("validation.snark_cache.miss", 1);
   const bool ok = snark::verify(vk, statement, proof);
   {
     const MutexLock lock(cache.mutex);

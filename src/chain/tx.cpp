@@ -5,6 +5,7 @@
 #include "chain/gas.h"
 #include "common/annotations.h"
 #include "common/mutex.h"
+#include "obs/obs.h"
 
 namespace zl::chain {
 
@@ -92,8 +93,13 @@ bool Transaction::verify_signature() const {
   {
     const MutexLock lock(cache.mutex);
     const auto it = cache.verdicts.find(key);
-    if (it != cache.verdicts.end()) return it->second;
+    if (it != cache.verdicts.end()) {
+      ZL_OBS_COUNTER_ADD("validation.sig_cache.hit", 1);
+      return it->second;
+    }
   }
+  ZL_OBS_COUNTER_ADD("validation.sig_cache.miss", 1);
+  ZL_OBS_SCOPED_LATENCY_US("validation.sig_verify_us");
   bool ok = false;
   try {
     ok = Address::from_bytes(ecdsa_address(pubkey)) == from &&

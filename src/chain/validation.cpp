@@ -7,6 +7,7 @@
 #include "common/annotations.h"
 #include "common/mutex.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 #include "snark/groth16.h"
 
 namespace zl::chain {
@@ -52,6 +53,9 @@ void clear_validation_caches() {
 
 void prevalidate_block(const ChainState& pre_state, const std::vector<Transaction>& txs) {
   if (!parallel_validation_enabled() || txs.empty()) return;
+  ZL_TRACE_SPAN("validation.prevalidate");
+  ZL_OBS_COUNTER_ADD("validation.prevalidate.blocks", 1);
+  ZL_OBS_COUNTER_ADD("validation.prevalidate.txs", txs.size());
 
   // Phase 1: signature verdicts. Each check is independent and writes only
   // the mutex-guarded memo; grain 1 because one ECDSA verify dwarfs the
@@ -85,6 +89,7 @@ void prevalidate_block(const ChainState& pre_state, const std::vector<Transactio
     }
   }
   if (items.empty()) return;
+  ZL_OBS_COUNTER_ADD("validation.snark_precheck.items", items.size());
   const std::vector<std::uint8_t> ok = snark::verify_batch(items);
   for (std::size_t i = 0; i < items.size(); ++i) {
     warm_snark_verify_cache(

@@ -33,6 +33,14 @@
 //                                       (chain/validation.cpp).
 //    70   kSigVerdictCache              signature-verdict memo (chain/tx.cpp).
 //    80   kSnarkMemoCache               snark_verify memo (chain/state.cpp).
+//    84   kObsRegistry                  obs metric + trace-ring registries
+//                                       (src/obs) — above every subsystem
+//                                       lock so instrumented code may
+//                                       register a metric while holding its
+//                                       own lock.
+//    86   kObsTraceRing                 one per-thread trace ring buffer;
+//                                       nested under kObsRegistry by the
+//                                       trace drain, never nests anything.
 //    90   kLeaf                         strictly-leaf locks that never nest
 //                                       another acquisition (tests, tools).
 
@@ -56,6 +64,8 @@ enum class LockRank : unsigned {
   kExtractorRegistry = 60,
   kSigVerdictCache = 70,
   kSnarkMemoCache = 80,
+  kObsRegistry = 84,
+  kObsTraceRing = 86,
   kLeaf = 90,
 };
 
@@ -76,7 +86,7 @@ struct HeldLock {
 /// (the process thread pool) taking a ranked lock in its destructor would
 /// push into a freed vector. A POD array has no TLS destructor and stays
 /// valid for the whole thread lifetime. The depth bound is generous: the
-/// hierarchy has nine ranks and a thread can hold at most one blocking
+/// hierarchy has eleven ranks and a thread can hold at most one blocking
 /// acquisition per rank, so 32 only trips on grossly undisciplined code.
 struct HeldLockStack {
   static constexpr std::size_t kMaxDepth = 32;

@@ -42,6 +42,7 @@
 #include "common/thread_pool.h"
 #include "ec/bn254_groups.h"
 #include "ec/glv.h"
+#include "obs/obs.h"
 
 namespace zl {
 
@@ -409,6 +410,7 @@ Point multiexp(const std::vector<Point>& points, const std::vector<Fr>& scalars)
   if (points.size() != scalars.size()) {
     throw std::invalid_argument("multiexp: size mismatch");
   }
+  ZL_TRACE_SPAN("prover.multiexp");
   if (points.size() < 8 || !kernel_engine_enabled()) {
     return multiexp_textbook(points, scalars);
   }

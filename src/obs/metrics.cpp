@@ -1,0 +1,264 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace zl::obs {
+
+namespace {
+
+/// Quantile from cumulative bucket counts: smallest bucket upper edge whose
+/// cumulative mass reaches ceil(q * count) samples.
+std::uint64_t quantile_from_buckets(const std::vector<std::uint64_t>& buckets,
+                                    std::uint64_t count, double q) {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (target * 1.0 < q * static_cast<double>(count)) ++target;  // ceil
+  if (target == 0) target = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= target) return Histogram::bucket_upper_edge(i);
+  }
+  return Histogram::bucket_upper_edge(buckets.size() - 1);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+/// `a.b.c_us` -> `zl_a_b_c_us`: Prometheus metric names allow [a-zA-Z0-9_:].
+std::string prom_name(const std::string& dotted) {
+  std::string out = "zl_";
+  for (const char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t Histogram::quantile(double q) const {
+  return quantile_from_buckets(bucket_counts(), count(), q);
+}
+
+double Snapshot::hit_rate(const std::string& prefix) const {
+  const std::uint64_t hits = counter(prefix + ".hit");
+  const std::uint64_t misses = counter(prefix + ".miss");
+  const std::uint64_t total = hits + misses;
+  if (total == 0) return -1.0;
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+std::string Snapshot::to_json(const std::string& line_prefix) const {
+  const std::string p1 = line_prefix + "  ";
+  const std::string p2 = p1 + "  ";
+  std::string out = "{\n";
+
+  auto emit_map_open = [&](const char* key) {
+    out += p1;
+    out += "\"";
+    out += key;
+    out += "\": {";
+  };
+
+  emit_map_open("counters");
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += p2 + "\"";
+    append_escaped(out, name);
+    out += "\": ";
+    append_u64(out, v);
+  }
+  out += first ? "},\n" : "\n" + p1 + "},\n";
+
+  emit_map_open("gauges");
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += p2 + "\"";
+    append_escaped(out, name);
+    out += "\": ";
+    append_i64(out, v);
+  }
+  out += first ? "},\n" : "\n" + p1 + "},\n";
+
+  emit_map_open("histograms");
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += p2 + "\"";
+    append_escaped(out, name);
+    out += "\": {\"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum\": ";
+    append_u64(out, h.sum);
+    out += ", \"p50\": ";
+    append_u64(out, h.p50);
+    out += ", \"p99\": ";
+    append_u64(out, h.p99);
+    out += "}";
+  }
+  out += first ? "},\n" : "\n" + p1 + "},\n";
+
+  emit_map_open("spans");
+  first = true;
+  for (const auto& [name, s] : spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += p2 + "\"";
+    append_escaped(out, name);
+    out += "\": {\"count\": ";
+    append_u64(out, s.count);
+    out += ", \"total_ns\": ";
+    append_u64(out, s.total_ns);
+    out += "}";
+  }
+  out += first ? "}\n" : "\n" + p1 + "}\n";
+
+  out += line_prefix + "}";
+  return out;
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string m = prom_name(name);
+    out += "# TYPE " + m + " counter\n" + m + " ";
+    append_u64(out, v);
+    out += "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string m = prom_name(name);
+    out += "# TYPE " + m + " gauge\n" + m + " ";
+    append_i64(out, v);
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string m = prom_name(name);
+    out += "# TYPE " + m + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cum += h.buckets[i];
+      // Skip interior empty buckets; keep the running cumulative correct.
+      if (h.buckets[i] == 0 && i + 1 != h.buckets.size()) continue;
+      out += m + "_bucket{le=\"";
+      if (i + 1 == h.buckets.size()) {
+        out += "+Inf";
+      } else {
+        append_u64(out, Histogram::bucket_upper_edge(i));
+      }
+      out += "\"} ";
+      append_u64(out, cum);
+      out += "\n";
+    }
+    out += m + "_sum ";
+    append_u64(out, h.sum);
+    out += "\n" + m + "_count ";
+    append_u64(out, h.count);
+    out += "\n";
+  }
+  for (const auto& [name, s] : spans) {
+    const std::string m = prom_name("span." + name);
+    out += "# TYPE " + m + "_total_ns counter\n" + m + "_total_ns ";
+    append_u64(out, s.total_ns);
+    out += "\n# TYPE " + m + "_count counter\n" + m + "_count ";
+    append_u64(out, s.count);
+    out += "\n";
+  }
+  return out;
+}
+
+Registry& Registry::instance() {
+  // Deliberately leaked so metrics recorded during static destruction (the
+  // process thread pool draining) never touch a destroyed registry.
+  static Registry* r = new Registry();  // zl-lint: allow(naked-new)
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+SpanStat& Registry::span_stat(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = span_stats_[name];
+  if (!slot) slot = std::make_unique<SpanStat>();
+  return *slot;
+}
+
+Snapshot Registry::snapshot() {
+  Snapshot snap;
+  MutexLock lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.buckets = h->bucket_counts();
+    for (const std::uint64_t b : s.buckets) s.count += b;
+    s.sum = h->sum();
+    s.p50 = quantile_from_buckets(s.buckets, s.count, 0.50);
+    s.p99 = quantile_from_buckets(s.buckets, s.count, 0.99);
+    snap.histograms[name] = std::move(s);
+  }
+  for (const auto& [name, s] : span_stats_) snap.spans[name] = {s->count(), s->total_ns()};
+  return snap;
+}
+
+void Registry::reset_values() {
+  MutexLock lock(mu_);
+  for (const auto& kv : counters_) kv.second->reset();
+  for (const auto& kv : gauges_) kv.second->reset();
+  for (const auto& kv : histograms_) kv.second->reset();
+  for (const auto& kv : span_stats_) kv.second->reset();
+}
+
+Snapshot snapshot() { return Registry::instance().snapshot(); }
+
+void reset() {
+  Registry::instance().reset_values();
+  clear_trace();
+}
+
+}  // namespace zl::obs

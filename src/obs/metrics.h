@@ -1,0 +1,240 @@
+#pragma once
+// Metric primitives for the observability subsystem (DESIGN.md §14).
+//
+// Everything on the hot path is a relaxed atomic operation; the registry
+// mutex (LockRank::kObsRegistry) is taken only at metric *registration*,
+// which the ZL_OBS_* macros in obs.h do exactly once per call site via a
+// function-local static reference. Counters additionally shard their
+// accumulator across cache lines so two threads bumping the same counter
+// (the mempool admission path under the parallel validation pipeline) never
+// ping-pong one line.
+//
+// Naming scheme: dotted lower-case paths, `family.component.event[_unit]`,
+// e.g. `mempool.admit.admitted`, `store.wal.fsync_us`. The first segment is
+// the metric family; exporters group by it and the Prometheus writer
+// converts dots to underscores under a `zl_` prefix.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace zl::obs {
+
+/// Monotonically increasing event count, sharded by thread. `add` is one
+/// relaxed fetch_add on a cache-line-private shard; `value` sums the shards
+/// (exact once the writing threads have been joined or otherwise
+/// synchronized with the reader — relaxed RMWs never lose increments).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void add(std::uint64_t n) { shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed); }
+
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  /// Threads are striped across shards round-robin at first use; the slot is
+  /// cached thread-local so the hot path never touches the assignment
+  /// counter again.
+  static std::size_t shard_index() {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-write-wins instantaneous value (pool depth, cache size). A single
+/// atomic: gauges are set from one site at a time in practice and a sharded
+/// "latest" has no meaning.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed power-of-two-bucket histogram for latency-style unsigned samples.
+///
+/// Bucket i (i >= 1) holds samples in [2^(i-1), 2^i - 1]; bucket 0 holds
+/// exactly 0. The bucket index is one bit_width instruction, so observe()
+/// is two relaxed fetch_adds and stays cheap enough for per-transaction
+/// paths. 40 buckets cover [0, 2^39) — thirteen minutes in microseconds,
+/// beyond any latency this system can produce without being a bug itself.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void observe(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper edge of bucket i (the largest sample it can hold).
+  static std::uint64_t bucket_upper_edge(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v == 0) return 0;
+    const auto w = static_cast<std::size_t>(std::bit_width(v));
+    return w < kBuckets ? w : kBuckets - 1;
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  std::vector<std::uint64_t> bucket_counts() const {
+    std::vector<std::uint64_t> out(kBuckets);
+    for (std::size_t i = 0; i < kBuckets; ++i) out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Upper-edge quantile estimate: the smallest bucket edge below which at
+  /// least q of the mass sits. Always >= the exact sample quantile and
+  /// < 2x it (one bucket of slack) — tests/test_obs.cpp pins both bounds
+  /// against a sorted-sample reference.
+  std::uint64_t quantile(double q) const;
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Aggregate side of a trace span: total invocations and total duration per
+/// span name. Rings wrap (trace.h), SpanStats don't — so span *totals* in
+/// snapshots stay exact over a whole run even when the event log has
+/// dropped early events.
+class SpanStat {
+ public:
+  void record(std::uint64_t dur_ns) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(dur_ns, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t total_ns() const { return total_ns_.load(std::memory_order_relaxed); }
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+struct HistogramSample {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+struct SpanSample {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+/// Point-in-time copy of every registered metric, name-sorted (the registry
+/// maps are std::map) so exports are deterministic given the same counts.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSample> histograms;
+  std::map<std::string, SpanSample> spans;
+
+  std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  const SpanSample* span(const std::string& name) const {
+    const auto it = spans.find(name);
+    return it == spans.end() ? nullptr : &it->second;
+  }
+
+  /// Hit rate over a `<prefix>.hit` / `<prefix>.miss` counter pair, or -1.0
+  /// when the pair never fired (so JSON consumers can tell "no traffic"
+  /// from "0% hits").
+  double hit_rate(const std::string& prefix) const;
+
+  /// JSON object (counters/gauges/histograms/spans). Every emitted line is
+  /// prefixed with `line_prefix` so callers can splice it into a larger
+  /// pretty-printed document at the right indent.
+  std::string to_json(const std::string& line_prefix = "") const;
+
+  /// Prometheus text exposition format, `zl_`-prefixed, dots mangled to
+  /// underscores, histograms as cumulative `le` buckets.
+  std::string to_prometheus() const;
+};
+
+/// The process-wide metric registry. Lookup-or-create takes the rank-84
+/// kObsRegistry mutex; returned references stay valid for the registry's
+/// lifetime (values are unique_ptr-owned, map growth never moves them).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  SpanStat& span_stat(const std::string& name);
+
+  Snapshot snapshot();
+
+  /// Zero every registered value (registration survives). Benches call this
+  /// between phases so each phase's obs section is self-contained.
+  void reset_values();
+
+ private:
+  Registry() = default;
+
+  OrderedMutex mu_{LockRank::kObsRegistry, "obs.registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ ZL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ ZL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ ZL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<SpanStat>> span_stats_ ZL_GUARDED_BY(mu_);
+};
+
+/// Convenience wrappers over Registry::instance().
+Snapshot snapshot();
+void reset();
+
+}  // namespace zl::obs

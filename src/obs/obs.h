@@ -1,0 +1,89 @@
+#pragma once
+// Umbrella header for the observability subsystem (DESIGN.md §14). Hot-path
+// code includes this and uses only the ZL_OBS_* / ZL_TRACE_SPAN macros:
+//
+//   ZL_OBS_COUNTER_ADD("mempool.admit.admitted", 1);
+//   ZL_OBS_GAUGE_SET("mempool.size", by_hash_.size());
+//   ZL_OBS_HISTOGRAM_OBSERVE("store.wal.fsync_us", us);
+//   ZL_OBS_SCOPED_LATENCY_US("mempool.build_block_us");   // scope timer
+//   ZL_TRACE_SPAN("prover.prove");                        // scope span
+//
+// Each macro caches the registry lookup in a function-local static
+// reference, so after the first pass a counter bump is a single relaxed
+// fetch_add on a thread-striped cache line — no lock, no map, no string.
+//
+// Building with -DZL_OBS=OFF defines ZL_OBS_DISABLED and every macro
+// expands to nothing (arguments unevaluated), so instrumented hot paths
+// carry zero obs code or symbols. The library itself still builds and the
+// query APIs (snapshot / exporters) still link — they just report an empty
+// registry — so benches and tools compile identically in both modes.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if defined(ZL_OBS_DISABLED)
+#define ZL_OBS_ENABLED 0
+#else
+#define ZL_OBS_ENABLED 1
+#endif
+
+#define ZL_OBS_CONCAT_INNER(a, b) a##b
+#define ZL_OBS_CONCAT(a, b) ZL_OBS_CONCAT_INNER(a, b)
+
+#if ZL_OBS_ENABLED
+
+#define ZL_OBS_COUNTER_ADD(name, n)                                          \
+  do {                                                                       \
+    static ::zl::obs::Counter& ZL_OBS_CONCAT(zl_obs_ctr_, __LINE__) =        \
+        ::zl::obs::Registry::instance().counter(name);                       \
+    ZL_OBS_CONCAT(zl_obs_ctr_, __LINE__).add(n);                             \
+  } while (0)
+
+#define ZL_OBS_GAUGE_SET(name, v)                                            \
+  do {                                                                       \
+    static ::zl::obs::Gauge& ZL_OBS_CONCAT(zl_obs_gauge_, __LINE__) =        \
+        ::zl::obs::Registry::instance().gauge(name);                         \
+    ZL_OBS_CONCAT(zl_obs_gauge_, __LINE__).set(static_cast<std::int64_t>(v)); \
+  } while (0)
+
+#define ZL_OBS_HISTOGRAM_OBSERVE(name, v)                                    \
+  do {                                                                       \
+    static ::zl::obs::Histogram& ZL_OBS_CONCAT(zl_obs_hist_, __LINE__) =     \
+        ::zl::obs::Registry::instance().histogram(name);                     \
+    ZL_OBS_CONCAT(zl_obs_hist_, __LINE__).observe(static_cast<std::uint64_t>(v)); \
+  } while (0)
+
+/// Times the enclosing scope into a microsecond histogram.
+#define ZL_OBS_SCOPED_LATENCY_US(name)                                       \
+  static ::zl::obs::Histogram& ZL_OBS_CONCAT(zl_obs_lath_, __LINE__) =       \
+      ::zl::obs::Registry::instance().histogram(name);                       \
+  const ::zl::obs::ScopedLatencyUs ZL_OBS_CONCAT(zl_obs_lat_, __LINE__)(     \
+      ZL_OBS_CONCAT(zl_obs_lath_, __LINE__))
+
+/// Traces the enclosing scope: an event in the thread's ring plus an exact
+/// count/total in the span's SpanStat. `name` must be a string literal.
+#define ZL_TRACE_SPAN(name)                                                  \
+  static ::zl::obs::SpanStat& ZL_OBS_CONCAT(zl_obs_ss_, __LINE__) =          \
+      ::zl::obs::Registry::instance().span_stat(name);                       \
+  const ::zl::obs::ScopedSpan ZL_OBS_CONCAT(zl_obs_span_, __LINE__)(         \
+      name, ZL_OBS_CONCAT(zl_obs_ss_, __LINE__))
+
+#else  // !ZL_OBS_ENABLED — every macro vanishes, arguments unevaluated.
+
+#define ZL_OBS_COUNTER_ADD(name, n) \
+  do {                              \
+  } while (0)
+#define ZL_OBS_GAUGE_SET(name, v) \
+  do {                            \
+  } while (0)
+#define ZL_OBS_HISTOGRAM_OBSERVE(name, v) \
+  do {                                    \
+  } while (0)
+#define ZL_OBS_SCOPED_LATENCY_US(name) \
+  do {                                 \
+  } while (0)
+#define ZL_TRACE_SPAN(name) \
+  do {                      \
+  } while (0)
+
+#endif  // ZL_OBS_ENABLED

@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace zl::obs {
+
+namespace {
+
+/// Fixed-capacity per-thread event ring. Capacity is deliberately modest:
+/// 8192 events x 32 bytes = 256 KiB per traced thread, enough for the tail
+/// of any bench phase while keeping a long-running node's memory bounded.
+class ThreadRing {
+ public:
+  static constexpr std::size_t kCapacity = 8192;
+
+  explicit ThreadRing(std::uint32_t tid) : tid_(tid) {}
+
+  void push(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns) {
+    MutexLock lock(mu_);
+    TraceEvent& slot = events_[head_ % kCapacity];
+    if (head_ >= kCapacity) ++dropped_;
+    slot = {name, start_ns, dur_ns, tid_};
+    ++head_;
+  }
+
+  void drain_into(std::vector<TraceEvent>& out) const {
+    MutexLock lock(mu_);
+    const std::size_t n = head_ < kCapacity ? head_ : kCapacity;
+    const std::size_t begin = head_ - n;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(events_[(begin + i) % kCapacity]);
+  }
+
+  std::uint64_t dropped() const {
+    MutexLock lock(mu_);
+    return dropped_;
+  }
+
+  void clear() {
+    MutexLock lock(mu_);
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  mutable OrderedMutex mu_{LockRank::kObsTraceRing, "obs.trace_ring"};
+  std::uint32_t tid_;
+  TraceEvent events_[kCapacity] ZL_GUARDED_BY(mu_);
+  std::size_t head_ ZL_GUARDED_BY(mu_) = 0;  // total pushes; head_ % cap is the next slot
+  std::uint64_t dropped_ ZL_GUARDED_BY(mu_) = 0;
+};
+
+/// Owns every ring ever created so a drain can see events from threads that
+/// have since exited. Rings are shared_ptr'd: the thread_local handle and
+/// the registry co-own them, so neither thread exit nor a concurrent drain
+/// can free a ring out from under the other.
+class TraceRegistry {
+ public:
+  static TraceRegistry& instance() {
+    // Deliberately leaked, like the metric registry.
+    static TraceRegistry* r = new TraceRegistry();  // zl-lint: allow(naked-new)
+    return *r;
+  }
+
+  std::shared_ptr<ThreadRing> make_ring() {
+    MutexLock lock(mu_);
+    auto ring = std::make_shared<ThreadRing>(static_cast<std::uint32_t>(rings_.size()));
+    rings_.push_back(ring);
+    return ring;
+  }
+
+  std::vector<std::shared_ptr<ThreadRing>> rings() const {
+    MutexLock lock(mu_);
+    return rings_;
+  }
+
+ private:
+  TraceRegistry() = default;
+
+  mutable OrderedMutex mu_{LockRank::kObsRegistry, "obs.trace_registry"};
+  std::vector<std::shared_ptr<ThreadRing>> rings_ ZL_GUARDED_BY(mu_);
+};
+
+ThreadRing& thread_ring() {
+  thread_local const std::shared_ptr<ThreadRing> ring = TraceRegistry::instance().make_ring();
+  return *ring;
+}
+
+}  // namespace
+
+void detail::record_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns) {
+  thread_ring().push(name, start_ns, dur_ns);
+}
+
+std::vector<TraceEvent> drain_trace_events() {
+  std::vector<TraceEvent> out;
+  for (const auto& ring : TraceRegistry::instance().rings()) ring->drain_into(out);
+  return out;
+}
+
+std::uint64_t trace_dropped_events() {
+  std::uint64_t total = 0;
+  for (const auto& ring : TraceRegistry::instance().rings()) total += ring->dropped();
+  return total;
+}
+
+void clear_trace() {
+  for (const auto& ring : TraceRegistry::instance().rings()) ring->clear();
+}
+
+std::string chrome_trace_json() {
+  std::vector<TraceEvent> events = drain_trace_events();
+  std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.start_ns < b.start_ns;
+  });
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\": \"%s\", \"cat\": \"zl\", \"ph\": \"X\", \"ts\": %.3f, "
+                  "\"dur\": %.3f, \"pid\": 1, \"tid\": %" PRIu32 "}",
+                  e.name, static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+    out += buf;
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+}  // namespace zl::obs

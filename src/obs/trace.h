@@ -1,0 +1,107 @@
+#pragma once
+// Scoped tracing (DESIGN.md §14): ZL_TRACE_SPAN drops a ScopedSpan on the
+// stack; its destructor records {name, start, duration} into the calling
+// thread's fixed-capacity ring buffer and folds the duration into the
+// span's aggregate SpanStat. Rings wrap (newest events win, a drop counter
+// records how many were lost); SpanStats never wrap, so snapshot() totals
+// stay exact across a whole run.
+//
+// Locking: each ring has its own rank-86 kObsTraceRing OrderedMutex. The
+// owning thread's push is an uncontended lock (the only other taker is a
+// drain); the drain walks the rank-84 registry then each ring, 84 -> 86,
+// so both orders in the system are strictly increasing. A span ending
+// while the caller holds any subsystem lock (<= rank 80) is likewise
+// legal.
+//
+// Timing uses std::chrono::steady_clock directly — src/obs is the one
+// sanctioned home for raw clock reads; everywhere else zl-lint's
+// `naked-timing` rule routes timing through these APIs.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "obs/metrics.h"
+
+namespace zl::obs {
+
+/// Nanoseconds on the monotonic clock; the zero point is arbitrary but
+/// process-consistent, which is all the Chrome trace viewer needs.
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One completed span occurrence. `name` points at the call site's string
+/// literal (the macros guarantee static storage duration).
+struct TraceEvent {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+  std::uint32_t tid;  // small sequential id, stable per thread
+};
+
+/// RAII span body. Constructed only by ZL_TRACE_SPAN / the obs_dump tool;
+/// `name` must have static storage duration.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, SpanStat& stat)
+      : name_(name), stat_(stat), start_ns_(monotonic_ns()) {}
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  SpanStat& stat_;
+  std::uint64_t start_ns_;
+};
+
+/// Scope timer that feeds a Histogram in microseconds instead of the trace
+/// ring — for high-frequency sites where a distribution matters but a
+/// per-occurrence event stream would be noise.
+class ScopedLatencyUs {
+ public:
+  explicit ScopedLatencyUs(Histogram& h) : h_(h), start_ns_(monotonic_ns()) {}
+  ~ScopedLatencyUs() { h_.observe((monotonic_ns() - start_ns_) / 1000); }
+  ScopedLatencyUs(const ScopedLatencyUs&) = delete;
+  ScopedLatencyUs& operator=(const ScopedLatencyUs&) = delete;
+
+ private:
+  Histogram& h_;
+  std::uint64_t start_ns_;
+};
+
+/// Copy every ring's events out, oldest-first per thread. Also used by the
+/// wraparound tests; `chrome_trace_json` is this plus formatting.
+std::vector<TraceEvent> drain_trace_events();
+
+/// Total events overwritten by ring wraparound since the last clear.
+std::uint64_t trace_dropped_events();
+
+/// Chrome `trace_event` format (chrome://tracing, Perfetto): one complete
+/// "X" event per span, ts/dur in microseconds.
+std::string chrome_trace_json();
+
+/// Empty all rings and zero the drop counters (registration and thread
+/// bindings survive).
+void clear_trace();
+
+namespace detail {
+/// Records one completed span into the calling thread's ring. Out-of-line
+/// so trace.cpp owns the thread_local ring handle.
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+}  // namespace detail
+
+inline ScopedSpan::~ScopedSpan() {
+  const std::uint64_t dur = monotonic_ns() - start_ns_;
+  stat_.record(dur);
+  detail::record_span(name_, start_ns_, dur);
+}
+
+}  // namespace zl::obs

@@ -4,6 +4,7 @@
 
 #include "common/kernel_engine.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace zl::snark {
 
@@ -168,6 +169,7 @@ void EvaluationDomain::fft_blocked(std::vector<Fr>& a,
 void EvaluationDomain::fft_internal(std::vector<Fr>& a, const std::vector<Fr>& twiddles,
                                     const std::vector<Fr>& stage_twiddles) const {
   if (a.size() != size_) throw std::invalid_argument("fft: size mismatch");
+  ZL_TRACE_SPAN("prover.fft");
   // Both engines evaluate the same butterfly DAG over exact arithmetic, so
   // their outputs are bit-identical (pinned by tests/test_snark.cpp).
   if (kernel_engine_enabled()) {

@@ -7,6 +7,7 @@
 #include "ec/glv.h"
 #include "ec/multiexp.h"
 #include "ec/serialize.h"
+#include "obs/obs.h"
 
 namespace zl::snark {
 
@@ -83,6 +84,7 @@ QapEvaluation evaluate_qap_at(const ConstraintSystem& cs, const Fr& tau) {
 /// FFTs, where A/B/C are the assignment-weighted QAP polynomials.
 std::vector<Fr> compute_h(const ConstraintSystem& cs, const std::vector<Fr>& z,
                           std::size_t domain_size) {
+  ZL_TRACE_SPAN("prover.compute_h");
   const EvaluationDomain domain(domain_size);
   std::vector<Fr> a_evals(domain.size(), Fr::zero());
   std::vector<Fr> b_evals(domain.size(), Fr::zero());
@@ -118,6 +120,8 @@ std::vector<Fr> compute_h(const ConstraintSystem& cs, const std::vector<Fr>& z,
 }  // namespace
 
 Keypair setup(const ConstraintSystem& cs, Rng& rng) {
+  ZL_TRACE_SPAN("prover.setup");
+  ZL_OBS_COUNTER_ADD("prover.setup.count", 1);
   const auto nonzero = [&rng] {
     for (;;) {
       const Fr v = Fr::random(rng);
@@ -203,6 +207,8 @@ Keypair setup(const ConstraintSystem& cs, Rng& rng) {
 
 Proof prove(const ProvingKey& pk, const ConstraintSystem& cs, const std::vector<Fr>& assignment,
             Rng& rng) {
+  ZL_TRACE_SPAN("prover.prove");
+  ZL_OBS_COUNTER_ADD("prover.prove.count", 1);
   if (!cs.is_satisfied(assignment)) {
     throw std::invalid_argument("groth16::prove: assignment does not satisfy the constraints");
   }
@@ -248,8 +254,15 @@ PreparedVerifyingKey PreparedVerifyingKey::prepare(const VerifyingKey& vk) {
 
 bool verify(const PreparedVerifyingKey& pvk, const std::vector<Fr>& public_inputs,
             const Proof& proof) {
-  if (public_inputs.size() + 1 != pvk.ic.size()) return false;
-  if (!proof.a.is_on_curve() || !proof.b.is_on_curve() || !proof.c.is_on_curve()) return false;
+  ZL_TRACE_SPAN("prover.verify");
+  if (public_inputs.size() + 1 != pvk.ic.size()) {
+    ZL_OBS_COUNTER_ADD("prover.verify.fail", 1);
+    return false;
+  }
+  if (!proof.a.is_on_curve() || !proof.b.is_on_curve() || !proof.c.is_on_curve()) {
+    ZL_OBS_COUNTER_ADD("prover.verify.fail", 1);
+    return false;
+  }
 
   G1 vk_x = pvk.ic[0];
   for (std::size_t i = 0; i < public_inputs.size(); ++i) {
@@ -266,9 +279,15 @@ bool verify(const PreparedVerifyingKey& pvk, const std::vector<Fr>& public_input
   // beta) precomputed: 3 Miller loops + 1 final exponentiation.
   // e(B, -A) e(gamma, vk_x) e(delta, C) == e(alpha, beta)^-1 ... rearranged:
   const G2Prepared b_prepared(proof.b);
-  return pairing_product({{&b_prepared, -proof.a},
-                          {&pvk.gamma_g2, vk_x},
-                          {&pvk.delta_g2, proof.c}}) == pvk.alpha_beta.conjugate();
+  const bool ok = pairing_product({{&b_prepared, -proof.a},
+                                   {&pvk.gamma_g2, vk_x},
+                                   {&pvk.delta_g2, proof.c}}) == pvk.alpha_beta.conjugate();
+  if (ok) {
+    ZL_OBS_COUNTER_ADD("prover.verify.ok", 1);
+  } else {
+    ZL_OBS_COUNTER_ADD("prover.verify.fail", 1);
+  }
+  return ok;
 }
 
 bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs, const Proof& proof) {

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/obs.h"
+
 namespace zl::store {
 
 namespace {
@@ -31,6 +33,8 @@ std::string SnapshotStore::path_for(std::uint64_t height) const {
 }
 
 void SnapshotStore::save(const Snapshot& snapshot, std::size_t keep) {
+  ZL_TRACE_SPAN("store.snapshot.save");
+  ZL_OBS_COUNTER_ADD("store.snapshot.save.count", 1);
   // Body = height | frame(head hash) | frame(payload); CRC guards the body.
   Bytes body;
   append_u64_be(body, snapshot.height);
@@ -65,6 +69,8 @@ std::vector<std::uint64_t> SnapshotStore::heights() const {
 }
 
 std::optional<Snapshot> SnapshotStore::load_newest() const {
+  ZL_TRACE_SPAN("store.snapshot.load");
+  ZL_OBS_COUNTER_ADD("store.snapshot.load.count", 1);
   std::vector<std::uint64_t> all = heights();
   std::reverse(all.begin(), all.end());
   for (const std::uint64_t height : all) {

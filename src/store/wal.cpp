@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/obs.h"
+
 namespace zl::store {
 
 namespace {
@@ -164,11 +166,15 @@ void Wal::append(std::uint8_t type, const Bytes& payload) {
   tail_->write(tail_offset_, record.data(), record.size());
   tail_offset_ += record.size();
   dirty_ = true;
+  ZL_OBS_COUNTER_ADD("store.wal.append.count", 1);
+  ZL_OBS_COUNTER_ADD("store.wal.append.bytes", record.size());
   if (options_.sync_on_append) sync();
 }
 
 void Wal::sync() {
   if (!dirty_) return;
+  ZL_OBS_SCOPED_LATENCY_US("store.wal.fsync_us");
+  ZL_OBS_COUNTER_ADD("store.wal.fsync.count", 1);
   tail_->sync();
   dirty_ = false;
 }

@@ -6,6 +6,7 @@
 
 #include "chain/state.h"
 #include "crypto/keccak.h"
+#include "obs/obs.h"
 #include "zebralancer/reputation.h"
 
 namespace zl::zebralancer {
@@ -160,6 +161,7 @@ void TaskContract::on_deploy(CallContext& ctx, const Bytes& ctor_args) {
   params_ = std::move(params);
   reward_vk_ = snark::VerifyingKey::from_bytes(params_.reward_vk);
   deploy_block_ = ctx.block_number;
+  ZL_OBS_COUNTER_ADD("task.deployed", 1);
   ctx.log("task published: n=" + std::to_string(params_.num_answers) +
           " policy=" + params_.policy_name);
 }
@@ -342,6 +344,7 @@ void TaskContract::handle_submit(CallContext& ctx, const Bytes& args) {
 
   ctx.charge(GasSchedule::kStorageWrite);
   submissions_.push_back(std::move(submission));
+  ZL_OBS_COUNTER_ADD("task.submissions", 1);
   if (submissions_.size() == params_.num_answers) {
     collection_end_block_ = ctx.block_number;
     ctx.log("collection complete at block " + std::to_string(ctx.block_number));
@@ -395,6 +398,7 @@ void TaskContract::handle_reward(CallContext& ctx, const Bytes& args) {
     if (rewards[i] > 0) ctx.transfer(submissions_[i].worker_address, rewards[i]);
   }
   ctx.transfer(params_.requester_address, ctx.self_balance());
+  ZL_OBS_COUNTER_ADD("task.rewarded", 1);
   ctx.log("rewards distributed");
 
   // Reputation extension (open question 1): report outcomes for stable
@@ -463,6 +467,7 @@ void TaskContract::handle_finalize(CallContext& ctx) {
     for (const Submission& s : submissions_) ctx.transfer(s.worker_address, fallback);
   }
   ctx.transfer(params_.requester_address, ctx.self_balance());
+  ZL_OBS_COUNTER_ADD("task.finalized_timeout", 1);
   ctx.log("finalized by timeout");
 }
 

@@ -1,0 +1,224 @@
+// Observability subsystem gate (DESIGN.md §14).
+//
+// Four layers of coverage:
+//   1. Histogram semantics: exact bucket placement, and the documented
+//      quantile contract (estimate >= exact sample quantile, < 2x it)
+//      pinned against a sorted-sample reference.
+//   2. Counter exactness under contention: 8 threads x 10000 increments
+//      must sum exactly — relaxed sharded RMWs never lose updates. This is
+//      the case the tsan leg of check_all.sh cares about.
+//   3. Trace spans: nesting (an inner span's interval sits inside the
+//      outer's), ring wraparound (drained events bounded by capacity, the
+//      drop counter accounts for the overflow), and SpanStat totals staying
+//      exact even when the ring wrapped.
+//   4. The ZL_OBS=OFF contract: macro arguments are *unevaluated* when the
+//      subsystem is compiled out. This file builds in both modes (the
+//      check_all.sh obs leg builds a -DZL_OBS=OFF tree) and the #if arms
+//      pin the behavior of each.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace zl::obs {
+namespace {
+
+// --- 1. Histogram ----------------------------------------------------------
+
+TEST(Histogram, BucketPlacement) {
+  Histogram h;
+  h.observe(0);  // bucket 0: exactly zero
+  h.observe(1);  // bucket 1: [1, 1]
+  h.observe(2);  // bucket 2: [2, 3]
+  h.observe(3);
+  h.observe(4);  // bucket 3: [4, 7]
+  h.observe(1023);  // bucket 10: [512, 1023]
+  h.observe(~std::uint64_t{0});  // clamped to the last bucket
+  const std::vector<std::uint64_t> b = h.bucket_counts();
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[2], 2u);
+  EXPECT_EQ(b[3], 1u);
+  EXPECT_EQ(b[10], 1u);
+  EXPECT_EQ(b[Histogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.count(), 7u);
+}
+
+TEST(Histogram, QuantileBoundsVsSortedReference) {
+  // A latency-shaped sample set: lots of small values, a long tail.
+  std::vector<std::uint64_t> samples;
+  for (std::uint64_t i = 0; i < 500; ++i) samples.push_back(3 + (i * 7) % 40);
+  for (std::uint64_t i = 0; i < 90; ++i) samples.push_back(200 + i * 11);
+  for (std::uint64_t i = 0; i < 10; ++i) samples.push_back(50'000 + i * 9'001);
+  Histogram h;
+  for (const std::uint64_t s : samples) h.observe(s);
+  std::sort(samples.begin(), samples.end());
+
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    // Exact quantile: the smallest sample with at least ceil(q*n) samples
+    // at or below it — the same rank convention quantile() documents.
+    const std::size_t rank =
+        static_cast<std::size_t>(q * static_cast<double>(samples.size()) + 0.999999) - 1;
+    const std::uint64_t exact = samples[std::min(rank, samples.size() - 1)];
+    const std::uint64_t est = h.quantile(q);
+    EXPECT_GE(est, exact) << "q=" << q;
+    EXPECT_LT(est, 2 * std::max<std::uint64_t>(exact, 1)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, ZeroQuantileAndSum) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);  // empty histogram
+  h.observe(0);
+  h.observe(0);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+  h.observe(10);
+  EXPECT_EQ(h.sum(), 10u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+// --- 2. Counter / Gauge ----------------------------------------------------
+
+TEST(Counter, ExactUnderConcurrency) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-50);
+  EXPECT_EQ(g.value(), -8);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+// --- Snapshot / exporters (direct registry API works in both modes) --------
+
+TEST(Snapshot, HitRateAndExporters) {
+  reset();
+  Registry::instance().counter("test.cache.hit").add(3);
+  Registry::instance().counter("test.cache.miss").add(1);
+  Registry::instance().gauge("test.depth").set(7);
+  Registry::instance().histogram("test.lat_us").observe(100);
+  const Snapshot snap = snapshot();
+  EXPECT_DOUBLE_EQ(snap.hit_rate("test.cache"), 0.75);
+  EXPECT_DOUBLE_EQ(snap.hit_rate("test.no_traffic"), -1.0);
+  EXPECT_EQ(snap.counter("test.cache.hit"), 3u);
+  EXPECT_EQ(snap.counter("test.never.registered"), 0u);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"test.cache.hit\": 3"), std::string::npos) << json;
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("zl_test_cache_hit 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("zl_test_lat_us_count 1"), std::string::npos) << prom;
+  reset();
+  EXPECT_EQ(snapshot().counter("test.cache.hit"), 0u);
+}
+
+// --- 3. Trace spans (only meaningful when the macros are compiled in) ------
+
+#if ZL_OBS_ENABLED
+
+TEST(Trace, SpanNesting) {
+  reset();  // also clears the rings
+  {
+    ZL_TRACE_SPAN("test.outer");
+    {
+      ZL_TRACE_SPAN("test.inner");
+    }
+  }
+  const std::vector<TraceEvent> events = drain_trace_events();
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "test.outer") outer = &e;
+    if (std::string(e.name) == "test.inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns, outer->start_ns + outer->dur_ns);
+  EXPECT_EQ(inner->tid, outer->tid);
+
+  const Snapshot snap = snapshot();
+  ASSERT_NE(snap.span("test.outer"), nullptr);
+  EXPECT_EQ(snap.span("test.outer")->count, 1u);
+  EXPECT_GE(snap.span("test.outer")->total_ns, snap.span("test.inner")->total_ns);
+}
+
+TEST(Trace, RingWraparoundKeepsStatExact) {
+  reset();
+  constexpr std::uint64_t kSpans = 10'000;  // > the 8192-event ring
+  for (std::uint64_t i = 0; i < kSpans; ++i) {
+    ZL_TRACE_SPAN("test.wrap");
+  }
+  std::uint64_t drained = 0;
+  for (const TraceEvent& e : drain_trace_events()) {
+    if (std::string(e.name) == "test.wrap") ++drained;
+  }
+  EXPECT_LE(drained, 8192u);                            // ring capacity bounds the log
+  EXPECT_EQ(drained + trace_dropped_events(), kSpans);  // drops account for the rest
+  EXPECT_GT(trace_dropped_events(), 0u);
+  // The aggregate never wraps: exact count even though the event log lost
+  // the early occurrences.
+  EXPECT_EQ(snapshot().span("test.wrap")->count, kSpans);
+
+  const std::string trace = chrome_trace_json();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"test.wrap\""), std::string::npos);
+  reset();
+}
+
+#endif  // ZL_OBS_ENABLED
+
+// --- 4. Macro compile-out contract -----------------------------------------
+
+int g_macro_arg_evals = 0;
+std::uint64_t bump_eval() {
+  ++g_macro_arg_evals;
+  return 1;
+}
+
+TEST(ObsMacros, ArgumentsEvaluatedOnlyWhenEnabled) {
+  reset();
+  g_macro_arg_evals = 0;
+  for (int i = 0; i < 3; ++i) {
+    ZL_OBS_COUNTER_ADD("test.offpin", bump_eval());
+    ZL_OBS_HISTOGRAM_OBSERVE("test.offpin_us", bump_eval());
+  }
+#if ZL_OBS_ENABLED
+  EXPECT_EQ(g_macro_arg_evals, 6);
+  EXPECT_EQ(snapshot().counter("test.offpin"), 3u);
+#else
+  // Compiled out: the macros must not evaluate their arguments, register
+  // anything, or leave any trace in the snapshot.
+  EXPECT_EQ(g_macro_arg_evals, 0);
+  const Snapshot snap = snapshot();
+  EXPECT_EQ(snap.counters.count("test.offpin"), 0u);
+  EXPECT_EQ(snap.histograms.count("test.offpin_us"), 0u);
+#endif
+  reset();
+}
+
+}  // namespace
+}  // namespace zl::obs

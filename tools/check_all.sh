@@ -22,6 +22,14 @@
 #             FFT) against their textbook twins: once under ASan, once in
 #             the ZL_CT_CHECK taint build (which adds the GLV secret-scalar
 #             guard deaths and mont_sqr taint propagation)
+#   obs     - the observability gate (DESIGN.md §14): builds a -DZL_OBS=OFF
+#             tree and the normal ON tree, runs test_obs in both (the OFF
+#             run pins the macro compile-out contract), runs test_obs under
+#             TSan (concurrent counter exactness), drives tools/obs_dump
+#             end-to-end, and compares bench_scale --smoke ingest tx/s
+#             ON vs OFF against the smoke overhead budget
+#             (ZL_OBS_SMOKE_BUDGET_PCT, default 20 — padded for smoke-run
+#             noise; the documented full-bench budget is <2%)
 #   threadsafety - the static half of the concurrency gate: compile src/
 #             under Clang with -Werror=thread-safety (the compile IS the
 #             check — any lock used out of contract with its annotations
@@ -46,8 +54,8 @@ legs=""
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --) shift; break ;;
-    lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale|threadsafety) legs="$legs $1"; shift ;;
-    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale|threadsafety)" >&2; exit 2 ;;
+    lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale|obs|threadsafety) legs="$legs $1"; shift ;;
+    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale|obs|threadsafety)" >&2; exit 2 ;;
   esac
 done
 [ -n "$legs" ] || legs="lint circuit-audit asan ubsan tsan"
@@ -141,6 +149,65 @@ run_scale() {
   ctest --test-dir "$build_dir" --output-on-failure -R '^bench_scale_smoke$' "$@"
 }
 
+# Obs leg: the observability subsystem gate. Four parts:
+#   1. ZL_OBS=OFF tree: test_obs pins that the macros compile to nothing
+#      (arguments unevaluated, registry stays empty), and bench_scale
+#      --smoke supplies the no-instrumentation throughput baseline.
+#   2. ON tree (reuses build-lint): full test_obs including the trace-ring
+#      tests, plus an end-to-end obs_dump run covering all four metric
+#      families and all three exporters.
+#   3. TSan (reuses build-tsan): the concurrent-counter exactness and span
+#      tests under the race detector.
+#   4. Overhead gate: ON ingest tx/s must be within ZL_OBS_SMOKE_BUDGET_PCT
+#      (default 20%) of OFF. The smoke budget is deliberately padded — the
+#      smoke run is seconds long and noisy; the <2% budget DESIGN.md §14
+#      documents is measured on the full bench.
+run_obs() {
+  off_dir="$repo_root/build-obsoff"
+  cmake -S "$repo_root" -B "$off_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release -DZL_OBS=OFF
+  cmake --build "$off_dir" --target test_obs bench_scale obs_dump
+  "$off_dir/tests/test_obs"
+  (cd "$off_dir" && ./bench/bench_scale --smoke)
+
+  on_dir="$repo_root/build-lint"
+  cmake -S "$repo_root" -B "$on_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$on_dir" --target test_obs bench_scale obs_dump
+  "$on_dir/tests/test_obs"
+  (cd "$on_dir" && ./tools/obs_dump/obs_dump --quiet \
+    --json obs_dump.json --prom obs_dump.prom --trace obs_dump_trace.json)
+  python3 - "$on_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+snap = json.load(open(d + "/obs_dump.json"))
+names = " ".join(list(snap["counters"]) + list(snap["spans"]))
+for family in ("prover.", "validation.", "mempool.", "store."):
+    assert family in names, f"obs_dump snapshot missing the {family}* family"
+trace = json.load(open(d + "/obs_dump_trace.json"))
+assert trace["traceEvents"], "obs_dump emitted an empty Chrome trace"
+print(f"obs_dump: all four metric families present, "
+      f"{len(trace['traceEvents'])} trace events")
+EOF
+  (cd "$on_dir" && ./bench/bench_scale --smoke)
+
+  tsan_dir="$repo_root/build-tsan"
+  cmake -S "$repo_root" -B "$tsan_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release -DZL_SANITIZE=thread
+  cmake --build "$tsan_dir" --target test_obs
+  "$tsan_dir/tests/test_obs"
+
+  python3 - "$off_dir" "$on_dir" "${ZL_OBS_SMOKE_BUDGET_PCT:-20}" <<'EOF'
+import json, sys
+off = json.load(open(sys.argv[1] + "/BENCH_scale.json"))["testnet"]["ingest_tx_per_s"]
+on = json.load(open(sys.argv[2] + "/BENCH_scale.json"))["testnet"]["ingest_tx_per_s"]
+budget = float(sys.argv[3])
+overhead = 100.0 * (off - on) / off if off > 0 else 0.0
+print(f"obs overhead: OFF {off:.0f} tx/s, ON {on:.0f} tx/s, "
+      f"{overhead:+.1f}% (smoke budget {budget:.0f}%)")
+if overhead > budget:
+    sys.exit(f"FAIL: obs instrumentation overhead {overhead:.1f}% exceeds "
+             f"the {budget:.0f}% smoke budget")
+EOF
+}
+
 # $1 = leg name, $2 = extra cmake cache args, remaining = ctest args.
 run_suite() {
   leg="$1"; cache="$2"; shift 2
@@ -177,6 +244,8 @@ for leg in $legs; do
       run_kernels "$@" || status=$? ;;
     scale)
       run_scale "$@" || status=$? ;;
+    obs)
+      run_obs || status=$? ;;
     threadsafety)
       run_threadsafety || status=$? ;;
   esac

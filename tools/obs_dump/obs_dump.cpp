@@ -1,0 +1,239 @@
+// obs_dump — exercises every instrumented layer with a small deterministic
+// workload, then prints the obs metrics snapshot and (optionally) writes the
+// JSON / Prometheus / Chrome-trace exports.
+//
+//   obs_dump                      # human-readable snapshot to stdout
+//   obs_dump --json obs.json      # snapshot as JSON
+//   obs_dump --prom obs.prom      # Prometheus text exposition
+//   obs_dump --trace trace.json   # Chrome trace_event JSON (chrome://tracing)
+//
+// The workloads mirror the benches at toy scale: a Groth16 setup/prove/
+// verify pass (prover.* spans and counters, multiexp/FFT), a SimNetwork
+// transfer flood through two miners (mempool.*, validation.* cache rates,
+// build_block spans), and a WAL + snapshot churn against the real
+// filesystem under ./obs_dump_store (store.*). Everything is seeded, so two
+// runs produce the same counter values (span durations of course vary).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/network.h"
+#include "crypto/rng.h"
+#include "obs/obs.h"
+#include "snark/groth16.h"
+#include "snark/r1cs.h"
+#include "store/snapshot.h"
+#include "store/vfs.h"
+#include "store/wal.h"
+
+namespace {
+
+using zl::Bytes;
+using zl::Fr;
+using zl::Rng;
+
+// Squaring chain x -> x^(2^n): n multiplication constraints, one public
+// input (the chain's end). Small enough to prove in milliseconds, big
+// enough that setup/prove hit the FFT and multiexp kernels.
+void run_prover_workload() {
+  constexpr std::size_t kChain = 24;
+  zl::snark::ConstraintSystem cs;
+  cs.num_inputs = 1;
+  const zl::snark::VarIndex out = cs.allocate_variable();  // index 1, public
+  std::vector<zl::snark::VarIndex> w(kChain + 1);
+  w[0] = cs.allocate_variable();
+  for (std::size_t i = 0; i < kChain; ++i) {
+    w[i + 1] = i + 1 == kChain ? out : cs.allocate_variable();
+    cs.add_constraint(zl::snark::LinearCombination::variable(w[i]),
+                      zl::snark::LinearCombination::variable(w[i]),
+                      zl::snark::LinearCombination::variable(w[i + 1]));
+  }
+
+  std::vector<Fr> assignment(cs.num_variables, Fr::zero());
+  assignment[0] = Fr::one();
+  Fr x = Fr::from_u64(3);
+  assignment[w[0]] = x;
+  for (std::size_t i = 0; i < kChain; ++i) {
+    x = x * x;
+    assignment[w[i + 1]] = x;
+  }
+  assignment[out] = x;
+
+  Rng rng(20260808);
+  const zl::snark::Keypair keys = zl::snark::setup(cs, rng);
+  const zl::snark::Proof proof = zl::snark::prove(keys.pk, cs, assignment, rng);
+  const auto pvk = zl::snark::PreparedVerifyingKey::prepare(keys.vk);
+  if (!zl::snark::verify(pvk, {assignment[out]}, proof)) {
+    std::fprintf(stderr, "obs_dump: FATAL: prover workload proof rejected\n");
+    std::exit(1);
+  }
+}
+
+// A bench_scale-phase-B-shaped testnet at toy scale: plain transfers
+// flooded through two miners, confirmed at an observer. Drives mempool
+// admission/eviction/build_block and the signature-verdict cache.
+void run_chain_workload() {
+  using namespace zl::chain;
+  Rng rng(777);
+  GenesisConfig genesis;
+  genesis.difficulty = 64;
+  constexpr std::size_t kWallets = 6;
+  constexpr std::size_t kTransfers = 240;
+  std::vector<std::unique_ptr<Wallet>> wallets;
+  for (std::size_t i = 0; i < kWallets; ++i) {
+    wallets.push_back(std::make_unique<Wallet>(rng));
+    genesis.allocations.emplace_back(wallets.back()->address(), 500'000'000'000ull);
+  }
+  Wallet coinbase(rng);
+
+  SimNetwork net({.base_latency_ms = 5, .jitter_ms = 3, .seed = 99});
+  MinerNode miner1(net, genesis, coinbase.address());
+  MinerNode miner2(net, genesis, coinbase.address());
+  Node observer(net, genesis);
+
+  std::vector<Bytes> hashes;
+  hashes.reserve(kTransfers);
+  for (std::size_t s = 0; s < kTransfers; ++s) {
+    Wallet& w = *wallets[s % kWallets];
+    const Transaction tx =
+        w.make_transaction(wallets[(s + 1) % kWallets]->address(), 1, 31'000, "", {});
+    hashes.push_back(tx.hash());
+    (s % 2 == 0 ? static_cast<Node&>(miner1) : observer).submit_transaction(tx);
+    if (s % 32 == 31) net.run_for(1);
+  }
+  std::size_t confirmed_from = 0;
+  const std::uint64_t deadline = net.now() + 600'000;
+  while (net.now() < deadline && confirmed_from < hashes.size()) {
+    net.run_for(50);
+    while (confirmed_from < hashes.size() &&
+           observer.chain().find_receipt(hashes[confirmed_from]).has_value()) {
+      ++confirmed_from;
+    }
+  }
+  if (confirmed_from < hashes.size()) {
+    std::fprintf(stderr, "obs_dump: FATAL: chain workload did not quiesce\n");
+    std::exit(1);
+  }
+}
+
+// WAL append/fsync churn plus snapshot save/load against the real
+// filesystem in ./obs_dump_store (left on disk; reruns replay it).
+void run_store_workload() {
+  using namespace zl::store;
+  RealVfs vfs;
+  const std::string dir = "obs_dump_store";
+  std::size_t replayed = 0;
+  Wal wal(vfs, dir + "/wal", {}, [&](std::uint8_t, const Bytes&, std::uint64_t) { ++replayed; });
+  Bytes payload(256);
+  for (std::size_t i = 0; i < 192; ++i) {
+    payload[0] = static_cast<std::uint8_t>(i);
+    wal.append(1, payload);
+    if (i % 16 == 15) wal.sync();
+  }
+  wal.sync();
+
+  SnapshotStore snaps(vfs, dir + "/snapshots");
+  Snapshot snap;
+  snap.height = 192;
+  snap.head_hash = Bytes(32, 0xab);
+  snap.payload = payload;
+  snaps.save(snap);
+  if (!snaps.load_newest().has_value()) {
+    std::fprintf(stderr, "obs_dump: FATAL: snapshot reload failed\n");
+    std::exit(1);
+  }
+}
+
+bool write_file(const char* path, const std::string& content) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs_dump: cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+void print_human(const zl::obs::Snapshot& snap) {
+  std::printf("== counters ==\n");
+  for (const auto& [name, v] : snap.counters) {
+    std::printf("  %-44s %12llu\n", name.c_str(), static_cast<unsigned long long>(v));
+  }
+  std::printf("== gauges ==\n");
+  for (const auto& [name, v] : snap.gauges) {
+    std::printf("  %-44s %12lld\n", name.c_str(), static_cast<long long>(v));
+  }
+  std::printf("== histograms (us unless suffixed otherwise) ==\n");
+  for (const auto& [name, h] : snap.histograms) {
+    std::printf("  %-44s n=%-8llu p50<=%-8llu p99<=%-8llu\n", name.c_str(),
+                static_cast<unsigned long long>(h.count), static_cast<unsigned long long>(h.p50),
+                static_cast<unsigned long long>(h.p99));
+  }
+  std::printf("== spans ==\n");
+  for (const auto& [name, s] : snap.spans) {
+    std::printf("  %-44s n=%-8llu total=%.3fms\n", name.c_str(),
+                static_cast<unsigned long long>(s.count),
+                static_cast<double>(s.total_ns) / 1e6);
+  }
+  const double sig_rate = snap.hit_rate("validation.sig_cache");
+  if (sig_rate >= 0.0) std::printf("sig-verdict cache hit rate: %.1f%%\n", 100.0 * sig_rate);
+  const double snark_rate = snap.hit_rate("validation.snark_cache");
+  if (snark_rate >= 0.0) std::printf("snark memo cache hit rate: %.1f%%\n", 100.0 * snark_rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  const char* prom_path = nullptr;
+  const char* trace_path = nullptr;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg_value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "obs_dump: %s needs a path\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* p = arg_value("--json")) {
+      json_path = p;
+    } else if (const char* p = arg_value("--prom")) {
+      prom_path = p;
+    } else if (const char* p = arg_value("--trace")) {
+      trace_path = p;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: obs_dump [--json FILE] [--prom FILE] [--trace FILE] [--quiet]\n");
+      return 2;
+    }
+  }
+
+#if !ZL_OBS_ENABLED
+  std::fprintf(stderr,
+               "obs_dump: WARNING: built with ZL_OBS=OFF — the instrumentation macros are "
+               "compiled out, so every export below will be empty\n");
+#endif
+
+  std::fprintf(stderr, "[obs_dump] prover workload (setup/prove/verify)...\n");
+  run_prover_workload();
+  std::fprintf(stderr, "[obs_dump] chain workload (testnet transfer flood)...\n");
+  run_chain_workload();
+  std::fprintf(stderr, "[obs_dump] store workload (wal + snapshots)...\n");
+  run_store_workload();
+
+  const zl::obs::Snapshot snap = zl::obs::snapshot();
+  if (!quiet) print_human(snap);
+  int status = 0;
+  if (json_path != nullptr && !write_file(json_path, snap.to_json() + "\n")) status = 1;
+  if (prom_path != nullptr && !write_file(prom_path, snap.to_prometheus())) status = 1;
+  if (trace_path != nullptr && !write_file(trace_path, zl::obs::chrome_trace_json())) status = 1;
+  return status;
+}

@@ -1,0 +1,27 @@
+// Planted naked-timing violation for the zl-lint corpus test. One direct
+// steady_clock::now() call that must be flagged, one that carries a reviewed
+// allow and must not, and an obs-API use that is always clean.
+#include <chrono>
+#include <cstdint>
+
+namespace corpus {
+
+std::uint64_t flagged_raw_timing() {
+  // VIOLATION: raw clock read in src/ outside src/obs.
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(t0.time_since_epoch().count());
+}
+
+std::uint64_t allowed_raw_timing() {
+  // Reviewed exception: pretend this is a sanctioned call site.
+  const auto t0 = std::chrono::steady_clock::now();  // zl-lint: allow(naked-timing)
+  return static_cast<std::uint64_t>(t0.time_since_epoch().count());
+}
+
+// system_clock is wall time, not measurement timing — not the rule's target.
+std::uint64_t wall_clock_ok() {
+  const auto t0 = std::chrono::system_clock::now();
+  return static_cast<std::uint64_t>(t0.time_since_epoch().count());
+}
+
+}  // namespace corpus

@@ -1,9 +1,10 @@
 #!/bin/sh
-# Corpus test for the zl-lint lock-discipline rules (naked-mutex,
-# naked-unlock, atomic-rmw-race): runs the linter over tools/zl_lint/corpus
-# and pins the exact finding counts — the planted file must trip every rule
-# the expected number of times (recall), and the clean file must trip none
-# (precision). Registered as the `zl_lint_corpus` ctest case.
+# Corpus test for the zl-lint lock-discipline and timing rules (naked-mutex,
+# naked-unlock, atomic-rmw-race, naked-timing): runs the linter over
+# tools/zl_lint/corpus and pins the exact finding counts — the planted files
+# must trip every rule the expected number of times (recall), and the clean
+# file must trip none (precision). Registered as the `zl_lint_corpus` ctest
+# case.
 #
 # Usage: test_corpus.sh <zl_lint-binary> <corpus-dir>
 set -u
@@ -32,13 +33,14 @@ expect() {
 expect 2 "planted_lock_violations.cpp.*naked-unlock" "naked-unlock in the planted file"
 expect 2 "planted_lock_violations.cpp.*naked-mutex" "naked-mutex in the planted file"
 expect 1 "planted_lock_violations.cpp.*atomic-rmw-race" "atomic-rmw-race in the planted file"
+expect 1 "planted_naked_timing.cpp.*naked-timing" "naked-timing in the planted file"
 expect 0 "clean_locks.cpp" "any rule on the clean file"
-expect 1 "scanned 2 file(s), 5 finding(s)" "the exact totals line"
+expect 1 "scanned 3 file(s), 6 finding(s)" "the exact totals line"
 
 if [ "$fail" -ne 0 ]; then
   echo "--- linter output ---"
   echo "$out"
   exit 1
 fi
-echo "PASS: corpus findings match (5 planted, 0 false positives)"
+echo "PASS: corpus findings match (6 planted, 0 false positives)"
 exit 0

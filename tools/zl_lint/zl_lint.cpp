@@ -35,6 +35,11 @@
 //                     into separate atomic load and store races with
 //                     concurrent writers; use fetch_add / exchange /
 //                     compare_exchange
+//   naked-timing      direct steady_clock/high_resolution_clock::now() in
+//                     src/ outside src/obs — production timing goes through
+//                     the obs API (ZL_TRACE_SPAN / ZL_OBS_SCOPED_LATENCY_US
+//                     / obs::monotonic_ns) so it aggregates, exports, and
+//                     compiles out under ZL_OBS=OFF
 //
 // Suppression: append `// zl-lint: allow(<rule>[, <rule>...])` (or
 // `allow(all)`) on the offending line or the line directly above it. Every
@@ -91,6 +96,7 @@ struct FileUnit {
   bool in_ec = false;                           // under src/ec
   bool in_src = false;                          // under src/
   bool in_store = false;                        // under src/store
+  bool in_obs = false;                          // under src/obs (the timing chokepoint)
   bool in_circuit_layer = false;                // gadget/circuit-building code
   bool is_mutex_chokepoint = false;             // common/mutex.h itself
 };
@@ -385,6 +391,10 @@ const Rule kRules[] = {
     {"atomic-rmw-race",
      "x.store(... x.load ...) splits a read-modify-write into two atomic operations that "
      "race with concurrent writers; use fetch_add/fetch_sub/exchange/compare_exchange"},
+    {"naked-timing",
+     "no direct steady_clock/high_resolution_clock::now() in src/ outside src/obs — time "
+     "through the obs API (ZL_TRACE_SPAN, ZL_OBS_SCOPED_LATENCY_US, obs::monotonic_ns) so "
+     "measurements aggregate into the exported snapshot and compile out under ZL_OBS=OFF"},
 };
 
 /// Types whose instances hold long-term secrets. secret-zeroize requires a
@@ -427,6 +437,7 @@ class Linter {
       if (u.in_src) rule_naked_mutex(u);
       if (u.in_src && !u.is_mutex_chokepoint) rule_naked_unlock(u);
       if (u.in_src) rule_atomic_rmw_race(u);
+      if (u.in_src && !u.in_obs) rule_naked_timing(u);
     }
     rule_secret_zeroize();
     std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
@@ -923,6 +934,26 @@ class Linter {
     }
   }
 
+  void rule_naked_timing(const FileUnit& u) {
+    static const std::string rule = "naked-timing";
+    static const std::set<std::string> banned_clocks = {"steady_clock", "high_resolution_clock"};
+    const auto& t = u.toks;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      // Pattern: steady_clock :: now (  — however the clock itself is
+      // qualified (std::chrono::steady_clock, chrono::steady_clock, ...).
+      if (t[i].kind != TokKind::Identifier || !banned_clocks.count(t[i].text)) continue;
+      if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "::") continue;
+      if (t[i + 2].kind != TokKind::Identifier || t[i + 2].text != "now") continue;
+      if (t[i + 3].kind != TokKind::Punct || t[i + 3].text != "(") continue;
+      report(u, t[i].line, rule,
+             "direct " + t[i].text +
+                 "::now(): production timing goes through the obs API (ZL_TRACE_SPAN, "
+                 "ZL_OBS_SCOPED_LATENCY_US, or obs::monotonic_ns) so it aggregates into "
+                 "the exported snapshot and compiles out under ZL_OBS=OFF; add "
+                 "`// zl-lint: allow(naked-timing)` only with a reviewed reason");
+    }
+  }
+
   void rule_secret_zeroize() {
     static const std::string rule = "secret-zeroize";
     for (const auto& [type, site] : type_def_site_) {
@@ -1033,6 +1064,7 @@ int main(int argc, char** argv) {
       unit.in_ec = unit.path.find("/ec/") != std::string::npos;
       unit.in_src = unit.path.find("src/") != std::string::npos;
       unit.in_store = unit.path.find("src/store/") != std::string::npos;
+      unit.in_obs = unit.path.find("src/obs/") != std::string::npos;
       unit.in_circuit_layer = unit.path.find("src/snark/gadgets/") != std::string::npos ||
                               unit.path.find("src/zebralancer/") != std::string::npos ||
                               unit.path.find("src/auth/") != std::string::npos;
