@@ -14,13 +14,15 @@ Bytes ClassicCertificate::to_bytes() const {
   return out;
 }
 
+// RSA signatures/keys in this stack top out at 4096-bit moduli; 4 KiB frames
+// leave room without letting a forged length allocate gigabytes.
+constexpr std::size_t kMaxRsaFrameBytes = 4096;
+
 ClassicCertificate ClassicCertificate::from_bytes(const Bytes& bytes) {
-  std::size_t off = 0;
   ClassicCertificate cert;
-  cert.ra_signature = read_frame(bytes, off);
-  if (off != bytes.size()) {
-    throw std::invalid_argument("ClassicCertificate::from_bytes: trailing data");
-  }
+  ByteReader r(bytes, "ClassicCertificate");
+  cert.ra_signature = r.frame(kMaxRsaFrameBytes);
+  r.expect_end();
   return cert;
 }
 
@@ -33,14 +35,12 @@ Bytes ClassicAttestation::to_bytes() const {
 }
 
 ClassicAttestation ClassicAttestation::from_bytes(const Bytes& bytes) {
-  std::size_t off = 0;
   ClassicAttestation att;
-  att.public_key = read_frame(bytes, off);
-  att.certificate = read_frame(bytes, off);
-  att.signature = read_frame(bytes, off);
-  if (off != bytes.size()) {
-    throw std::invalid_argument("ClassicAttestation::from_bytes: trailing data");
-  }
+  ByteReader r(bytes, "ClassicAttestation");
+  att.public_key = r.frame(kMaxRsaFrameBytes);
+  att.certificate = r.frame(kMaxRsaFrameBytes);
+  att.signature = r.frame(kMaxRsaFrameBytes);
+  r.expect_end();
   return att;
 }
 

@@ -67,9 +67,11 @@ Bytes Attestation::to_bytes() const {
 Attestation Attestation::from_bytes(const Bytes& bytes) {
   if (bytes.size() != kByteSize) throw std::invalid_argument("Attestation::from_bytes: bad size");
   Attestation att;
-  att.t1 = Fr::from_bytes(Bytes(bytes.begin(), bytes.begin() + 32));
-  att.t2 = Fr::from_bytes(Bytes(bytes.begin() + 32, bytes.begin() + 64));
-  att.proof = snark::Proof::from_bytes(Bytes(bytes.begin() + 64, bytes.end()));
+  ByteReader r(bytes, "Attestation");
+  att.t1 = Fr::from_bytes(r.take(32));
+  att.t2 = Fr::from_bytes(r.take(32));
+  att.proof = snark::Proof::from_bytes(r.take(snark::Proof::kByteSize));
+  r.expect_end();
   return att;
 }
 

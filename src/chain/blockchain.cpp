@@ -37,20 +37,27 @@ std::optional<Bytes> encode_checkpoint(const ChainState& state, const ReceiptMap
 }
 
 void decode_checkpoint(const Bytes& payload, ChainState& state, ReceiptMap& receipts) {
-  std::size_t offset = 0;
-  const Bytes state_bytes = read_frame(payload, offset);
+  // Checkpoint payloads come off disk, which the trust model treats as
+  // corruptible (bit rot, a truncated copy): cap every field. The state
+  // frame shares the WAL's 64 MiB record ceiling; each receipt entry
+  // consumes at least 16 bytes, so the count cap can never be used to
+  // inflate the map beyond what the payload physically encodes.
+  constexpr std::size_t kMaxStateBytes = 64u << 20;
+  constexpr std::size_t kMaxHashBytes = 32;
+  constexpr std::size_t kMaxReceiptBytes = 1u << 20;
+  constexpr std::uint32_t kMaxReceipts = (64u << 20) / 16;
+  ByteReader r(payload, "checkpoint");
+  const Bytes state_bytes = r.frame(kMaxStateBytes);
   state = ChainState::from_snapshot(state_bytes);
   receipts.clear();
-  const std::uint32_t n = read_u32_be(payload, offset);
-  offset += 4;
+  const std::uint32_t n = r.count(kMaxReceipts);
   for (std::uint32_t i = 0; i < n; ++i) {
-    const Bytes tx_hash = read_frame(payload, offset);
-    const std::uint64_t block_no = read_u64_be(payload, offset);
-    offset += 8;
-    const Receipt receipt = Receipt::from_bytes(read_frame(payload, offset));
+    const Bytes tx_hash = r.frame(kMaxHashBytes);
+    const std::uint64_t block_no = r.u64();
+    const Receipt receipt = Receipt::from_bytes(r.frame(kMaxReceiptBytes));
     receipts[to_hex(tx_hash)] = {receipt, block_no};
   }
-  if (offset != payload.size()) throw std::invalid_argument("checkpoint: trailing bytes");
+  r.expect_end();
 }
 
 // In-memory restore points kept per process; old ones are evicted lowest
@@ -373,28 +380,31 @@ Bytes block_to_bytes(const Block& block) {
 }
 
 Block block_from_bytes(const Bytes& bytes) {
+  // Gossip-facing decode: blocks arrive from arbitrary peers. Hash frames
+  // are exactly 32 bytes, the body shares the tx-payload scale (every tx
+  // frame costs >= 4 bytes, so the count cap bounds nothing the body's own
+  // cap does not already bound — it just fails fast on garbage).
+  constexpr std::size_t kMaxHashBytes = 32;
+  constexpr std::size_t kMaxBodyBytes = 16u << 20;  // 16 MiB
+  constexpr std::uint32_t kMaxBlockTxs = (16u << 20) / 4;
   Block block;
-  std::size_t off = 0;
-  block.header.parent_hash = read_frame(bytes, off);
-  block.header.number = read_u64_be(bytes, off);
-  off += 8;
-  block.header.tx_root = read_frame(bytes, off);
-  block.header.timestamp = read_u64_be(bytes, off);
-  off += 8;
-  block.header.difficulty = read_u64_be(bytes, off);
-  off += 8;
-  block.header.nonce = read_u64_be(bytes, off);
-  off += 8;
-  block.header.miner = Address::from_bytes(read_frame(bytes, off));
-  const Bytes body = read_frame(bytes, off);
-  if (off != bytes.size()) throw std::invalid_argument("block_from_bytes: trailing data");
-  std::size_t body_off = 0;
-  const std::uint32_t count = read_u32_be(body, body_off);
-  body_off += 4;
+  ByteReader r(bytes, "block");
+  block.header.parent_hash = r.frame(kMaxHashBytes);
+  block.header.number = r.u64();
+  block.header.tx_root = r.frame(kMaxHashBytes);
+  block.header.timestamp = r.u64();
+  block.header.difficulty = r.u64();
+  block.header.nonce = r.u64();
+  block.header.miner = Address::from_bytes(r.frame(Address::kSize));
+  const Bytes body = r.frame(kMaxBodyBytes);
+  r.expect_end();
+  ByteReader rb(body, "block body");
+  const std::uint32_t count = rb.count(kMaxBlockTxs);
+  constexpr std::size_t kMaxTxBytes = 8u << 20;
   for (std::uint32_t i = 0; i < count; ++i) {
-    block.transactions.push_back(Transaction::from_bytes(read_frame(body, body_off)));
+    block.transactions.push_back(Transaction::from_bytes(rb.frame(kMaxTxBytes)));
   }
-  if (body_off != body.size()) throw std::invalid_argument("block_from_bytes: trailing body");
+  rb.expect_end();
   return block;
 }
 

@@ -15,16 +15,18 @@ Bytes TxInclusionProof::to_bytes() const {
 }
 
 TxInclusionProof TxInclusionProof::from_bytes(const Bytes& bytes) {
+  // A Merkle path over a <= 2^20-tx block is at most 20 siblings deep; 64
+  // leaves ample headroom without letting a forged count matter.
+  constexpr std::size_t kMaxHashBytes = 32;
+  constexpr std::uint32_t kMaxSiblings = 64;
   TxInclusionProof proof;
-  std::size_t off = 0;
-  proof.tx_hash = read_frame(bytes, off);
-  proof.index = read_u64_be(bytes, off);
-  off += 8;
-  const std::uint32_t count = read_u32_be(bytes, off);
-  off += 4;
-  for (std::uint32_t i = 0; i < count; ++i) proof.siblings.push_back(read_frame(bytes, off));
-  proof.block_hash = read_frame(bytes, off);
-  if (off != bytes.size()) throw std::invalid_argument("TxInclusionProof: trailing data");
+  ByteReader r(bytes, "TxInclusionProof");
+  proof.tx_hash = r.frame(kMaxHashBytes);
+  proof.index = r.u64();
+  const std::uint32_t count = r.count(kMaxSiblings);
+  for (std::uint32_t i = 0; i < count; ++i) proof.siblings.push_back(r.frame(kMaxHashBytes));
+  proof.block_hash = r.frame(kMaxHashBytes);
+  r.expect_end();
   return proof;
 }
 

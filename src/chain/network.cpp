@@ -14,7 +14,13 @@ int SimNetwork::add_node(Node* node) {
 void SimNetwork::broadcast(int from, MessageKind kind, const Bytes& payload,
                            std::uint64_t extra_delay_ms) {
   if (kind == MessageKind::kTransaction && tx_delay_policy_) {
-    extra_delay_ms += tx_delay_policy_(Transaction::from_bytes(payload));
+    // Senders encode their own payloads, but the decode is still fallible
+    // (a test can inject arbitrary bytes); an undecodable tx simply gets no
+    // policy delay rather than tearing down the whole simulation.
+    try {
+      extra_delay_ms += tx_delay_policy_(Transaction::from_bytes(payload));
+    } catch (const std::exception&) {
+    }
   }
   for (int dst = 0; dst < static_cast<int>(nodes_.size()); ++dst) {
     if (dst == from) continue;

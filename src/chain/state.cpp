@@ -216,23 +216,26 @@ Bytes Receipt::to_bytes() const {
 }
 
 Receipt Receipt::from_bytes(const Bytes& bytes) {
-  if (bytes.empty()) throw std::invalid_argument("Receipt: empty encoding");
+  // The log count used to feed reserve() unchecked, so a 4-byte prefix of
+  // 0xffffffff in a corrupt checkpoint forced a ~128 GiB reserve before the
+  // truncation throw — count() rejects it before any allocation now.
+  constexpr std::size_t kMaxErrorBytes = 4096;
+  constexpr std::size_t kMaxLogBytes = 1u << 16;
+  constexpr std::uint32_t kMaxLogs = 1u << 16;
   Receipt r;
-  r.success = bytes[0] != 0;
-  std::size_t offset = 1;
-  r.gas_used = read_u64_be(bytes, offset);
-  offset += 8;
-  const Bytes error = read_frame(bytes, offset);
+  ByteReader reader(bytes, "Receipt");
+  r.success = reader.u8() != 0;
+  r.gas_used = reader.u64();
+  const Bytes error = reader.frame(kMaxErrorBytes);
   r.error.assign(error.begin(), error.end());
-  r.created_contract = Address::from_bytes(read_frame(bytes, offset));
-  const std::uint32_t n_logs = read_u32_be(bytes, offset);
-  offset += 4;
+  r.created_contract = Address::from_bytes(reader.frame(Address::kSize));
+  const std::uint32_t n_logs = reader.count(kMaxLogs);
   r.logs.reserve(n_logs);
   for (std::uint32_t i = 0; i < n_logs; ++i) {
-    const Bytes line = read_frame(bytes, offset);
+    const Bytes line = reader.frame(kMaxLogBytes);
     r.logs.emplace_back(line.begin(), line.end());
   }
-  if (offset != bytes.size()) throw std::invalid_argument("Receipt: trailing bytes");
+  reader.expect_end();
   return r;
 }
 
@@ -274,31 +277,34 @@ std::optional<Bytes> ChainState::snapshot_bytes() const {
 }
 
 ChainState ChainState::from_snapshot(const Bytes& bytes) {
+  // Each account entry encodes to 40 bytes and each contract to >= 12, so
+  // these count caps only fail fast — the per-iteration reads already bound
+  // memory growth by the input size.
+  constexpr std::uint32_t kMaxAccounts = (64u << 20) / 40;
+  constexpr std::uint32_t kMaxContracts = 1u << 20;
+  constexpr std::size_t kMaxTypeBytes = 256;
+  constexpr std::size_t kMaxContractStateBytes = 48u << 20;
   ChainState state;
-  std::size_t offset = 0;
-  const std::uint32_t n_accounts = read_u32_be(bytes, offset);
-  offset += 4;
+  ByteReader r(bytes, "ChainState snapshot");
+  const std::uint32_t n_accounts = r.count(kMaxAccounts);
   for (std::uint32_t i = 0; i < n_accounts; ++i) {
-    const Address addr = Address::from_bytes(read_frame(bytes, offset));
+    const Address addr = Address::from_bytes(r.frame(Address::kSize));
     Account acct;
-    acct.balance = read_u64_be(bytes, offset);
-    offset += 8;
-    acct.nonce = read_u64_be(bytes, offset);
-    offset += 8;
+    acct.balance = r.u64();
+    acct.nonce = r.u64();
     state.accounts_[addr] = acct;
   }
-  const std::uint32_t n_contracts = read_u32_be(bytes, offset);
-  offset += 4;
+  const std::uint32_t n_contracts = r.count(kMaxContracts);
   for (std::uint32_t i = 0; i < n_contracts; ++i) {
-    const Address addr = Address::from_bytes(read_frame(bytes, offset));
-    const Bytes type_bytes = read_frame(bytes, offset);
+    const Address addr = Address::from_bytes(r.frame(Address::kSize));
+    const Bytes type_bytes = r.frame(kMaxTypeBytes);
     const std::string type(type_bytes.begin(), type_bytes.end());
-    const Bytes contract_state = read_frame(bytes, offset);
+    const Bytes contract_state = r.frame(kMaxContractStateBytes);
     std::unique_ptr<Contract> instance = ContractFactory::instance().create(type);
     instance->restore_state(contract_state);
     state.contracts_[addr] = Deployed{type, std::move(instance)};
   }
-  if (offset != bytes.size()) throw std::invalid_argument("ChainState: trailing snapshot bytes");
+  r.expect_end();
   return state;
 }
 

@@ -65,22 +65,26 @@ Bytes Transaction::to_bytes() const {
 }
 
 Transaction Transaction::from_bytes(const Bytes& bytes) {
+  // Per-field caps: an attacker-chosen length prefix is rejected before any
+  // allocation. Method names and payloads are bounded well above anything
+  // the contracts emit but far below what could OOM a node.
+  constexpr std::size_t kMaxMethodBytes = 256;
+  constexpr std::size_t kMaxPayloadBytes = 4u << 20;  // 4 MiB
+  constexpr std::size_t kMaxPubkeyBytes = 65;         // uncompressed secp256k1
+  constexpr std::size_t kMaxSignatureBytes = 64;      // r || s
   Transaction tx;
-  std::size_t off = 0;
-  tx.from = Address::from_bytes(read_frame(bytes, off));
-  tx.to = Address::from_bytes(read_frame(bytes, off));
-  tx.value = read_u64_be(bytes, off);
-  off += 8;
-  tx.nonce = read_u64_be(bytes, off);
-  off += 8;
-  tx.gas_limit = read_u64_be(bytes, off);
-  off += 8;
-  const Bytes method = read_frame(bytes, off);
+  ByteReader r(bytes, "Transaction");
+  tx.from = Address::from_bytes(r.frame(Address::kSize));
+  tx.to = Address::from_bytes(r.frame(Address::kSize));
+  tx.value = r.u64();
+  tx.nonce = r.u64();
+  tx.gas_limit = r.u64();
+  const Bytes method = r.frame(kMaxMethodBytes);
   tx.method = std::string(method.begin(), method.end());
-  tx.payload = read_frame(bytes, off);
-  tx.pubkey = read_frame(bytes, off);
-  tx.signature = read_frame(bytes, off);
-  if (off != bytes.size()) throw std::invalid_argument("Transaction::from_bytes: trailing data");
+  tx.payload = r.frame(kMaxPayloadBytes);
+  tx.pubkey = r.frame(kMaxPubkeyBytes);
+  tx.signature = r.frame(kMaxSignatureBytes);
+  r.expect_end();
   return tx;
 }
 

@@ -93,6 +93,70 @@ Bytes read_frame(const Bytes& in, std::size_t& offset) {
   return part;
 }
 
+void ByteReader::fail(const char* detail) const {
+  throw DecodeError(std::string(what_) + ": " + detail);
+}
+
+void ByteReader::need(std::size_t n) const {
+  // off_ <= size_ is a class invariant, so size_ - off_ cannot wrap; the
+  // naive `off_ + n > size_` would overflow for attacker-chosen n.
+  if (n > size_ - off_) fail("truncated");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[off_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[off_ + static_cast<std::size_t>(i)];
+  off_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[off_ + static_cast<std::size_t>(i)];
+  off_ += 8;
+  return v;
+}
+
+Bytes ByteReader::take(std::size_t n) {
+  need(n);
+  Bytes out(data_ + off_, data_ + off_ + n);
+  off_ += n;
+  return out;
+}
+
+Bytes ByteReader::frame(std::size_t cap) {
+  const std::uint32_t len = u32();
+  // The cap check comes first: an over-cap length is rejected before any
+  // allocation, so a corrupt 4-byte prefix cannot force a multi-GiB resize.
+  if (len > cap) fail("frame length over cap");
+  if (len > size_ - off_) fail("truncated");
+  Bytes out(data_ + off_, data_ + off_ + len);
+  off_ += len;
+  return out;
+}
+
+std::uint32_t ByteReader::count(std::uint32_t cap) {
+  const std::uint32_t n = u32();
+  if (n > cap) fail("element count over cap");
+  return n;
+}
+
+void ByteReader::skip(std::size_t n) {
+  need(n);
+  off_ += n;
+}
+
+void ByteReader::expect_end() const {
+  if (off_ != size_) fail("trailing data");
+}
+
 bool ct_equal(const Bytes& a, const Bytes& b) {
   // Lengths are public (fixed per protocol); content is compared without an
   // early exit. The final bool is the one sanctioned declassification of the

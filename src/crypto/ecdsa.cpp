@@ -12,9 +12,11 @@ SecpPoint point_from_bytes(const Bytes& b) {
   if (b.size() != 65 || b[0] != 0x04) {
     throw std::invalid_argument("ecdsa: bad public key encoding");
   }
-  return SecpPoint::from_affine(
-      SecpFp::from_bytes(Bytes(b.begin() + 1, b.begin() + 33)),
-      SecpFp::from_bytes(Bytes(b.begin() + 33, b.end())));
+  ByteReader r(b, "secp256k1 point");
+  r.skip(1);  // 0x04 uncompressed tag, checked above
+  const Bytes xb = r.take(32), yb = r.take(32);
+  r.expect_end();
+  return SecpPoint::from_affine(SecpFp::from_bytes(xb), SecpFp::from_bytes(yb));
 }
 
 BigInt hash_to_scalar(const Bytes& message) {
@@ -30,8 +32,10 @@ Bytes EcdsaSignature::to_bytes() const {
 EcdsaSignature EcdsaSignature::from_bytes(const Bytes& bytes) {
   if (bytes.size() != 64) throw std::invalid_argument("EcdsaSignature: need 64 bytes");
   EcdsaSignature sig;
-  sig.r = bigint_from_bytes(Bytes(bytes.begin(), bytes.begin() + 32));
-  sig.s = bigint_from_bytes(Bytes(bytes.begin() + 32, bytes.end()));
+  ByteReader reader(bytes, "EcdsaSignature");
+  sig.r = bigint_from_bytes(reader.take(32));
+  sig.s = bigint_from_bytes(reader.take(32));
+  reader.expect_end();
   return sig;
 }
 

@@ -65,11 +65,14 @@ Bytes RsaPublicKey::to_bytes() const {
 }
 
 RsaPublicKey RsaPublicKey::from_bytes(const Bytes& bytes) {
-  std::size_t off = 0;
+  // Modulus and exponent frames are capped at 4 KiB (a 32768-bit modulus),
+  // far above any key this stack generates but bounded against forgery.
+  constexpr std::size_t kMaxIntBytes = 4096;
   RsaPublicKey pub;
-  pub.n = bigint_from_bytes(read_frame(bytes, off));
-  pub.e = bigint_from_bytes(read_frame(bytes, off));
-  if (off != bytes.size()) throw std::invalid_argument("RsaPublicKey::from_bytes: trailing data");
+  ByteReader r(bytes, "RsaPublicKey");
+  pub.n = bigint_from_bytes(r.frame(kMaxIntBytes));
+  pub.e = bigint_from_bytes(r.frame(kMaxIntBytes));
+  r.expect_end();
   return pub;
 }
 

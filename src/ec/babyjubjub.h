@@ -134,8 +134,10 @@ class JubjubPoint {
 
   static JubjubPoint from_bytes(const Bytes& bytes) {
     if (bytes.size() != 64) throw std::invalid_argument("JubjubPoint::from_bytes: need 64 bytes");
-    JubjubPoint p(Fr::from_bytes(Bytes(bytes.begin(), bytes.begin() + 32)),
-                  Fr::from_bytes(Bytes(bytes.begin() + 32, bytes.end())));
+    ByteReader r(bytes, "JubjubPoint");
+    const Bytes xb = r.take(32), yb = r.take(32);
+    r.expect_end();
+    JubjubPoint p(Fr::from_bytes(xb), Fr::from_bytes(yb));
     if (!p.is_on_curve()) throw std::invalid_argument("JubjubPoint::from_bytes: not on curve");
     return p;
   }

@@ -12,8 +12,10 @@ inline Bytes fq2_to_bytes(const Fq2& v) { return concat({v.c0.to_bytes(), v.c1.t
 
 inline Fq2 fq2_from_bytes(const Bytes& b) {
   if (b.size() != 64) throw std::invalid_argument("fq2_from_bytes: need 64 bytes");
-  return Fq2(Fq::from_bytes(Bytes(b.begin(), b.begin() + 32)),
-             Fq::from_bytes(Bytes(b.begin() + 32, b.end())));
+  ByteReader r(b, "Fq2");
+  const Bytes c0 = r.take(32), c1 = r.take(32);
+  r.expect_end();
+  return Fq2(Fq::from_bytes(c0), Fq::from_bytes(c1));
 }
 
 /// 1 flag byte + 64 bytes (x, y). Infinity encodes as flag 0 + zeros.
@@ -34,9 +36,23 @@ inline Bytes g1_to_bytes(const G1& p) {
 
 inline G1 g1_from_bytes(const Bytes& b) {
   if (b.size() != 65) throw std::invalid_argument("g1_from_bytes: need 65 bytes");
-  if (b[0] == 0) return G1::infinity();
-  return G1::from_affine(Fq::from_bytes(Bytes(b.begin() + 1, b.begin() + 33)),
-                         Fq::from_bytes(Bytes(b.begin() + 33, b.end())));
+  ByteReader r(b, "G1");
+  const std::uint8_t flag = r.u8();
+  const Bytes xb = r.take(32), yb = r.take(32);
+  r.expect_end();
+  if (flag == 0) {
+    // Infinity has exactly one encoding: flag 0 + 64 zero bytes. Accepting
+    // arbitrary padding would let one point hash two different ways.
+    for (const std::uint8_t byte : xb) {
+      if (byte != 0) throw std::invalid_argument("g1_from_bytes: non-canonical infinity");
+    }
+    for (const std::uint8_t byte : yb) {
+      if (byte != 0) throw std::invalid_argument("g1_from_bytes: non-canonical infinity");
+    }
+    return G1::infinity();
+  }
+  if (flag != 1) throw std::invalid_argument("g1_from_bytes: bad flag");
+  return G1::from_affine(Fq::from_bytes(xb), Fq::from_bytes(yb));
 }
 
 /// 1 flag byte + 128 bytes (x, y in Fq2).
@@ -57,9 +73,21 @@ inline Bytes g2_to_bytes(const G2& p) {
 
 inline G2 g2_from_bytes(const Bytes& b) {
   if (b.size() != 129) throw std::invalid_argument("g2_from_bytes: need 129 bytes");
-  if (b[0] == 0) return G2::infinity();
-  return G2::from_affine(fq2_from_bytes(Bytes(b.begin() + 1, b.begin() + 65)),
-                         fq2_from_bytes(Bytes(b.begin() + 65, b.end())));
+  ByteReader r(b, "G2");
+  const std::uint8_t flag = r.u8();
+  const Bytes xb = r.take(64), yb = r.take(64);
+  r.expect_end();
+  if (flag == 0) {
+    for (const std::uint8_t byte : xb) {
+      if (byte != 0) throw std::invalid_argument("g2_from_bytes: non-canonical infinity");
+    }
+    for (const std::uint8_t byte : yb) {
+      if (byte != 0) throw std::invalid_argument("g2_from_bytes: non-canonical infinity");
+    }
+    return G2::infinity();
+  }
+  if (flag != 1) throw std::invalid_argument("g2_from_bytes: bad flag");
+  return G2::from_affine(fq2_from_bytes(xb), fq2_from_bytes(yb));
 }
 
 /// Fixed-base scalar-multiplication table (8-bit windows). Used by the

@@ -329,9 +329,11 @@ Bytes Proof::to_bytes() const {
 Proof Proof::from_bytes(const Bytes& bytes) {
   if (bytes.size() != kByteSize) throw std::invalid_argument("Proof::from_bytes: bad size");
   Proof p;
-  p.a = g1_from_bytes(Bytes(bytes.begin(), bytes.begin() + 65));
-  p.b = g2_from_bytes(Bytes(bytes.begin() + 65, bytes.begin() + 65 + 129));
-  p.c = g1_from_bytes(Bytes(bytes.begin() + 65 + 129, bytes.end()));
+  ByteReader r(bytes, "Proof");
+  p.a = g1_from_bytes(r.take(65));
+  p.b = g2_from_bytes(r.take(129));
+  p.c = g1_from_bytes(r.take(65));
+  r.expect_end();
   return p;
 }
 
@@ -350,23 +352,20 @@ Bytes VerifyingKey::to_bytes() const {
 }
 
 VerifyingKey VerifyingKey::from_bytes(const Bytes& bytes) {
+  // One IC point per public input; no circuit in this repo is anywhere near
+  // 2^16 inputs, and each point costs 65 bytes so the count cap cannot be
+  // used to stretch the loop past the input anyway.
+  constexpr std::uint32_t kMaxIcPoints = 1u << 16;
   VerifyingKey vk;
-  std::size_t off = 0;
-  const auto take = [&](std::size_t n) {
-    if (off + n > bytes.size()) throw std::invalid_argument("VerifyingKey::from_bytes: truncated");
-    Bytes part(bytes.begin() + static_cast<std::ptrdiff_t>(off),
-               bytes.begin() + static_cast<std::ptrdiff_t>(off + n));
-    off += n;
-    return part;
-  };
-  vk.alpha_g1 = g1_from_bytes(take(65));
-  vk.beta_g2 = g2_from_bytes(take(129));
-  vk.gamma_g2 = g2_from_bytes(take(129));
-  vk.delta_g2 = g2_from_bytes(take(129));
-  const std::uint32_t n = read_u32_be(bytes, off);
-  off += 4;
-  for (std::uint32_t i = 0; i < n; ++i) vk.ic.push_back(g1_from_bytes(take(65)));
-  if (off != bytes.size()) throw std::invalid_argument("VerifyingKey::from_bytes: trailing bytes");
+  ByteReader r(bytes, "VerifyingKey");
+  vk.alpha_g1 = g1_from_bytes(r.take(65));
+  vk.beta_g2 = g2_from_bytes(r.take(129));
+  vk.gamma_g2 = g2_from_bytes(r.take(129));
+  vk.delta_g2 = g2_from_bytes(r.take(129));
+  const std::uint32_t n = r.count(kMaxIcPoints);
+  vk.ic.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) vk.ic.push_back(g1_from_bytes(r.take(65)));
+  r.expect_end();
   return vk;
 }
 

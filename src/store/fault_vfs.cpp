@@ -1,6 +1,7 @@
 #include "store/fault_vfs.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace zl::store {
 
@@ -37,8 +38,15 @@ class FaultFile final : public VfsFile {
   void write(std::uint64_t offset, const std::uint8_t* data, std::size_t n) override {
     check();
     Bytes& img = inode_->live;
+    // offset + n must not wrap: a wrapped end-of-write would pass the
+    // capacity check below and then resize to a tiny (wrapped) size while
+    // copy_n writes past it.
+    if (n > std::numeric_limits<std::uint64_t>::max() - offset) {
+      throw NoSpace("write " + path_ + ": offset + size overflows");
+    }
+    const std::uint64_t end = offset + n;
     if (vfs_.capacity_bytes_ != 0) {
-      const std::uint64_t grow = offset + n > img.size() ? offset + n - img.size() : 0;
+      const std::uint64_t grow = end > img.size() ? end - img.size() : 0;
       if (vfs_.live_bytes() + grow > vfs_.capacity_bytes_) {
         // A failed write is still an I/O event a crash can interleave with.
         if (vfs_.tick_op()) vfs_.power_cut();
@@ -49,7 +57,8 @@ class FaultFile final : public VfsFile {
     // A power cut during a write applies a deterministic prefix of it — the
     // torn write. The tail the disk never saw is simply absent.
     const std::size_t apply = crash_now ? vfs_.rng_.uniform(n + 1) : n;
-    if (offset + apply > img.size()) img.resize(offset + apply);
+    const std::uint64_t write_end = offset + apply;  // <= end, so no wrap
+    if (write_end > img.size()) img.resize(write_end);
     std::copy_n(data, apply, img.begin() + static_cast<std::ptrdiff_t>(offset));
     if (crash_now) vfs_.power_cut();
   }

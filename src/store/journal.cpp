@@ -12,9 +12,10 @@ BlockJournal::BlockJournal(Vfs& vfs, const std::string& dir, const Wal::Options&
     : wal_(vfs, dir, options,
            [this, &on_block](std::uint8_t type, const Bytes& payload, std::uint64_t segment) {
              if (type != kBlockRecord || payload.size() < 32) return;  // foreign record: skip
-             const Bytes hash(payload.begin(), payload.begin() + 32);
+             ByteReader r(payload, "journal block record");
+             const Bytes hash = r.take(32);
              index_[to_hex(hash)] = Position{segment, sequence_++};
-             on_block(Bytes(payload.begin() + 32, payload.end()));
+             on_block(r.take(r.remaining()));
            }) {}
 
 void BlockJournal::append_block(const Bytes& block_hash, const Bytes& block_bytes) {

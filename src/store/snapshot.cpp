@@ -85,20 +85,22 @@ std::optional<Snapshot> SnapshotStore::load_newest() const {
         std::memcmp(file.data(), kMagic, kMagicSize) != 0) {
       continue;
     }
-    const std::uint32_t stored = (std::uint32_t(file[kMagicSize]) << 24) |
-                                 (std::uint32_t(file[kMagicSize + 1]) << 16) |
-                                 (std::uint32_t(file[kMagicSize + 2]) << 8) |
-                                 std::uint32_t(file[kMagicSize + 3]);
-    const Bytes body(file.begin() + kMagicSize + 4, file.end());
+    ByteReader rf(file, "snapshot file");
+    rf.skip(kMagicSize);
+    const std::uint32_t stored = rf.u32();
+    const Bytes body = rf.take(rf.remaining());
     if (crc32(body) != stored) continue;  // torn or rotted: fall back to older
+    // Head hashes are 32 bytes; the payload (a chain checkpoint) shares the
+    // WAL's 64 MiB record ceiling.
+    constexpr std::size_t kMaxHashBytes = 32;
+    constexpr std::size_t kMaxPayloadBytes = 64u << 20;
     try {
       Snapshot snap;
-      std::size_t off = 0;
-      snap.height = read_u64_be(body, off);
-      off += 8;
-      snap.head_hash = read_frame(body, off);
-      snap.payload = read_frame(body, off);
-      if (off != body.size()) continue;
+      ByteReader r(body, "snapshot body");
+      snap.height = r.u64();
+      snap.head_hash = r.frame(kMaxHashBytes);
+      snap.payload = r.frame(kMaxPayloadBytes);
+      r.expect_end();
       return snap;
     } catch (const std::exception&) {
       continue;

@@ -12,11 +12,6 @@ namespace {
 constexpr char kMagic[7] = {'Z', 'L', 'W', 'A', 'L', '1', '\n'};
 constexpr std::uint8_t kVersion = 1;
 
-std::uint32_t load_u32(const std::uint8_t* p) {
-  return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
-         (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
-}
-
 void store_u32(std::uint8_t* p, std::uint32_t v) {
   p[0] = static_cast<std::uint8_t>(v >> 24);
   p[1] = static_cast<std::uint8_t>(v >> 16);
@@ -89,10 +84,14 @@ Wal::Wal(Vfs& vfs, std::string dir, const Options& options, const ReplayFn& repl
         log_ended = true;  // torn record header at the tail
         break;
       }
-      const std::uint32_t len = load_u32(rec_header);
-      const std::uint8_t type = rec_header[4];
-      const std::uint32_t crc = load_u32(rec_header + 5);
-      if (len > kMaxRecordBytes || offset + kRecordHeader + len > file_size) {
+      ByteReader rh(rec_header, kRecordHeader, "wal record header");
+      const std::uint32_t len = rh.u32();
+      const std::uint8_t type = rh.u8();
+      const std::uint32_t crc = rh.u32();
+      // read_exact just proved offset + kRecordHeader <= file_size, so this
+      // subtraction cannot wrap the way `offset + kRecordHeader + len` could.
+      const std::uint64_t payload_avail = file_size - offset - kRecordHeader;
+      if (len > kMaxRecordBytes || len > payload_avail) {
         log_ended = true;  // insane length or payload torn off
         break;
       }

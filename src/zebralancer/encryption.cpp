@@ -50,8 +50,10 @@ AnswerCiphertext AnswerCiphertext::from_bytes(const Bytes& bytes) {
     throw std::invalid_argument("AnswerCiphertext::from_bytes: bad size");
   }
   AnswerCiphertext ct;
-  ct.ephemeral = JubjubPoint::from_bytes(Bytes(bytes.begin(), bytes.begin() + 64));
-  ct.payload = Fr::from_bytes(Bytes(bytes.begin() + 64, bytes.end()));
+  ByteReader r(bytes, "AnswerCiphertext");
+  ct.ephemeral = JubjubPoint::from_bytes(r.take(64));
+  ct.payload = Fr::from_bytes(r.take(32));
+  r.expect_end();
   return ct;
 }
 

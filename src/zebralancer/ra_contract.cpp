@@ -27,10 +27,10 @@ std::optional<Bytes> RaRegistryContract::snapshot_state() const {
 }
 
 void RaRegistryContract::restore_state(const Bytes& state) {
-  std::size_t off = 0;
-  owner_ = chain::Address::from_bytes(read_frame(state, off));
-  root_ = Fr::from_bytes(read_frame(state, off));
-  if (off != state.size()) throw std::invalid_argument("RaRegistry: trailing snapshot data");
+  ByteReader r(state, "RaRegistry state");
+  owner_ = chain::Address::from_bytes(r.frame(chain::Address::kSize));
+  root_ = Fr::from_bytes(r.frame(32));
+  r.expect_end();
 }
 
 void RaRegistryContract::invoke(CallContext& ctx, const std::string& method, const Bytes& args) {

@@ -31,11 +31,10 @@ void ReputationRegistryContract::invoke(CallContext& ctx, const std::string& met
     // Reporters are task contracts calling in via call_contract, so the
     // sender is the task's own address.
     if (!authorized_.contains(ctx.sender)) throw ContractRevert("reporter not authorized");
-    std::size_t off = 0;
-    const Bytes digest = read_frame(args, off);
-    const std::int64_t delta = static_cast<std::int64_t>(read_u64_be(args, off));
-    off += 8;
-    if (off != args.size() || digest.size() != 32) throw ContractRevert("malformed record");
+    ByteReader r(args, "record args");
+    const Bytes digest = r.frame(32);
+    const std::int64_t delta = static_cast<std::int64_t>(r.u64());
+    if (!r.at_end() || digest.size() != 32) throw ContractRevert("malformed record");
     ctx.charge(GasSchedule::kStorageWrite);
     scores_[to_hex(digest)] += delta;
     ctx.log("reputation " + to_hex(digest).substr(0, 8) + (delta >= 0 ? " +" : " ") +
@@ -63,25 +62,24 @@ std::optional<Bytes> ReputationRegistryContract::snapshot_state() const {
 }
 
 void ReputationRegistryContract::restore_state(const Bytes& state) {
-  std::size_t off = 0;
-  owner_ = chain::Address::from_bytes(read_frame(state, off));
+  // Entries cost >= 12 bytes on the wire, so the count caps only fail fast;
+  // the maps grow one decoded entry at a time either way.
+  constexpr std::uint32_t kMaxEntries = 1u << 22;
+  ByteReader r(state, "Reputation state");
+  owner_ = chain::Address::from_bytes(r.frame(chain::Address::kSize));
   authorized_.clear();
   scores_.clear();
-  const std::uint32_t n_auth = read_u32_be(state, off);
-  off += 4;
+  const std::uint32_t n_auth = r.count(kMaxEntries);
   for (std::uint32_t i = 0; i < n_auth; ++i) {
-    const chain::Address addr = chain::Address::from_bytes(read_frame(state, off));
-    if (off >= state.size()) throw std::invalid_argument("Reputation: truncated snapshot");
-    authorized_[addr] = state[off++] != 0;
+    const chain::Address addr = chain::Address::from_bytes(r.frame(chain::Address::kSize));
+    authorized_[addr] = r.u8() != 0;
   }
-  const std::uint32_t n_scores = read_u32_be(state, off);
-  off += 4;
+  const std::uint32_t n_scores = r.count(kMaxEntries);
   for (std::uint32_t i = 0; i < n_scores; ++i) {
-    const Bytes digest = read_frame(state, off);
-    scores_[to_hex(digest)] = static_cast<std::int64_t>(read_u64_be(state, off));
-    off += 8;
+    const Bytes digest = r.frame(32);
+    scores_[to_hex(digest)] = static_cast<std::int64_t>(r.u64());
   }
-  if (off != state.size()) throw std::invalid_argument("Reputation: trailing snapshot data");
+  r.expect_end();
 }
 
 std::int64_t ReputationRegistryContract::score(const Bytes& identity_digest) const {

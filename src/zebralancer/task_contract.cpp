@@ -15,6 +15,28 @@ using chain::CallContext;
 using chain::ContractRevert;
 using chain::GasSchedule;
 
+namespace {
+
+// Wire caps for every frame this contract decodes (payloads arrive in
+// attacker-signed transactions; state frames come off disk). Each bound sits
+// well above anything the encoders emit while keeping a forged length from
+// driving a giant allocation.
+constexpr std::size_t kMaxAttestationBytes = 16u << 10;
+constexpr std::size_t kMaxRsaKeyBytes = 16u << 10;
+constexpr std::size_t kMaxFieldBytes = 32;
+constexpr std::size_t kMaxPointBytes = 64;
+constexpr std::size_t kMaxNameBytes = 64;
+constexpr std::size_t kMaxDigestBytes = 64;
+constexpr std::size_t kMaxVkBytes = 1u << 20;
+constexpr std::size_t kMaxProofBytes = 512;
+constexpr std::size_t kMaxParamsBytes = 4u << 20;
+constexpr std::size_t kMaxCiphertextBytes = 1u << 16;
+// Upper bound on num_answers (and so on submission/reward counts). Enforced
+// at deploy time so the reward path's count cap can never strand a task.
+constexpr std::uint32_t kMaxAnswers = 1u << 16;
+
+}  // namespace
+
 Bytes TaskParams::to_bytes() const {
   Bytes out;
   out.push_back(static_cast<std::uint8_t>(auth_mode));
@@ -38,32 +60,29 @@ Bytes TaskParams::to_bytes() const {
 
 TaskParams TaskParams::from_bytes(const Bytes& bytes) {
   TaskParams p;
-  std::size_t off = 0;
+  ByteReader r(bytes, "TaskParams");
   if (bytes.empty() || bytes[0] > 1) throw std::invalid_argument("TaskParams: bad auth mode");
-  p.auth_mode = static_cast<AuthMode>(bytes[0]);
-  off += 1;
-  p.requester_address = chain::Address::from_bytes(read_frame(bytes, off));
-  p.requester_attestation = read_frame(bytes, off);
-  p.registry_root = Fr::from_bytes(read_frame(bytes, off));
-  p.classic_mpk = read_frame(bytes, off);
-  p.budget = read_u64_be(bytes, off);
-  off += 8;
-  p.epk = read_frame(bytes, off);
-  p.num_answers = read_u32_be(bytes, off);
-  off += 4;
-  p.max_submissions_per_identity = read_u32_be(bytes, off);
-  off += 4;
-  p.answer_deadline_blocks = read_u64_be(bytes, off);
-  off += 8;
-  p.instruct_deadline_blocks = read_u64_be(bytes, off);
-  off += 8;
-  const Bytes policy = read_frame(bytes, off);
+  p.auth_mode = static_cast<AuthMode>(r.u8());
+  p.requester_address = chain::Address::from_bytes(r.frame(chain::Address::kSize));
+  p.requester_attestation = r.frame(kMaxAttestationBytes);
+  p.registry_root = Fr::from_bytes(r.frame(kMaxFieldBytes));
+  p.classic_mpk = r.frame(kMaxRsaKeyBytes);
+  p.budget = r.u64();
+  p.epk = r.frame(kMaxPointBytes);
+  // num_answers sizes reserves and the padded-ciphertext vector downstream:
+  // cap it at decode time so a forged params blob can never carry an absurd
+  // count into the contract (on_deploy re-checks for programmatic callers).
+  p.num_answers = r.count(kMaxAnswers);
+  p.max_submissions_per_identity = r.u32();
+  p.answer_deadline_blocks = r.u64();
+  p.instruct_deadline_blocks = r.u64();
+  const Bytes policy = r.frame(kMaxNameBytes);
   p.policy_name = std::string(policy.begin(), policy.end());
-  p.task_data_digest = read_frame(bytes, off);
-  p.reputation_registry = chain::Address::from_bytes(read_frame(bytes, off));
-  p.auth_vk = read_frame(bytes, off);
-  p.reward_vk = read_frame(bytes, off);
-  if (off != bytes.size()) throw std::invalid_argument("TaskParams::from_bytes: trailing data");
+  p.task_data_digest = r.frame(kMaxDigestBytes);
+  p.reputation_registry = chain::Address::from_bytes(r.frame(chain::Address::kSize));
+  p.auth_vk = r.frame(kMaxVkBytes);
+  p.reward_vk = r.frame(kMaxVkBytes);
+  r.expect_end();
   return p;
 }
 
@@ -99,25 +118,21 @@ std::vector<chain::SnarkPrecheck> task_snark_prechecks(const chain::ChainState& 
   const TaskParams& params = task->params();
   if (tx.method == "submit" && params.auth_mode == AuthMode::kAnonymous) {
     if (task->submissions().size() >= params.num_answers) return out;
-    std::size_t off = 0;
-    const auth::Attestation att = auth::Attestation::from_bytes(read_frame(tx.payload, off));
-    const AnswerCiphertext ct = AnswerCiphertext::from_bytes(read_frame(tx.payload, off));
+    ByteReader r(tx.payload, "submit args");
+    const auth::Attestation att = auth::Attestation::from_bytes(r.frame(kMaxAttestationBytes));
+    const AnswerCiphertext ct = AnswerCiphertext::from_bytes(r.frame(kMaxCiphertextBytes));
     const Bytes rest = concat({tx.from.to_bytes(), ct.to_bytes()});
     out.push_back({task->auth_vk(),
                    auth::auth_statement(tx.to.to_bytes(), rest, params.registry_root, att),
                    att.proof});
   } else if (tx.method == "reward") {
-    std::size_t off = 0;
-    const std::uint32_t count = read_u32_be(tx.payload, off);
-    off += 4;
+    ByteReader r(tx.payload, "reward args");
+    const std::uint32_t count = r.count(kMaxAnswers);
     if (count != params.num_answers) return out;
     std::vector<std::uint64_t> rewards;
     rewards.reserve(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      rewards.push_back(read_u64_be(tx.payload, off));
-      off += 8;
-    }
-    const snark::Proof proof = snark::Proof::from_bytes(read_frame(tx.payload, off));
+    for (std::uint32_t i = 0; i < count; ++i) rewards.push_back(r.u64());
+    const snark::Proof proof = snark::Proof::from_bytes(r.frame(kMaxProofBytes));
     out.push_back({task->reward_vk(),
                    reward_statement(JubjubPoint::from_bytes(params.epk), task->share(),
                                     task->padded_ciphertexts(), rewards),
@@ -130,6 +145,7 @@ void TaskContract::on_deploy(CallContext& ctx, const Bytes& ctor_args) {
   ctx.charge(GasSchedule::kStorageWrite + ctor_args.size() * 2);
   TaskParams params = TaskParams::from_bytes(ctor_args);
   if (params.num_answers == 0) throw ContractRevert("n must be positive");
+  if (params.num_answers > kMaxAnswers) throw ContractRevert("n over protocol cap");
   // Validate policy name and epk encoding up front.
   IncentivePolicy::by_name(params.policy_name);
   JubjubPoint::from_bytes(params.epk);
@@ -191,43 +207,38 @@ std::optional<Bytes> TaskContract::snapshot_state() const {
 }
 
 void TaskContract::restore_state(const Bytes& state) {
-  std::size_t off = 0;
-  params_ = TaskParams::from_bytes(read_frame(state, off));
+  // Both counts used to feed reserve() unchecked, so a corrupt snapshot
+  // could demand a multi-gigabyte reservation before the loop's truncation
+  // throw; count() bounds them before any allocation.
+  ByteReader r(state, "TaskContract state");
+  params_ = TaskParams::from_bytes(r.frame(kMaxParamsBytes));
   if (params_.auth_mode == AuthMode::kAnonymous) {
     auth_vk_ = snark::VerifyingKey::from_bytes(params_.auth_vk);
   }
   reward_vk_ = snark::VerifyingKey::from_bytes(params_.reward_vk);
-  const std::uint32_t n_subs = read_u32_be(state, off);
-  off += 4;
+  const std::uint32_t n_subs = r.count(kMaxAnswers);
   submissions_.clear();
   submissions_.reserve(n_subs);
   for (std::uint32_t i = 0; i < n_subs; ++i) {
     Submission s;
-    s.worker_address = chain::Address::from_bytes(read_frame(state, off));
-    const Bytes att = read_frame(state, off);
+    s.worker_address = chain::Address::from_bytes(r.frame(chain::Address::kSize));
+    const Bytes att = r.frame(kMaxAttestationBytes);
     if (!att.empty()) s.attestation = auth::Attestation::from_bytes(att);
-    s.classic_pk = read_frame(state, off);
-    s.ciphertext = AnswerCiphertext::from_bytes(read_frame(state, off));
+    s.classic_pk = r.frame(kMaxRsaKeyBytes);
+    s.ciphertext = AnswerCiphertext::from_bytes(r.frame(kMaxCiphertextBytes));
     submissions_.push_back(std::move(s));
   }
-  deploy_block_ = read_u64_be(state, off);
-  off += 8;
-  collection_end_block_ = read_u64_be(state, off);
-  off += 8;
-  if (off + 2 > state.size()) throw std::invalid_argument("TaskContract: truncated snapshot");
-  finalized_ = state[off++] != 0;
-  rewarded_ = state[off++] != 0;
-  const std::uint32_t n_rewards = read_u32_be(state, off);
-  off += 4;
+  deploy_block_ = r.u64();
+  collection_end_block_ = r.u64();
+  finalized_ = r.u8() != 0;
+  rewarded_ = r.u8() != 0;
+  const std::uint32_t n_rewards = r.count(kMaxAnswers);
   rewards_.clear();
   rewards_.reserve(n_rewards);
-  for (std::uint32_t i = 0; i < n_rewards; ++i) {
-    rewards_.push_back(read_u64_be(state, off));
-    off += 8;
-  }
-  const Bytes proof = read_frame(state, off);
+  for (std::uint32_t i = 0; i < n_rewards; ++i) rewards_.push_back(r.u64());
+  const Bytes proof = r.frame(kMaxProofBytes);
   if (!proof.empty()) reward_proof_ = snark::Proof::from_bytes(proof);
-  if (off != state.size()) throw std::invalid_argument("TaskContract: trailing snapshot data");
+  r.expect_end();
 }
 
 std::uint64_t TaskContract::instruction_deadline() const {
@@ -284,10 +295,10 @@ void TaskContract::handle_submit(CallContext& ctx, const Bytes& args) {
   if (submissions_.size() >= params_.num_answers) throw ContractRevert("already n answers");
   if (ctx.block_number > collection_deadline()) throw ContractRevert("answering closed");
 
-  std::size_t off = 0;
-  const Bytes att_bytes = read_frame(args, off);
-  const AnswerCiphertext ct = AnswerCiphertext::from_bytes(read_frame(args, off));
-  if (off != args.size()) throw ContractRevert("malformed submission");
+  ByteReader r(args, "submit args");
+  const Bytes att_bytes = r.frame(kMaxAttestationBytes);
+  const AnswerCiphertext ct = AnswerCiphertext::from_bytes(r.frame(kMaxCiphertextBytes));
+  if (!r.at_end()) throw ContractRevert("malformed submission");
 
   // The attested message is alpha_C || alpha_i || C_i with alpha_i taken
   // from the *actual transaction sender*: a copied ciphertext+attestation
@@ -368,18 +379,14 @@ void TaskContract::handle_reward(CallContext& ctx, const Bytes& args) {
   if (!collection_complete(ctx.block_number)) throw ContractRevert("collection still open");
   if (ctx.block_number > instruction_deadline()) throw ContractRevert("instruction window closed");
 
-  std::size_t off = 0;
-  const std::uint32_t count = read_u32_be(args, off);
-  off += 4;
+  ByteReader r(args, "reward args");
+  const std::uint32_t count = r.count(kMaxAnswers);
   if (count != params_.num_answers) throw ContractRevert("wrong instruction arity");
   std::vector<std::uint64_t> rewards;
   rewards.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    rewards.push_back(read_u64_be(args, off));
-    off += 8;
-  }
-  const snark::Proof proof = snark::Proof::from_bytes(read_frame(args, off));
-  if (off != args.size()) throw ContractRevert("malformed instruction");
+  for (std::uint32_t i = 0; i < count; ++i) rewards.push_back(r.u64());
+  const snark::Proof proof = snark::Proof::from_bytes(r.frame(kMaxProofBytes));
+  if (!r.at_end()) throw ContractRevert("malformed instruction");
 
   // libsnark.Verifier((P, R), pi_reward, PP) — Algorithm 1 line 14.
   const std::vector<Fr> statement = reward_statement(

@@ -30,6 +30,14 @@
 #             ON vs OFF against the smoke overhead budget
 #             (ZL_OBS_SMOKE_BUDGET_PCT, default 20 — padded for smoke-run
 #             noise; the documented full-bench budget is <2%)
+#   fuzz    - the decoder fuzzing matrix (DESIGN.md §15): replays the
+#             checked-in seed corpus through every fuzz_one entry point
+#             (any compiler), then builds the five libFuzzer harnesses
+#             (tx, block, proof/VK, WAL recovery, snapshot load) under
+#             Clang with ASan+UBSan and runs each for a smoke budget of
+#             ZL_FUZZ_SMOKE_SECS seconds (default 15) seeded from
+#             tests/fuzz_corpus/. The libFuzzer half is skipped with a
+#             warning when no clang++ is installed
 #   threadsafety - the static half of the concurrency gate: compile src/
 #             under Clang with -Werror=thread-safety (the compile IS the
 #             check — any lock used out of contract with its annotations
@@ -54,8 +62,8 @@ legs=""
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --) shift; break ;;
-    lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale|obs|threadsafety) legs="$legs $1"; shift ;;
-    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale|obs|threadsafety)" >&2; exit 2 ;;
+    lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale|obs|threadsafety|fuzz) legs="$legs $1"; shift ;;
+    *) echo "check_all: unknown leg '$1' (expected lint|asan|ubsan|tsan|ctcheck|store|circuit-audit|kernels|scale|obs|threadsafety|fuzz)" >&2; exit 2 ;;
   esac
 done
 [ -n "$legs" ] || legs="lint circuit-audit asan ubsan tsan"
@@ -138,6 +146,52 @@ run_threadsafety() {
     --json "$build_dir/zl_lint_findings.json"
   sh "$repo_root/tools/zl_lint/test_corpus.sh" \
     "$build_dir/tools/zl_lint/zl_lint" "$repo_root/tools/zl_lint/corpus"
+}
+
+# Fuzz leg: the decoder fuzzing matrix (DESIGN.md §15). Two halves:
+#   1. Corpus regression (any compiler, reuses build-lint): replay every
+#      checked-in seed and crasher under tests/fuzz_corpus/ through the
+#      fuzz_one entry points as a plain gtest binary. This half always runs,
+#      so the leg verifies the decoders even on gcc-only hosts.
+#   2. libFuzzer smoke (Clang only): a -DZL_FUZZ=ON tree (the CMake option
+#      auto-enables ASan+UBSan when no sanitizer is chosen) builds the five
+#      harnesses — tx, block, proof/VK, WAL recovery, snapshot load — and
+#      runs each for ZL_FUZZ_SMOKE_SECS seconds (default 15) seeded from the
+#      checked-in corpus. New inputs libFuzzer discovers land in the build
+#      tree (build-fuzz/corpus-<family>), never in the checked-in seeds;
+#      promote a crasher by copying it into tests/fuzz_corpus/<family>/.
+#      Skipped with a loud warning when no clang++ is installed.
+run_fuzz() {
+  build_dir="$repo_root/build-lint"
+  cmake -S "$repo_root" -B "$build_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" --target test_fuzz_regression
+  "$build_dir/tests/test_fuzz_regression"
+
+  clangxx=""
+  for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then clangxx="$candidate"; break; fi
+  done
+  if [ -z "$clangxx" ]; then
+    echo "check_all: WARNING: no clang++ found; skipping the libFuzzer smoke" >&2
+    echo "check_all: (ZL_FUZZ needs Clang's libFuzzer runtime; the corpus" >&2
+    echo "check_all: regression above still exercised every decoder family)" >&2
+    return 0
+  fi
+  build_dir="$repo_root/build-fuzz"
+  cmake -S "$repo_root" -B "$build_dir" -G Ninja -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_COMPILER="$clangxx" -DZL_FUZZ=ON
+  cmake --build "$build_dir" --target \
+    fuzz_tx fuzz_block fuzz_proof fuzz_wal fuzz_snapshot
+  smoke_secs="${ZL_FUZZ_SMOKE_SECS:-15}"
+  for family in tx block proof wal snapshot; do
+    echo "---- fuzz_$family: ${smoke_secs}s smoke ----"
+    mkdir -p "$build_dir/corpus-$family"
+    ASAN_OPTIONS="detect_leaks=1:halt_on_error=1:abort_on_error=1" \
+    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+      "$build_dir/tools/fuzz/fuzz_$family" \
+        -max_total_time="$smoke_secs" -print_final_stats=1 \
+        "$build_dir/corpus-$family" "$repo_root/tests/fuzz_corpus/$family"
+  done
 }
 
 # Scale leg: the bench_scale smoke case through ctest (plain Release build —
@@ -248,6 +302,8 @@ for leg in $legs; do
       run_obs || status=$? ;;
     threadsafety)
       run_threadsafety || status=$? ;;
+    fuzz)
+      run_fuzz || status=$? ;;
   esac
   if [ "$status" -ne 0 ]; then
     echo "==== check_all: $leg FAILED ====" >&2

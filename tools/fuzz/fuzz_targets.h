@@ -1,0 +1,35 @@
+#pragma once
+// Decoder fuzz entry points — one per untrusted decoder family (DESIGN.md
+// §15). Each fuzz_* consumes one attacker-controlled buffer, drives the
+// decoder, and asserts its contract:
+//
+//   tx / block / proof   malformed bytes throw a decode error (nothing
+//                        else), and any input that decodes must re-encode
+//                        to the exact bytes that decoded — the canonical
+//                        round-trip that keeps one value from hashing two
+//                        ways on the wire.
+//   wal / snapshot       recovery over an arbitrary on-disk image NEVER
+//                        throws: the WAL truncates at the first corruption
+//                        and stays appendable; the snapshot store degrades
+//                        to "no snapshot", never to wrong state.
+//
+// Invariant violations abort(), so both libFuzzer (ZL_FUZZ harnesses) and
+// the clang-free corpus regression runner (tests/test_fuzz_regression.cpp)
+// surface them as crashes.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zl::fuzz {
+
+void fuzz_tx(const std::uint8_t* data, std::size_t size);
+void fuzz_block(const std::uint8_t* data, std::size_t size);
+/// Groth16 Proof (fixed 259 bytes) and VerifyingKey (variable, nested G1/G2
+/// point decoding) — covers g1/g2/fq2 parsing transitively.
+void fuzz_proof(const std::uint8_t* data, std::size_t size);
+/// WAL recovery: the input is a raw segment image fed through FaultVfs.
+void fuzz_wal(const std::uint8_t* data, std::size_t size);
+/// Snapshot load: the input is a raw snapshot file image fed through FaultVfs.
+void fuzz_snapshot(const std::uint8_t* data, std::size_t size);
+
+}  // namespace zl::fuzz

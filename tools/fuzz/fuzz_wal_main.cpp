@@ -1,0 +1,6 @@
+#include "fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  zl::fuzz::fuzz_wal(data, size);
+  return 0;
+}

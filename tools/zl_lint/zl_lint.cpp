@@ -40,6 +40,17 @@
 //                     the obs API (ZL_TRACE_SPAN / ZL_OBS_SCOPED_LATENCY_US
 //                     / obs::monotonic_ns) so it aggregates, exports, and
 //                     compiles out under ZL_OBS=OFF
+//   unchecked-length  legacy cursor-less decode helpers (read_u32_be /
+//                     read_u64_be / read_frame) or hand-rolled
+//                     `off + len > buf.size()` bound arithmetic in src/
+//                     outside crypto/bytes.* — the sum can wrap; all wire
+//                     decoding goes through zl::ByteReader, whose checked
+//                     reads are overflow-safe by construction
+//   unbounded-resize  resize()/reserve() sized by a wire-derived length
+//                     (a value read via .u32()/.u64()/read_u32_be/
+//                     read_u64_be) — a 4-byte length prefix must never size
+//                     an allocation directly; bound it first with
+//                     ByteReader::count(cap) or frame(cap)
 //
 // Suppression: append `// zl-lint: allow(<rule>[, <rule>...])` (or
 // `allow(all)`) on the offending line or the line directly above it. Every
@@ -79,6 +90,7 @@ struct Token {
   TokKind kind;
   std::string text;
   int line;
+  int col;  // 1-based column of the token's first character
 };
 
 struct IncludeDirective {
@@ -99,11 +111,14 @@ struct FileUnit {
   bool in_obs = false;                          // under src/obs (the timing chokepoint)
   bool in_circuit_layer = false;                // gadget/circuit-building code
   bool is_mutex_chokepoint = false;             // common/mutex.h itself
+  bool is_bytes_chokepoint = false;             // crypto/bytes.{h,cpp}: the one
+                                                // sanctioned home of raw cursor math
 };
 
 struct Finding {
   std::string path;
   int line;
+  int col;
   std::string rule;
   std::string message;
 };
@@ -143,18 +158,20 @@ const char* kMultiPunct[] = {"->*", "<<=", ">>=", "...", "::", "->", "==", "!=",
 void tokenize(FileUnit& unit, const std::string& src) {
   std::size_t i = 0;
   int line = 1;
+  std::size_t line_start = 0;  // index of the current line's first character
   const std::size_t n = src.size();
   bool at_line_start = true;  // only whitespace so far on this line
 
-  auto newline = [&] {
+  auto newline = [&](std::size_t nl_index) {
     ++line;
+    line_start = nl_index + 1;
     at_line_start = true;
   };
 
   while (i < n) {
     const char c = src[i];
     if (c == '\n') {
-      newline();
+      newline(i);
       ++i;
       continue;
     }
@@ -177,7 +194,10 @@ void tokenize(FileUnit& unit, const std::string& src) {
       const std::string body = src.substr(i, stop - i);
       record_allows(unit, body, line);
       for (std::size_t j = i; j < stop; ++j) {
-        if (src[j] == '\n') ++line;
+        if (src[j] == '\n') {
+          ++line;
+          line_start = j + 1;
+        }
       }
       i = stop;
       continue;
@@ -202,6 +222,7 @@ void tokenize(FileUnit& unit, const std::string& src) {
         if (back > end && src[back - 1] == '\\') {
           end = nl + 1;
           ++line;
+          line_start = nl + 1;
           continue;
         }
         end = nl;
@@ -221,6 +242,10 @@ void tokenize(FileUnit& unit, const std::string& src) {
       continue;
     }
     at_line_start = false;
+    // Column of the token starting at i (multi-line literals keep their
+    // start column paired with their recorded end line; close enough for a
+    // heuristic tool, and no rule reports inside them anyway).
+    const int col = static_cast<int>(i - line_start) + 1;
     // Raw string literal (skip; contents are not code).
     if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
       const std::size_t paren = src.find('(', i + 2);
@@ -229,9 +254,12 @@ void tokenize(FileUnit& unit, const std::string& src) {
         const std::size_t end = src.find(delim, paren + 1);
         const std::size_t stop = (end == std::string::npos) ? n : end + delim.size();
         for (std::size_t j = i; j < stop; ++j) {
-          if (src[j] == '\n') ++line;
+          if (src[j] == '\n') {
+            ++line;
+            line_start = j + 1;
+          }
         }
-        unit.toks.push_back({TokKind::String, "", line});
+        unit.toks.push_back({TokKind::String, "", line, col});
         i = stop;
         continue;
       }
@@ -246,11 +274,14 @@ void tokenize(FileUnit& unit, const std::string& src) {
           j += 2;
           continue;
         }
-        if (src[j] == '\n') ++line;
+        if (src[j] == '\n') {
+          ++line;
+          line_start = j + 1;
+        }
         text.push_back(src[j]);
         ++j;
       }
-      unit.toks.push_back({TokKind::String, text, line});
+      unit.toks.push_back({TokKind::String, text, line, col});
       i = (j < n) ? j + 1 : n;
       continue;
     }
@@ -264,7 +295,7 @@ void tokenize(FileUnit& unit, const std::string& src) {
         }
         ++j;
       }
-      unit.toks.push_back({TokKind::CharLit, src.substr(i, j + 1 - i), line});
+      unit.toks.push_back({TokKind::CharLit, src.substr(i, j + 1 - i), line, col});
       i = (j < n) ? j + 1 : n;
       continue;
     }
@@ -272,7 +303,7 @@ void tokenize(FileUnit& unit, const std::string& src) {
     if (ident_start(c)) {
       std::size_t j = i + 1;
       while (j < n && ident_char(src[j])) ++j;
-      unit.toks.push_back({TokKind::Identifier, src.substr(i, j - i), line});
+      unit.toks.push_back({TokKind::Identifier, src.substr(i, j - i), line, col});
       i = j;
       continue;
     }
@@ -283,7 +314,7 @@ void tokenize(FileUnit& unit, const std::string& src) {
                        ((src[j] == '+' || src[j] == '-') && (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
         ++j;
       }
-      unit.toks.push_back({TokKind::Number, src.substr(i, j - i), line});
+      unit.toks.push_back({TokKind::Number, src.substr(i, j - i), line, col});
       i = j;
       continue;
     }
@@ -296,7 +327,7 @@ void tokenize(FileUnit& unit, const std::string& src) {
         break;
       }
     }
-    unit.toks.push_back({TokKind::Punct, punct, line});
+    unit.toks.push_back({TokKind::Punct, punct, line, col});
     i += punct.size();
   }
 }
@@ -395,6 +426,15 @@ const Rule kRules[] = {
      "no direct steady_clock/high_resolution_clock::now() in src/ outside src/obs — time "
      "through the obs API (ZL_TRACE_SPAN, ZL_OBS_SCOPED_LATENCY_US, obs::monotonic_ns) so "
      "measurements aggregate into the exported snapshot and compile out under ZL_OBS=OFF"},
+    {"unchecked-length",
+     "no legacy cursor-less decode helpers (read_u32_be/read_u64_be/read_frame) and no "
+     "hand-rolled `off + len > buf.size()` bound arithmetic in src/ outside crypto/bytes.* "
+     "— the sum can wrap around; wire decoding goes through zl::ByteReader, whose checked "
+     "reads are overflow-safe by construction"},
+    {"unbounded-resize",
+     "no resize()/reserve() sized by a wire-derived length (a value read via .u32()/.u64()/"
+     "read_u32_be/read_u64_be) — a 4-byte length prefix must never size an allocation "
+     "directly; bound it first with ByteReader::count(cap) or frame(cap)"},
 };
 
 /// Types whose instances hold long-term secrets. secret-zeroize requires a
@@ -438,23 +478,34 @@ class Linter {
       if (u.in_src && !u.is_mutex_chokepoint) rule_naked_unlock(u);
       if (u.in_src) rule_atomic_rmw_race(u);
       if (u.in_src && !u.in_obs) rule_naked_timing(u);
+      if (u.in_src && !u.is_bytes_chokepoint) {
+        rule_unchecked_length(u);
+        rule_unbounded_resize(u);
+      }
     }
     rule_secret_zeroize();
+    // Deterministic order regardless of input order: reports are byte-stable
+    // whether the tool is pointed at a directory or an explicit file list.
     std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
       if (a.path != b.path) return a.path < b.path;
       if (a.line != b.line) return a.line < b.line;
+      if (a.col != b.col) return a.col < b.col;
       return a.rule < b.rule;
     });
     return findings_;
   }
 
  private:
-  void report(const FileUnit& u, int line, const std::string& rule, std::string msg) {
+  void report(const FileUnit& u, int line, int col, const std::string& rule, std::string msg) {
     for (const int l : {line, line - 1}) {
       const auto it = u.allows.find(l);
       if (it != u.allows.end() && (it->second.count(rule) || it->second.count("all"))) return;
     }
-    findings_.push_back({u.path, line, rule, std::move(msg)});
+    findings_.push_back({u.path, line, col, rule, std::move(msg)});
+  }
+
+  void report(const FileUnit& u, const Token& tok, const std::string& rule, std::string msg) {
+    report(u, tok.line, tok.col, rule, std::move(msg));
   }
 
   // --- cross-file info ----------------------------------------------------
@@ -472,7 +523,7 @@ class Linter {
       const bool is_def = (nxt.kind == TokKind::Punct && (nxt.text == "{" || nxt.text == ":")) ||
                           (nxt.kind == TokKind::Identifier && nxt.text == "final");
       if (is_def && !type_def_site_.count(t[i + 1].text)) {
-        type_def_site_[t[i + 1].text] = {u.path, t[i + 1].line};
+        type_def_site_[t[i + 1].text] = {u.path, t[i + 1].line, t[i + 1].col};
       }
     }
   }
@@ -532,21 +583,21 @@ class Linter {
     if (u.is_rng) return;
     for (const auto& inc : u.includes) {
       if (inc.header == "random") {
-        report(u, inc.line, rule,
+        report(u, inc.line, 1, rule,
                "#include <random>: std engines are banned; draw from zl::Rng instead");
       }
     }
     const auto& t = u.toks;
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (t[i].kind == TokKind::String && t[i].text.find("urandom") != std::string::npos) {
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                "direct OS-entropy access: seed through zl::Rng::from_os_entropy() "
                "(src/crypto/rng.cpp) instead");
         continue;
       }
       if (t[i].kind != TokKind::Identifier) continue;
       if (kBannedRngTypes.count(t[i].text)) {
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                "std randomness engine `" + t[i].text + "`: use zl::Rng (the audited DRBG)");
         continue;
       }
@@ -557,7 +608,7 @@ class Linter {
             (t[i - 1].text == "." || t[i - 1].text == "->")) {
           continue;
         }
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                "libc randomness `" + t[i].text + "()`: use zl::Rng (the audited DRBG)");
       }
     }
@@ -569,7 +620,7 @@ class Linter {
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (t[i].kind != TokKind::Identifier) continue;
       if (t[i].text == "memcmp" || t[i].text == "bcmp") {
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                t[i].text + " leaks the first differing byte through timing; use zl::ct_equal");
         continue;
       }
@@ -580,7 +631,7 @@ class Linter {
         if (close == kNpos) continue;
         for (std::size_t j = i + 3; j < close; ++j) {
           if (t[j].kind == TokKind::Identifier && kSecretTypes.count(t[j].text)) {
-            report(u, t[i].line, rule,
+            report(u, t[i], rule,
                    "operator== over secret type `" + t[j].text +
                        "` compares key material byte-by-byte; use zl::ct_equal on "
                        "canonical encodings");
@@ -611,7 +662,7 @@ class Linter {
         if (colon == kNpos) continue;
         for (std::size_t j = colon + 1; j < close; ++j) {
           if (t[j].kind == TokKind::Identifier && unordered_names_.count(t[j].text)) {
-            report(u, t[i].line, rule,
+            report(u, t[i], rule,
                    "range-for over unordered container `" + t[j].text +
                        "`: hash order is nondeterministic and would fork consensus; iterate "
                        "a sorted view or use std::map");
@@ -626,7 +677,7 @@ class Linter {
           t[i + 2].kind == TokKind::Identifier &&
           (t[i + 2].text == "begin" || t[i + 2].text == "cbegin") &&
           t[i + 3].kind == TokKind::Punct && t[i + 3].text == "(") {
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                "iterator over unordered container `" + t[i].text +
                    "`: hash order is nondeterministic and would fork consensus");
       }
@@ -643,11 +694,11 @@ class Linter {
       };
       if (t[i].text == "new") {
         if (prev_is("operator")) continue;  // operator new overload
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                "raw `new`: ownership must be RAII-managed (std::make_unique, containers)");
       } else if (t[i].text == "delete") {
         if (prev_is("operator") || prev_is("=")) continue;  // =delete / operator delete
-        report(u, t[i].line, rule, "raw `delete`: ownership must be RAII-managed");
+        report(u, t[i], rule, "raw `delete`: ownership must be RAII-managed");
       }
     }
   }
@@ -658,7 +709,7 @@ class Linter {
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (t[i].kind != TokKind::Identifier) continue;
       if (t[i].text == "pairing_textbook" || t[i].text == "pairing_product_textbook") {
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                "`" + t[i].text +
                    "` is the benchmark baseline only; production paths use the prepared "
                    "engine");
@@ -680,7 +731,7 @@ class Linter {
         }
       }
       if (!prepared) {
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                "textbook `" + t[i].text +
                    "(` call: pass a G2Prepared/pvk operand (amortizes the Miller schedule) "
                    "or annotate why the one-shot path is acceptable");
@@ -695,7 +746,7 @@ class Linter {
     static const std::set<std::string> banned_syscalls = {"open", "openat", "creat"};
     for (const auto& inc : u.includes) {
       if (inc.header == "fstream") {
-        report(u, inc.line, rule,
+        report(u, inc.line, 1, rule,
                "#include <fstream>: durable writes must go through the Vfs (store/vfs.h)");
       }
     }
@@ -707,7 +758,7 @@ class Linter {
       const bool member = i > 0 && t[i - 1].kind == TokKind::Punct &&
                           (t[i - 1].text == "." || t[i - 1].text == "->");
       if (banned_types.count(t[i].text)) {
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                "std::" + t[i].text +
                    " bypasses the Vfs chokepoint; open files through store::Vfs so "
                    "FaultVfs-backed crash tests cover this path");
@@ -715,7 +766,7 @@ class Linter {
       }
       if (!called || member) continue;
       if (banned_calls.count(t[i].text)) {
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                t[i].text + "() bypasses the Vfs chokepoint; use store::Vfs::open instead");
         continue;
       }
@@ -724,7 +775,7 @@ class Linter {
       if (banned_syscalls.count(t[i].text) && i > 0 && t[i - 1].kind == TokKind::Punct &&
           t[i - 1].text == "::" &&
           (i < 2 || t[i - 2].kind != TokKind::Identifier)) {
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                "::" + t[i].text + "() bypasses the Vfs chokepoint; use store::Vfs::open instead");
       }
     }
@@ -813,7 +864,7 @@ class Linter {
       const std::size_t body_close = match_brace(t, body_open);
       const std::size_t limit = (body_close == kNpos) ? t.size() : body_close;
       if (constrained_within(i + 1, limit)) continue;
-      report(u, t[i].line, rule,
+      report(u, t[i], rule,
              "witness allocation with no enforce* constraint later in this function — an "
              "unconstrained wire lets the prover choose any value; constrain it or add "
              "`// zl-lint: allow(unchecked-allocate)` with the reviewed reason");
@@ -864,7 +915,7 @@ class Linter {
         continue;
       }
       if (is_std_mutex) {
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                "raw std::" + t[i].text + " `" + name +
                    "`: every lock in src/ is a zl::OrderedMutex with a documented rank "
                    "(common/mutex.h), so the lock-order detector and the capability "
@@ -872,7 +923,7 @@ class Linter {
         continue;
       }
       if (!annotated_names.count(name)) {
-        report(u, t[i].line, rule,
+        report(u, t[i], rule,
                "OrderedMutex `" + name +
                    "` is never named by a ZL_GUARDED_BY/ZL_REQUIRES/ZL_ACQUIRE-family "
                    "annotation in this file — an unannotated lock guards nothing the "
@@ -895,7 +946,7 @@ class Linter {
         continue;
       }
       if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") continue;
-      report(u, t[i].line, rule,
+      report(u, t[i], rule,
              "manual ." + t[i].text +
                  "() call: acquisition is RAII-only (zl::MutexLock, or zl::MutexUnlock "
                  "for a scoped release) so no early return or exception can leak a held "
@@ -923,7 +974,7 @@ class Linter {
             t[j + 1].kind == TokKind::Punct &&
             (t[j + 1].text == "." || t[j + 1].text == "->") &&
             t[j + 2].kind == TokKind::Identifier && t[j + 2].text == "load") {
-          report(u, t[i].line, rule,
+          report(u, t[i], rule,
                  "`" + obj + ".store(... " + obj +
                      ".load ...)` is a torn read-modify-write: another thread can write "
                      "between the load and the store and its update is silently lost; use "
@@ -945,12 +996,129 @@ class Linter {
       if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "::") continue;
       if (t[i + 2].kind != TokKind::Identifier || t[i + 2].text != "now") continue;
       if (t[i + 3].kind != TokKind::Punct || t[i + 3].text != "(") continue;
-      report(u, t[i].line, rule,
+      report(u, t[i], rule,
              "direct " + t[i].text +
                  "::now(): production timing goes through the obs API (ZL_TRACE_SPAN, "
                  "ZL_OBS_SCOPED_LATENCY_US, or obs::monotonic_ns) so it aggregates into "
                  "the exported snapshot and compiles out under ZL_OBS=OFF; add "
                  "`// zl-lint: allow(naked-timing)` only with a reviewed reason");
+    }
+  }
+
+  // Is toks[j] a call that yields a raw wire-derived length? Matches the
+  // ByteReader uncapped integer reads as member calls (`r.u32(` / `r.u64(`)
+  // and the legacy free helpers (`read_u32_be(` / `read_u64_be(`).
+  // ByteReader::count(cap) and frame(cap) are deliberately NOT matched:
+  // their results are bounded by the declared cap and safe to allocate with.
+  bool is_wire_length_read(const std::vector<Token>& t, std::size_t j) const {
+    if (t[j].kind != TokKind::Identifier) return false;
+    if (j + 1 >= t.size() || t[j + 1].kind != TokKind::Punct || t[j + 1].text != "(") return false;
+    const bool member = j > 0 && t[j - 1].kind == TokKind::Punct &&
+                        (t[j - 1].text == "." || t[j - 1].text == "->");
+    if (member && (t[j].text == "u32" || t[j].text == "u64")) return true;
+    return t[j].text == "read_u32_be" || t[j].text == "read_u64_be";
+  }
+
+  void rule_unchecked_length(const FileUnit& u) {
+    static const std::string rule = "unchecked-length";
+    static const std::set<std::string> legacy_helpers = {"read_u32_be", "read_u64_be",
+                                                         "read_frame"};
+    const auto& t = u.toks;
+    // (a) Legacy cursor-less decode helpers: every call site outside the
+    // crypto/bytes.* chokepoint is a decoder that has not been migrated to
+    // the checked ByteReader cursor.
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier || !legacy_helpers.count(t[i].text)) continue;
+      if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") continue;
+      report(u, t[i], rule,
+             "`" + t[i].text +
+                 "(` is the legacy cursor-less decode API (kept for tests/tools only): wire "
+                 "decoding in src/ goes through zl::ByteReader (crypto/bytes.h), whose "
+                 "checked reads cannot over-read or wrap the cursor");
+    }
+    // (b) Hand-rolled bound arithmetic: `off + len > buf.size()` (or `>=`) —
+    // the throw-if-out-of-bounds shape whose left-hand sum can wrap around
+    // and pass the check. `i + 1 < v.size()` loop guards use `<` and are
+    // deliberately not matched.
+    static const std::set<std::string> boundary = {";", "{", "}", "(", ",",  "&&",
+                                                   "||", "=",  "?", ":", "return"};
+    for (std::size_t i = 1; i + 3 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Punct || (t[i].text != ">" && t[i].text != ">=")) continue;
+      // Left of the comparator (up to an expression boundary): an additive
+      // IDENT + IDENT|NUM chain.
+      bool summed_lhs = false;
+      for (std::size_t j = i; j-- > 1;) {
+        if (boundary.count(t[j].text)) break;
+        if (t[j].kind == TokKind::Punct && t[j].text == "+" &&
+            (t[j - 1].kind == TokKind::Identifier || t[j - 1].kind == TokKind::Number) &&
+            (t[j + 1].kind == TokKind::Identifier || t[j + 1].kind == TokKind::Number)) {
+          summed_lhs = true;
+          break;
+        }
+      }
+      if (!summed_lhs) continue;
+      // Right of the comparator (small window): a `.size()` call.
+      bool size_rhs = false;
+      for (std::size_t j = i + 1; j + 2 < t.size() && j < i + 8; ++j) {
+        if (t[j].kind == TokKind::Punct && boundary.count(t[j].text) && t[j].text != "(") break;
+        if (t[j].kind == TokKind::Punct && (t[j].text == "." || t[j].text == "->") &&
+            t[j + 1].kind == TokKind::Identifier && t[j + 1].text == "size" &&
+            t[j + 2].kind == TokKind::Punct && t[j + 2].text == "(") {
+          size_rhs = true;
+          break;
+        }
+      }
+      if (!size_rhs) continue;
+      report(u, t[i], rule,
+             "hand-rolled `offset + len > buf.size()` bound check: the left-hand sum can "
+             "wrap around and pass the check; decode through zl::ByteReader "
+             "(crypto/bytes.h), whose need()/frame() checks subtract instead of adding and "
+             "cannot overflow");
+    }
+  }
+
+  void rule_unbounded_resize(const FileUnit& u) {
+    static const std::string rule = "unbounded-resize";
+    const auto& t = u.toks;
+    // Pass 1: taint every identifier assigned from an uncapped wire-length
+    // read anywhere in the file (per-file, name-based — an over-approximation
+    // that is precise enough here because decoders never reuse length names).
+    std::set<std::string> tainted;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier) continue;
+      if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "=") continue;
+      for (std::size_t j = i + 2; j < t.size(); ++j) {
+        if (t[j].kind == TokKind::Punct && t[j].text == ";") break;
+        if (is_wire_length_read(t, j)) {
+          tainted.insert(t[i].text);
+          break;
+        }
+      }
+    }
+    // Pass 2: any .resize(/.reserve( whose argument list names a tainted
+    // length, or contains a wire-length read directly.
+    for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Identifier ||
+          (t[i].text != "resize" && t[i].text != "reserve")) {
+        continue;
+      }
+      if (t[i - 1].kind != TokKind::Punct ||
+          (t[i - 1].text != "." && t[i - 1].text != "->")) {
+        continue;
+      }
+      if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") continue;
+      const std::size_t close = match_paren(t, i + 1);
+      if (close == kNpos) continue;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        const bool tainted_name = t[j].kind == TokKind::Identifier && tainted.count(t[j].text);
+        if (!tainted_name && !is_wire_length_read(t, j)) continue;
+        report(u, t[i], rule,
+               "." + t[i].text + "(" + t[j].text +
+                   ") sizes an allocation from a wire-derived length: a 4-byte prefix can "
+                   "demand gigabytes before the payload bytes are even present; bound it "
+                   "first with ByteReader::count(cap) or read the payload via frame(cap)");
+        break;
+      }
     }
   }
 
@@ -960,8 +1128,8 @@ class Linter {
       if (zeroizing_dtor_.count(type)) continue;
       // Reported at the type's definition; allow-directives there apply.
       for (const auto& u : units_) {
-        if (u.path != site.first) continue;
-        report(u, site.second, rule,
+        if (u.path != site.path) continue;
+        report(u, site.line, site.col, rule,
                "secret type `" + type +
                    "` has no destructor wiping its key material (call secure_zero/zeroize)");
         break;
@@ -969,9 +1137,15 @@ class Linter {
     }
   }
 
+  struct DefSite {
+    std::string path;
+    int line;
+    int col;
+  };
+
   std::vector<FileUnit> units_;
   std::vector<Finding> findings_;
-  std::map<std::string, std::pair<std::string, int>> type_def_site_;
+  std::map<std::string, DefSite> type_def_site_;
   std::set<std::string> zeroizing_dtor_;
   std::set<std::string> unordered_names_;
 };
@@ -1074,6 +1248,11 @@ int main(int argc, char** argv) {
       // common/mutex.h IS the RAII chokepoint: its MutexLock/MutexUnlock
       // bodies are the one sanctioned home of manual lock()/unlock() calls.
       unit.is_mutex_chokepoint = unit.path.find("common/mutex.h") != std::string::npos;
+      // crypto/bytes.{h,cpp} IS the decode chokepoint: ByteReader's internals
+      // and the legacy helpers live there, so its raw cursor math is exempt
+      // from unchecked-length / unbounded-resize.
+      unit.is_bytes_chokepoint = unit.path.find("crypto/bytes.h") != std::string::npos ||
+                                 unit.path.find("crypto/bytes.cpp") != std::string::npos;
       tokenize(unit, ss.str());
       linter.add_unit(std::move(unit));
       ++scanned;
@@ -1083,7 +1262,8 @@ int main(int argc, char** argv) {
   const std::vector<Finding> findings = linter.run();
 
   for (const auto& f : findings) {
-    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+    std::cout << f.path << ":" << f.line << ":" << f.col << ": [" << f.rule << "] "
+              << f.message << "\n";
   }
   std::cout << "zl-lint: scanned " << scanned << " file(s), " << findings.size()
             << " finding(s)\n";
@@ -1099,8 +1279,9 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < findings.size(); ++i) {
       const auto& f = findings[i];
       out << "    {\"file\": \"" << json_escape(f.path) << "\", \"line\": " << f.line
-          << ", \"rule\": \"" << json_escape(f.rule) << "\", \"message\": \""
-          << json_escape(f.message) << "\"}" << (i + 1 < findings.size() ? "," : "") << "\n";
+          << ", \"col\": " << f.col << ", \"rule\": \"" << json_escape(f.rule)
+          << "\", \"message\": \"" << json_escape(f.message) << "\"}"
+          << (i + 1 < findings.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
   }
